@@ -1,0 +1,19 @@
+"""Shared helpers for the figure benchmarks.
+
+Every bench runs its experiment exactly once (the results are
+deterministic simulated times — repetition adds nothing), prints the
+paper-style table, and asserts the paper's qualitative shape.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,66 @@
+"""Ablation bench: each middleware optimization toggled off the FULL
+configuration, one at a time (the DESIGN.md design-choice ablations).
+
+Also covers §IV-B1's JNI transmitter claim ("about 3 to 10 times of
+improvement ... compared to direct target function invoking").
+"""
+
+import numpy as np
+
+from repro.algorithms import MultiSourceSSSP
+from repro.bench import print_table
+from repro.cluster import JVM_RUNTIME, make_cluster
+from repro.core import FULL, GXPlug, MiddlewareConfig
+from repro.engines import GraphXEngine, improvement_factor
+from repro.graph import load_dataset
+
+ABLATIONS = {
+    "full": FULL,
+    "-pipeline": FULL.with_(pipeline=False),
+    "-optimal-block": FULL.with_(block_size=1024),
+    "-sync-cache": FULL.with_(sync_cache=False, lazy_upload=False,
+                              sync_skip=False),
+    "-lazy-upload": FULL.with_(lazy_upload=False),
+    "-sync-skip": FULL.with_(sync_skip=False),
+    "-isolation": FULL.with_(runtime_isolation=False),
+}
+
+
+def run_ablations():
+    graph = load_dataset("orkut")
+    rows = []
+    reference = None
+    for label, config in ABLATIONS.items():
+        cluster = make_cluster(4, gpus_per_node=1, runtime=JVM_RUNTIME)
+        plug = GXPlug(cluster, config)
+        engine = GraphXEngine.build(graph, cluster, middleware=plug)
+        res = engine.run(MultiSourceSSSP(sources=(0, 1, 2, 3)))
+        if reference is None:
+            reference = res.values
+        else:
+            assert np.allclose(res.values, reference, equal_nan=True), label
+        rows.append((label, res.total_ms))
+    return rows
+
+
+def test_ablations(once):
+    rows = once(run_ablations)
+    full_ms = rows[0][1]
+    table = [(label, ms, ms / full_ms) for label, ms in rows]
+    print_table(["config", "sim ms", "vs full"], table,
+                title="Ablations: GraphX+GPU SSSP-BF on Orkut")
+    ms = dict(rows)
+    # every single optimization contributes: removing it costs time
+    for label, t in rows[1:]:
+        assert t >= full_ms * 0.98, label
+    # the heavyweights
+    assert ms["-sync-cache"] > full_ms * 1.2
+    assert ms["-pipeline"] > full_ms * 1.1
+    assert ms["-isolation"] > full_ms * 1.2
+
+
+def test_jni_transmitter_improvement(once):
+    factor = once(improvement_factor, 100_000)
+    print(f"\nJNI transmitter + data packager vs naive invoking: "
+          f"{factor:.1f}x (paper: 3-10x)")
+    assert 3.0 <= factor <= 10.0

@@ -1,0 +1,26 @@
+"""Fig. 10 — effect of the pipeline shuffle.
+
+Paper shapes: "Pipeline*" (Lemma-1 optimal block size) achieves 30-50%
+acceleration over "Without pipeline", and 20-30% over "Pipeline" with a
+fixed block size.
+"""
+
+from repro.bench import print_table, run_fig10
+
+
+def test_fig10(once):
+    rows = once(run_fig10)
+    print_table(["algorithm", "variant", "sim ms"], rows,
+                title="Fig. 10: pipeline shuffle variants (Orkut)")
+    by = {}
+    for alg, var, ms in rows:
+        by.setdefault(alg, {})[var] = ms
+    for alg, d in by.items():
+        star, fixed, without = d["pipeline*"], d["pipeline"], d["without"]
+        assert star < fixed < without, alg
+        vs_none = 1.0 - star / without
+        vs_fixed = 1.0 - star / fixed
+        # paper: 30-50% over no pipeline (allow a little slack each side)
+        assert 0.25 <= vs_none <= 0.60, (alg, vs_none)
+        # paper: 20-30% over the fixed block size
+        assert 0.04 <= vs_fixed <= 0.35, (alg, vs_fixed)

@@ -1,0 +1,31 @@
+"""Fig. 13 — runtime isolation.
+
+The daemon-agent framework initializes the device once; the "direct GPU
+call" integration re-initializes per request.  Over the paper's 11
+iterations the framework is substantially faster, and "the benefits
+would be amplified when the number of iterations is increased".
+"""
+
+from repro.bench import print_table, run_fig13
+
+
+def test_fig13(once):
+    rows = once(run_fig13)
+    print_table(["variant", "sim ms", "device inits"], rows,
+                title="Fig. 13: runtime isolation (11 iterations)")
+    ms = {r[0]: r[1] for r in rows}
+    inits = {r[0]: r[2] for r in rows}
+    assert inits["daemon-agent"] == 1
+    assert inits["direct-call"] > 11
+    assert ms["daemon-agent"] < ms["direct-call"]
+    assert ms["direct-call"] / ms["daemon-agent"] > 1.5
+
+
+def test_fig13_benefit_grows_with_iterations(once):
+    short, long = once(lambda: (run_fig13(iterations=3),
+                                run_fig13(iterations=22)))
+    gap_short = dict((r[0], r[1]) for r in short)
+    gap_long = dict((r[0], r[1]) for r in long)
+    ratio_short = gap_short["direct-call"] / gap_short["daemon-agent"]
+    ratio_long = gap_long["direct-call"] / gap_long["daemon-agent"]
+    assert ratio_long > ratio_short

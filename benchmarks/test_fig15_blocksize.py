@@ -1,0 +1,58 @@
+"""Fig. 15 — block size selection.
+
+Paper shapes: iteration time over the number of blocks ``s`` is
+U-shaped; the estimated optimum (Lemma 1 + integer rounding) lands where
+the measured optimum is, and the measured time near the estimate matches
+the estimated time.  Also reproduces the analytic s_opt for the paper's
+own measured coefficient sets (footnote 6).
+"""
+
+import pytest
+
+from repro.bench import paper_fig15_analysis, print_table, run_fig15
+
+
+def test_fig15(once):
+    out = once(run_fig15)
+    for alg, data in out.items():
+        rows = [(s, m, dict(data["estimated"])[s])
+                for s, m in data["measured"]]
+        print_table(["s", "measured ms", "estimated ms"], rows,
+                    title=f"Fig. 15: block count sweep — {alg} "
+                          f"(d={data['d']}, estimated s_opt="
+                          f"{data['s_opt']})")
+        measured = dict(data["measured"])
+        estimated = dict(data["estimated"])
+        s_values = sorted(measured)
+
+        # U shape: interior minimum
+        best_s = min(measured, key=measured.get)
+        assert best_s != s_values[0] and best_s != s_values[-1], alg
+
+        # the estimated optimum is within one sweep step of the measured
+        # optimum, and the estimate's time at that point is accurate
+        pos = s_values.index(best_s)
+        neighbourhood = s_values[max(0, pos - 1):pos + 2]
+        assert any(abs(data["s_opt"] - s) <= max(2, 0.5 * s)
+                   for s in neighbourhood), (alg, data["s_opt"], best_s)
+        assert measured[best_s] == pytest.approx(estimated[best_s],
+                                                 rel=0.15), alg
+
+        # estimates track measurements across the whole sweep
+        for s in s_values:
+            assert measured[s] == pytest.approx(estimated[s], rel=0.5), \
+                (alg, s)
+
+
+def test_fig15_paper_coefficients(once):
+    rows = once(paper_fig15_analysis)
+    print_table(["workload", "k1", "k2", "k3", "a", "b_opt", "s_opt"],
+                rows,
+                title="Fig. 15: Lemma-1 s_opt for the paper's measured "
+                      "coefficients (footnote 6), d=6.35e8")
+    for name, k1, k2, k3, a, b_opt, s_opt in rows:
+        # in the paper's compute-bound regime (k2 max), b_opt = Q
+        assert k2 > k1 and k2 > k3
+        assert b_opt > 0
+        # the resulting s_opt is in the tens, matching Fig. 15's x-axis
+        assert 1 <= s_opt <= 5000

@@ -1,0 +1,89 @@
+"""Fig. 9 — scalability against Gunrock and Lux.
+
+(a) Orkut PageRank vs #GPUs: Gunrock best at 1 GPU; Lux wins at <=2;
+    GX-Plug wins beyond 2 with a growing lead.
+(b) Twitter / UK-2007 SSSP-BF: Gunrock overflows; GX-Plug beats Lux at
+    high GPU counts (paper: ~40% faster on Twitter @ 4 GPUs); UK-2007
+    has no 4-GPU result for any system (memory).
+(c) GX-Plug across algorithms: runtime decreases with #GPUs (sublinear).
+(d) Mixing CPU/GPU accelerators: more capacity, less runtime.
+"""
+
+from repro.bench import (
+    print_table,
+    run_fig9a,
+    run_fig9b,
+    run_fig9c,
+    run_fig9d,
+)
+
+
+def test_fig9a(once):
+    rows = once(run_fig9a)
+    print_table(["system", "gpus", "sim ms"], rows,
+                title="Fig. 9(a): Orkut PageRank vs #GPUs")
+    ms = {(r[0], r[1]): r[2] for r in rows}
+    # Gunrock best on the single-GPU setting
+    assert ms[("gunrock", 1)] < ms[("lux", 1)]
+    assert ms[("gunrock", 1)] < ms[("gx-plug", 1)]
+    # Lux leads at 2 GPUs, GX-Plug from 3 on, lead growing
+    assert ms[("lux", 2)] < ms[("gx-plug", 2)]
+    assert ms[("gx-plug", 3)] <= ms[("lux", 3)]
+    assert ms[("gx-plug", 4)] < ms[("lux", 4)]
+    lead3 = ms[("lux", 3)] - ms[("gx-plug", 3)]
+    lead4 = ms[("lux", 4)] - ms[("gx-plug", 4)]
+    assert lead4 > lead3
+    # GX-Plug runtime decreases with GPUs
+    gx = [ms[("gx-plug", g)] for g in (1, 2, 3, 4)]
+    assert all(a > b for a, b in zip(gx, gx[1:]))
+
+
+def test_fig9b(once):
+    rows = once(run_fig9b)
+    print_table(["dataset", "system", "gpus", "sim ms"], rows,
+                title="Fig. 9(b): large graphs (SSSP-BF), OOM = no result")
+    ms = {(r[0], r[1], r[2]): r[3] for r in rows}
+    # Gunrock cannot hold either graph
+    assert ms[("twitter", "gunrock", 1)] is None
+    assert ms[("uk-2007-02", "gunrock", 1)] is None
+    # UK-2007 has no 4-GPU result for any distributed system
+    assert ms[("uk-2007-02", "gx-plug", 4)] is None
+    assert ms[("uk-2007-02", "lux", 4)] is None
+    # ... but runs at 2-3 GPUs
+    assert ms[("uk-2007-02", "gx-plug", 2)] is not None
+    assert ms[("uk-2007-02", "gx-plug", 3)] is not None
+    # GX-Plug beats Lux at 3+ GPUs on both datasets (in the paper it is
+    # ahead throughout; our Lux keeps a lead at 2 GPUs — see
+    # EXPERIMENTS.md)
+    for ds, gmax in (("twitter", 4), ("uk-2007-02", 3)):
+        for g in (3, gmax):
+            assert ms[(ds, "gx-plug", g)] < ms[(ds, "lux", g)], (ds, g)
+    # paper: "about 40% faster" on Twitter with 4 GPUs
+    gx4 = ms[("twitter", "gx-plug", 4)]
+    lux4 = ms[("twitter", "lux", 4)]
+    assert 1.25 < lux4 / gx4 < 1.8
+
+
+def test_fig9c(once):
+    rows = once(run_fig9c)
+    print_table(["algorithm", "gpus", "sim ms"], rows,
+                title="Fig. 9(c): GX-Plug scalability across workloads")
+    series = {}
+    for alg, g, ms in rows:
+        series.setdefault(alg, {})[g] = ms
+    for alg, curve in series.items():
+        # runtime at 4 GPUs beats 2 GPUs, sublinearly (paper: SSSP-BF
+        # drops 14s -> 7s from 2 to 4 GPUs)
+        assert curve[4] < curve[2], alg
+        assert curve[2] / curve[4] < 2.5, alg
+
+
+def test_fig9d(once):
+    rows = once(run_fig9d)
+    print_table(["mix", "capacity (1/ms)", "sim ms"], rows,
+                title="Fig. 9(d): mixing and matching accelerators")
+    # runtime decreases as total computation capacity increases
+    by_capacity = sorted(rows, key=lambda r: r[1])
+    times = [r[2] for r in by_capacity]
+    assert all(a >= b for a, b in zip(times, times[1:]))
+    assert times[-1] < times[0]

@@ -1,0 +1,26 @@
+"""Table I — datasets.
+
+Prints the paper's dataset inventory next to the synthetic twins and
+checks the twins preserve the properties the experiments rely on.
+"""
+
+from repro.bench import print_table, run_table1
+
+
+def test_table1(once):
+    rows = once(run_table1)
+    print_table(
+        ["dataset", "paper |V|", "paper |E|", "type",
+         "twin |V|", "twin |E|", "twin deg"],
+        rows, title="Table I: datasets (paper vs 1/1000-scale twins)")
+    assert len(rows) == 6
+    by_name = {r[0]: r for r in rows}
+    # Orkut has the highest average degree (the paper's default dataset)
+    degrees = {name: r[6] for name, r in by_name.items()}
+    assert max(degrees, key=degrees.get) == "orkut"
+    # the two scalability graphs are the largest twins
+    sizes = {name: r[5] for name, r in by_name.items()}
+    ordered = sorted(sizes, key=sizes.get)
+    assert set(ordered[-2:]) == {"twitter", "uk-2007-02"}
+    # road network stays sparse
+    assert by_name["wrn"][6] < 3.0

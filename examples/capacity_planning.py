@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Capacity planning with the workload-balancing model (§III-C).
+
+Two cloud-operations scenarios from Fig. 12:
+
+* **Case 1** — the hardware is fixed (one beefy node, one small node);
+  use Lemma 2's balancing factors to decide how much of the graph each
+  node should hold.
+* **Case 2** — the partitioning is fixed and skewed; use Lemma 3 to
+  decide how many GPUs to lease per node so every node finishes
+  together.
+"""
+
+from repro import GXPlug, PageRank, PowerGraphEngine, load_dataset
+from repro.accel import V100
+from repro.cluster import make_heterogeneous_cluster
+from repro.core import (
+    accelerators_for_load,
+    balancing_factors,
+    optimal_makespan,
+)
+
+
+def case1_fixed_hardware(graph):
+    print("== Case 1: fixed hardware, tuned partitioning (Lemma 2)")
+    spec = [["gpu", "cpu"], ["gpu", "gpu", "gpu", "cpu"]]
+
+    probe = make_heterogeneous_cluster(spec)
+    coeffs = [1.0 / node.capacity_factor() for node in probe.nodes]
+    shares = balancing_factors(coeffs)
+    print(f"   node capacities (entities/ms): "
+          f"{[round(n.capacity_factor()) for n in probe.nodes]}")
+    print(f"   balanced shares: {[round(s, 3) for s in shares]}")
+    print(f"   predicted compute makespan/iteration: "
+          f"{optimal_makespan(graph.num_edges, coeffs):.1f} ms")
+
+    for label, use_shares in (("even 50/50", [0.5, 0.5]),
+                              ("balanced", shares.tolist())):
+        cluster = make_heterogeneous_cluster(spec)
+        plug = GXPlug(cluster)
+        engine = PowerGraphEngine.build(graph, cluster, middleware=plug,
+                                        shares=use_shares)
+        res = engine.run(PageRank(), max_iterations=10)
+        print(f"   {label:12s}: {res.total_ms:8.1f} ms simulated")
+    print()
+
+
+def case2_fixed_partitioning(graph):
+    print("== Case 2: fixed skewed partitioning, tuned GPUs (Lemma 3)")
+    split = (0.75, 0.25)
+    loads = [split[0] * graph.num_edges, split[1] * graph.num_edges]
+    unit = V100.capacity_factor()
+    counts = accelerators_for_load(loads, max_factor=4 * unit,
+                                   unit_factor=unit)
+    print(f"   data split: {split}, GPUs per node from Lemma 3: {counts}")
+
+    for label, spec in (
+            ("1 GPU each", [["gpu"], ["gpu"]]),
+            ("balanced", [["gpu"] * max(1, c) for c in counts])):
+        cluster = make_heterogeneous_cluster(spec)
+        plug = GXPlug(cluster)
+        engine = PowerGraphEngine.build(graph, cluster, middleware=plug,
+                                        shares=list(split))
+        res = engine.run(PageRank(), max_iterations=10)
+        print(f"   {label:12s}: {res.total_ms:8.1f} ms simulated")
+
+
+def main() -> None:
+    graph = load_dataset("orkut")
+    print(f"Planning for {graph}\n")
+    case1_fixed_hardware(graph)
+    case2_fixed_partitioning(graph)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Road-network routing: multi-source shortest paths with sync skipping.
+
+Traffic-style workload on the WRN road-network twin: distances from four
+depots to every intersection, computed distributedly.  Road networks are
+exactly the regime where synchronization skipping shines (clustered,
+long-diameter graphs, §III-B3): with a locality-preserving partition,
+most computation iterations complete inside the nodes and the upper
+system's synchronization is skipped.
+"""
+
+import numpy as np
+
+from repro import GXPlug, MultiSourceSSSP, PowerGraphEngine, make_cluster
+from repro.core import MiddlewareConfig
+from repro.graph import clustering_partition, load_dataset
+
+DEPOTS = (0, 100, 5000, 20000)
+
+
+def route(graph, skip: bool):
+    cluster = make_cluster(4, gpus_per_node=1)
+    config = MiddlewareConfig(sync_skip=skip)
+    plug = GXPlug(cluster, config)
+    pgraph = clustering_partition(graph, 4, seed=3)
+    engine = PowerGraphEngine(pgraph, cluster, middleware=plug)
+    return engine.run(MultiSourceSSSP(sources=DEPOTS))
+
+
+def main() -> None:
+    graph = load_dataset("wrn")
+    depots = [d for d in DEPOTS if d < graph.num_vertices]
+    print(f"Routing from {len(depots)} depots over {graph}\n")
+
+    plain = route(graph, skip=False)
+    skipping = route(graph, skip=True)
+
+    assert np.allclose(plain.values, skipping.values, equal_nan=True)
+    decrease = 1.0 - skipping.iterations / plain.iterations
+    print(f"without skipping: {plain.iterations:3d} supersteps, "
+          f"{plain.total_ms:8.1f} ms simulated")
+    print(f"with skipping   : {skipping.iterations:3d} supersteps, "
+          f"{skipping.total_ms:8.1f} ms simulated")
+    print(f"iteration decrease: {decrease:.0%}  "
+          f"(paper reports 60-90% on real graphs)")
+    print(f"locally combined iterations: "
+          f"{skipping.computation_iterations} computation iterations "
+          f"collapsed into {skipping.iterations} supersteps\n")
+
+    dist = skipping.values
+    reachable = np.isfinite(dist[:, 0])
+    print(f"intersections reachable from depot {DEPOTS[0]}: "
+          f"{int(reachable.sum())} / {graph.num_vertices}")
+    far = int(np.argmax(np.where(reachable, dist[:, 0], -1)))
+    print(f"farthest reachable intersection: #{far} "
+          f"at distance {dist[far, 0]:.1f}")
+
+
+if __name__ == "__main__":
+    main()

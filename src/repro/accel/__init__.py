@@ -1,0 +1,38 @@
+"""Simulated accelerators (GPUs, multicore CPUs) and their cost models."""
+
+from .costmodel import (
+    BYTES_PER_EDGE,
+    BYTES_PER_VERTEX,
+    HOST_JVM,
+    HOST_NATIVE,
+    PRESETS,
+    V100,
+    XEON_ACCEL,
+    DeviceCostModel,
+)
+from .device import Accelerator
+
+
+def make_gpu(device_id: int = 0) -> Accelerator:
+    """A V100-class simulated GPU (1024-thread model, 16 MB scaled memory)."""
+    return Accelerator(V100, device_id)
+
+
+def make_cpu_accelerator(device_id: int = 0) -> Accelerator:
+    """A 20-thread Xeon used as an accelerator (§V-A)."""
+    return Accelerator(XEON_ACCEL, device_id)
+
+
+__all__ = [
+    "DeviceCostModel",
+    "Accelerator",
+    "V100",
+    "XEON_ACCEL",
+    "HOST_NATIVE",
+    "HOST_JVM",
+    "PRESETS",
+    "BYTES_PER_EDGE",
+    "BYTES_PER_VERTEX",
+    "make_gpu",
+    "make_cpu_accelerator",
+]

@@ -1,0 +1,40 @@
+"""Graph algorithms implemented on the GX-Plug algorithm template.
+
+The paper's evaluation workloads — multi-source Bellman-Ford SSSP,
+PageRank and Label Propagation — plus two extension algorithms (BFS and
+connected components) demonstrating that "existing distributed graph
+algorithms can be transplanted ... with ease".
+"""
+
+from .sssp import MultiSourceSSSP
+from .pagerank import PageRank
+from .label_propagation import LabelPropagation
+from .bfs import BFS
+from .connected_components import ConnectedComponents
+from .kcore import KCore
+from .widest_path import WidestPath
+
+
+def paper_workloads():
+    """The three workloads of §V-A, paper-default parameters.
+
+    SSSP-BF uses 4 simultaneous sources; LP is capped at 15 iterations
+    (via its ``default_max_iterations``).
+    """
+    return {
+        "sssp-bf": MultiSourceSSSP(sources=(0, 1, 2, 3)),
+        "pagerank": PageRank(),
+        "lp": LabelPropagation(),
+    }
+
+
+__all__ = [
+    "MultiSourceSSSP",
+    "PageRank",
+    "LabelPropagation",
+    "BFS",
+    "ConnectedComponents",
+    "KCore",
+    "WidestPath",
+    "paper_workloads",
+]

@@ -1,0 +1,81 @@
+"""Run telemetry: export engine results as structured records.
+
+Turns a :class:`~repro.engines.base.RunResult` into plain dict/CSV/JSON
+records — one per superstep — so runs can be logged, plotted, or diffed
+outside Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List
+
+from ..engines.base import RunResult
+
+FIELDS = [
+    "iteration", "active_edges", "compute_ms", "apply_ms", "sync_ms",
+    "total_ms", "skipped", "local_iterations", "changed_vertices",
+    "uploads", "cache_hits", "cache_misses",
+]
+
+
+def iteration_records(result: RunResult) -> List[Dict]:
+    """One plain dict per superstep, in order."""
+    records = []
+    for s in result.stats:
+        records.append({
+            "iteration": s.index,
+            "active_edges": s.active_edges,
+            "compute_ms": round(s.compute_ms, 6),
+            "apply_ms": round(s.apply_ms, 6),
+            "sync_ms": round(s.sync_ms, 6),
+            "total_ms": round(s.total_ms, 6),
+            "skipped": s.skipped,
+            "local_iterations": s.local_iterations,
+            "changed_vertices": s.changed_vertices,
+            "uploads": s.uploads,
+            "cache_hits": s.cache_hits,
+            "cache_misses": s.cache_misses,
+        })
+    return records
+
+
+def run_summary(result: RunResult) -> Dict:
+    """The run-level header record."""
+    return {
+        "engine": result.engine_name,
+        "algorithm": result.algorithm_name,
+        "iterations": result.iterations,
+        "computation_iterations": result.computation_iterations,
+        "skipped_iterations": result.skipped_iterations,
+        "converged": result.converged,
+        "total_ms": round(result.total_ms, 6),
+        "setup_ms": round(result.setup_ms, 6),
+        "middleware_ratio": round(result.middleware_ratio, 6),
+        "breakdown": {k: round(v, 6)
+                      for k, v in sorted(result.breakdown.items())},
+    }
+
+
+def write_csv(result: RunResult, path) -> None:
+    """Write the per-iteration records as CSV."""
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.DictWriter(f, fieldnames=FIELDS)
+        writer.writeheader()
+        for record in iteration_records(result):
+            writer.writerow(record)
+
+
+def write_json(result: RunResult, path) -> None:
+    """Write summary + per-iteration records as one JSON document."""
+    doc = {"summary": run_summary(result),
+           "iterations": iteration_records(result)}
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+
+
+def read_json(path) -> Dict:
+    """Load a document written by :func:`write_json`."""
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)

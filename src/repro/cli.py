@@ -1,0 +1,213 @@
+"""Command-line interface for the GX-Plug reproduction.
+
+Three subcommands::
+
+    repro-gxplug datasets                    # Table I inventory
+    repro-gxplug run --algorithm pagerank --dataset orkut \\
+                     --nodes 4 --gpus 1 --engine powergraph
+    repro-gxplug figure fig9a                # regenerate a paper figure
+
+Everything prints deterministic simulated-millisecond results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .algorithms import (
+    BFS,
+    ConnectedComponents,
+    KCore,
+    LabelPropagation,
+    MultiSourceSSSP,
+    PageRank,
+    WidestPath,
+)
+from .bench import print_table
+from .bench.trace import write_csv, write_json
+from .cluster import JVM_RUNTIME, NATIVE_RUNTIME, make_cluster
+from .core import GXPlug, MiddlewareConfig
+from .engines import AsyncEngine, GraphXEngine, PowerGraphEngine
+from .graph import dataset_names, load_dataset
+
+ALGORITHMS = {
+    "pagerank": lambda args: PageRank(),
+    "sssp-bf": lambda args: MultiSourceSSSP(
+        sources=tuple(args.sources)),
+    "lp": lambda args: LabelPropagation(),
+    "bfs": lambda args: BFS(source=args.sources[0]),
+    "cc": lambda args: ConnectedComponents(),
+    "kcore": lambda args: KCore(k=args.k),
+    "widest-path": lambda args: WidestPath(source=args.sources[0]),
+}
+
+ENGINES = {
+    "graphx": (GraphXEngine, JVM_RUNTIME),
+    "powergraph": (PowerGraphEngine, NATIVE_RUNTIME),
+    "async": (AsyncEngine, NATIVE_RUNTIME),
+}
+
+FIGURES = (
+    "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
+    "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gxplug",
+        description="GX-Plug (ICDE 2022) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table I dataset twins")
+
+    run = sub.add_parser("run", help="run one distributed graph job")
+    run.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                     default="pagerank")
+    run.add_argument("--dataset", choices=dataset_names(),
+                     default="orkut")
+    run.add_argument("--engine", choices=sorted(ENGINES),
+                     default="powergraph")
+    run.add_argument("--nodes", type=int, default=4)
+    run.add_argument("--gpus", type=int, default=1,
+                     help="GPUs per node (0 for none)")
+    run.add_argument("--cpus", type=int, default=0,
+                     help="CPU accelerators per node")
+    run.add_argument("--max-iterations", type=int, default=None)
+    run.add_argument("--sources", type=int, nargs="+",
+                     default=[0, 1, 2, 3],
+                     help="source vertices (sssp-bf/bfs/widest-path)")
+    run.add_argument("--k", type=int, default=3, help="k for kcore")
+    run.add_argument("--no-middleware", action="store_true",
+                     help="run on the bare engine (host compute)")
+    run.add_argument("--no-pipeline", action="store_true")
+    run.add_argument("--no-cache", action="store_true")
+    run.add_argument("--no-skip", action="store_true")
+    run.add_argument("--block-size", type=int, default=None)
+    run.add_argument("--trace-json", metavar="PATH", default=None,
+                     help="write per-iteration telemetry as JSON")
+    run.add_argument("--trace-csv", metavar="PATH", default=None,
+                     help="write per-iteration telemetry as CSV")
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("name", choices=FIGURES)
+    return parser
+
+
+def cmd_datasets() -> int:
+    from .bench import run_table1
+
+    print_table(
+        ["dataset", "paper |V|", "paper |E|", "type",
+         "twin |V|", "twin |E|", "twin deg"],
+        run_table1(), title="Table I datasets (paper vs twins)")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset)
+    engine_cls, runtime = ENGINES[args.engine]
+    algorithm = ALGORITHMS[args.algorithm](args)
+
+    if args.engine == "async" and args.no_middleware:
+        print("error: the async engine requires the middleware",
+              file=sys.stderr)
+        return 2
+    middleware = None
+    if not args.no_middleware:
+        if args.gpus == 0 and args.cpus == 0:
+            print("error: middleware needs accelerators "
+                  "(--gpus/--cpus) or use --no-middleware",
+                  file=sys.stderr)
+            return 2
+        cluster = make_cluster(args.nodes, gpus_per_node=args.gpus,
+                               cpu_accels_per_node=args.cpus,
+                               runtime=runtime)
+        no_cache = args.no_cache
+        config = MiddlewareConfig(
+            pipeline=not args.no_pipeline,
+            block_size=args.block_size,
+            sync_cache=not no_cache,
+            lazy_upload=not no_cache,
+            sync_skip=not (no_cache or args.no_skip),
+        )
+        middleware = GXPlug(cluster, config)
+    else:
+        cluster = make_cluster(args.nodes, runtime=runtime)
+
+    engine = engine_cls.build(graph, cluster, middleware=middleware)
+    result = engine.run(algorithm, max_iterations=args.max_iterations)
+
+    print(f"graph      : {graph}")
+    print(f"cluster    : {args.nodes} nodes x "
+          f"({args.gpus} GPU + {args.cpus} CPU accel)"
+          if middleware else f"cluster    : {args.nodes} nodes (host)")
+    print(f"result     : {result.summary()}")
+    print(f"converged  : {result.converged}")
+    rows = [(k, round(v, 2)) for k, v in sorted(result.breakdown.items())]
+    print_table(["component", "simulated ms"], rows, title="breakdown")
+    if middleware is not None:
+        print(f"middleware ratio: {result.middleware_ratio:.1%}")
+    if args.trace_json:
+        write_json(result, args.trace_json)
+        print(f"trace written: {args.trace_json}")
+    if args.trace_csv:
+        write_csv(result, args.trace_csv)
+        print(f"trace written: {args.trace_csv}")
+    return 0
+
+
+def cmd_figure(name: str) -> int:
+    from .bench import runner
+
+    headers = {
+        "table1": ["dataset", "paper |V|", "paper |E|", "type",
+                   "twin |V|", "twin |E|", "twin deg"],
+        "fig8": ["dataset", "engine", "algorithm", "variant", "sim ms",
+                 "speedup"],
+        "fig9a": ["system", "gpus", "sim ms"],
+        "fig9b": ["dataset", "system", "gpus", "sim ms"],
+        "fig9c": ["algorithm", "gpus", "sim ms"],
+        "fig9d": ["mix", "capacity", "sim ms"],
+        "fig10": ["algorithm", "variant", "sim ms"],
+        "fig11a": ["engine", "dataset", "cache", "total ms", "steady ms",
+                   "hit rate"],
+        "fig11b": ["dataset", "iters no-skip", "iters skip", "decrease"],
+        "fig12a": ["strategy", "sim ms"],
+        "fig12b": ["split", "variant", "gpus", "sim ms"],
+        "fig13": ["variant", "sim ms", "inits"],
+        "fig14": ["engine", "algorithm", "nodes", "ratio"],
+    }
+    if name == "fig15":
+        out = runner.run_fig15()
+        for alg, data in out.items():
+            rows = [(s, round(m, 1), round(dict(data["estimated"])[s], 1))
+                    for s, m in data["measured"]]
+            print_table(["s", "measured ms", "estimated ms"], rows,
+                        title=f"Fig. 15 — {alg} (estimated s_opt="
+                              f"{data['s_opt']})")
+        return 0
+    func = getattr(runner, f"run_{name}")
+    print_table(headers[name], func(), title=name)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return cmd_datasets()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "figure":
+        return cmd_figure(args.name)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Simulated distributed cluster: nodes, host runtimes, interconnect."""
+
+from .network import DEFAULT_NETWORK, NetworkModel
+from .node import JVM_RUNTIME, NATIVE_RUNTIME, DistributedNode, HostRuntime
+from .cluster import Cluster, make_cluster, make_heterogeneous_cluster
+
+__all__ = [
+    "NetworkModel",
+    "DEFAULT_NETWORK",
+    "HostRuntime",
+    "JVM_RUNTIME",
+    "NATIVE_RUNTIME",
+    "DistributedNode",
+    "Cluster",
+    "make_cluster",
+    "make_heterogeneous_cluster",
+]

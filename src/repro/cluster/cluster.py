@@ -1,0 +1,103 @@
+"""Cluster assembly helpers.
+
+A :class:`Cluster` is the set of distributed nodes an engine runs over,
+plus the interconnect model.  Factories build the configurations the
+paper evaluates: homogeneous GPU clusters (Fig. 9), heterogeneous
+CPU+GPU mixes (Fig. 9(d), Fig. 12(a)), and accelerator-less baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..accel import make_cpu_accelerator, make_gpu
+from ..errors import SimulationError
+from .network import DEFAULT_NETWORK, NetworkModel
+from .node import NATIVE_RUNTIME, DistributedNode, HostRuntime
+
+
+@dataclass
+class Cluster:
+    """A set of distributed nodes joined by a network."""
+
+    nodes: List[DistributedNode]
+    network: NetworkModel = field(default_factory=lambda: DEFAULT_NETWORK)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise SimulationError("a cluster needs at least one node")
+        ids = [n.node_id for n in self.nodes]
+        if ids != list(range(len(ids))):
+            raise SimulationError(
+                f"node ids must be 0..{len(ids) - 1} in order, got {ids}"
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def capacity_factors(self) -> List[float]:
+        """Per-node 1/c_j values (§III-C) for workload balancing."""
+        return [n.capacity_factor() for n in self.nodes]
+
+    def total_gpu_count(self) -> int:
+        return sum(
+            1 for n in self.nodes for a in n.accelerators
+            if a.model.threads >= 1024
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Cluster({self.num_nodes} nodes)"
+
+
+def make_cluster(num_nodes: int, *, gpus_per_node: int = 0,
+                 cpu_accels_per_node: int = 0,
+                 runtime: HostRuntime = NATIVE_RUNTIME,
+                 network: Optional[NetworkModel] = None) -> Cluster:
+    """Homogeneous cluster: every node gets the same accelerator set."""
+    if num_nodes < 1:
+        raise SimulationError(f"need >=1 nodes, got {num_nodes}")
+    if gpus_per_node < 0 or cpu_accels_per_node < 0:
+        raise SimulationError("accelerator counts must be >= 0")
+    nodes = []
+    device_id = 0
+    for node_id in range(num_nodes):
+        accels = []
+        for _ in range(gpus_per_node):
+            accels.append(make_gpu(device_id))
+            device_id += 1
+        for _ in range(cpu_accels_per_node):
+            accels.append(make_cpu_accelerator(device_id))
+            device_id += 1
+        nodes.append(DistributedNode(node_id, runtime, accels))
+    return Cluster(nodes, network if network is not None else DEFAULT_NETWORK)
+
+
+def make_heterogeneous_cluster(accel_specs: Sequence[Sequence[str]], *,
+                               runtime: HostRuntime = NATIVE_RUNTIME,
+                               network: Optional[NetworkModel] = None
+                               ) -> Cluster:
+    """Cluster from explicit per-node accelerator lists.
+
+    ``accel_specs[j]`` is a sequence of ``"gpu"`` / ``"cpu"`` strings, e.g.
+    the Fig. 12(a) setup is ``[["gpu", "cpu"], ["gpu", "gpu", "gpu", "cpu"]]``.
+    """
+    if not accel_specs:
+        raise SimulationError("need at least one node spec")
+    nodes = []
+    device_id = 0
+    for node_id, spec in enumerate(accel_specs):
+        accels = []
+        for kind in spec:
+            if kind == "gpu":
+                accels.append(make_gpu(device_id))
+            elif kind == "cpu":
+                accels.append(make_cpu_accelerator(device_id))
+            else:
+                raise SimulationError(
+                    f"unknown accelerator kind {kind!r} (want 'gpu'/'cpu')"
+                )
+            device_id += 1
+        nodes.append(DistributedNode(node_id, runtime, accels))
+    return Cluster(nodes, network if network is not None else DEFAULT_NETWORK)

@@ -1,0 +1,67 @@
+"""Inter-node network cost model.
+
+Global synchronization between iterations (§III-B) pays a network cost
+that grows with the number of distributed nodes — the effect behind the
+"downhill trend" of the middleware cost ratio in Fig. 14, where the
+distributed system side gradually dominates total time.
+
+The model is a standard alpha-beta one: a latency term that grows with the
+tree depth of the collective, a per-byte bandwidth term, and a small
+per-node coordination term (scheduler/barrier bookkeeping on the upper
+system's master).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta(-gamma) cost model for cluster collectives."""
+
+    latency_ms: float = 0.08           # one hop
+    ms_per_byte: float = 0.0000100     # bandwidth scaled with the data
+    coord_ms_per_node: float = 0.35    # barrier bookkeeping per participant
+
+    def __post_init__(self) -> None:
+        if min(self.latency_ms, self.ms_per_byte, self.coord_ms_per_node) < 0:
+            raise SimulationError("network cost parameters must be >= 0")
+
+    def transfer_ms(self, nbytes: int) -> float:
+        """Point-to-point transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes}")
+        return self.latency_ms + nbytes * self.ms_per_byte
+
+    def sync_ms(self, num_nodes: int, total_bytes: int) -> float:
+        """Global synchronization cost for one iteration barrier.
+
+        Tree-structured collective: ``ceil(log2)`` latency hops, the full
+        payload crossing the wire once, plus per-node coordination.
+        A single node still pays its own coordination (local barrier).
+        """
+        if num_nodes < 1:
+            raise SimulationError(f"need >=1 nodes, got {num_nodes}")
+        if total_bytes < 0:
+            raise SimulationError(f"negative sync payload {total_bytes}")
+        hops = math.ceil(math.log2(num_nodes)) if num_nodes > 1 else 0
+        return (self.latency_ms * hops
+                + total_bytes * self.ms_per_byte
+                + self.coord_ms_per_node * num_nodes)
+
+    def broadcast_ms(self, num_nodes: int, nbytes: int) -> float:
+        """Broadcast ``nbytes`` to every node (global query queue, §III-B2)."""
+        if num_nodes < 1:
+            raise SimulationError(f"need >=1 nodes, got {num_nodes}")
+        if nbytes < 0:
+            raise SimulationError(f"negative broadcast size {nbytes}")
+        hops = math.ceil(math.log2(num_nodes)) if num_nodes > 1 else 0
+        return self.latency_ms * hops + nbytes * self.ms_per_byte
+
+
+#: Default cluster interconnect (10GbE-ish, scaled).
+DEFAULT_NETWORK = NetworkModel()

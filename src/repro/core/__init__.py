@@ -1,0 +1,70 @@
+"""GX-Plug middleware core: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.middleware.GXPlug` — the middleware itself;
+* :class:`~repro.core.config.MiddlewareConfig` — optimization toggles;
+* :class:`~repro.core.template.AlgorithmTemplate` — the MSGGen/MSGMerge/
+  MSGApply programming template;
+* the optimization machinery: pipeline shuffle (§III-A), synchronization
+  caching & skipping (§III-B), workload balancing (§III-C).
+"""
+
+from .agent import Agent, EdgePassResult
+from .balance import (
+    accelerators_for_load,
+    balancing_factors,
+    cluster_coefficients,
+    makespan,
+    node_coefficient,
+    optimal_capacity_factors,
+    optimal_makespan,
+    optimal_partition_sizes,
+)
+from .blocks import AreaSet, BlockArea, TripletBlock, VertexEdgeMap, build_blocks
+from .config import BASELINE, FULL, MiddlewareConfig
+from .daemon import Daemon
+from .middleware import GXPlug
+from .pipeline import (
+    PAPER_FIG15_COEFFICIENTS,
+    PipelineCoefficients,
+    coefficients_for,
+    pipeline_makespan_from_stage_times,
+)
+from .sync_cache import GlobalQueues, LRUVertexCache
+from .sync_skip import SkipDetector, SkipStats
+from .template import AlgorithmState, AlgorithmTemplate, MessageSet
+
+__all__ = [
+    "GXPlug",
+    "MiddlewareConfig",
+    "FULL",
+    "BASELINE",
+    "Agent",
+    "Daemon",
+    "EdgePassResult",
+    "AlgorithmTemplate",
+    "AlgorithmState",
+    "MessageSet",
+    "TripletBlock",
+    "BlockArea",
+    "AreaSet",
+    "VertexEdgeMap",
+    "build_blocks",
+    "PipelineCoefficients",
+    "PAPER_FIG15_COEFFICIENTS",
+    "coefficients_for",
+    "pipeline_makespan_from_stage_times",
+    "LRUVertexCache",
+    "GlobalQueues",
+    "SkipDetector",
+    "SkipStats",
+    "optimal_partition_sizes",
+    "optimal_makespan",
+    "optimal_capacity_factors",
+    "balancing_factors",
+    "accelerators_for_load",
+    "makespan",
+    "node_coefficient",
+    "cluster_coefficients",
+]

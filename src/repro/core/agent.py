@@ -1,0 +1,623 @@
+"""The agent: the upper system's bridge to its daemons (§II-A2, Alg. 2).
+
+An agent lives in a distributed node.  It owns the node's vertex/edge
+tables, builds triplet blocks through the vertex-edge mapping table, runs
+the pipeline-shuffle protocol against each attached daemon (Algorithm 2),
+and carries the synchronization cache.  Its operation interfaces are the
+paper's: ``connect`` / ``update`` / ``request_gen`` / ``request_merge`` /
+``request_apply`` / ``disconnect``.
+
+Timing: every data movement and kernel charges simulated milliseconds;
+an :class:`EdgePassResult` reports both the pipeline makespan (what the
+iteration costs) and the per-category busy times (what Fig. 14's
+middleware-cost-ratio accounting consumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.node import DistributedNode
+from ..errors import DeviceFailure, MiddlewareError, ProtocolError
+from ..ipc import Join, Recv, Scheduler, Send, Sleep, Spawn
+from ..ipc.shm import ShmRegistry
+from .blocks import TripletBlock, build_blocks
+from .config import MiddlewareConfig
+from .daemon import (
+    CAT_COMPUTE,
+    CAT_DOWNLOAD,
+    CAT_INIT,
+    CAT_UPLOAD,
+    Daemon,
+    MSG_COMPUTE_ALL_FINISHED,
+    MSG_COMPUTE_FINISHED,
+    MSG_EXCHANGE_FINISHED,
+    MSG_ROTATE_FINISHED,
+)
+from .pipeline import PipelineCoefficients
+from .sync_cache import LRUVertexCache
+from .template import AlgorithmTemplate, MessageSet
+
+#: Reading a cached vertex from the agent's local table instead of
+#: downloading it from the upper system costs this fraction of k1/k3.
+LOCAL_ACCESS_FACTOR = 0.05
+
+#: A pass survives at most this many injected device faults before the
+#: failure propagates to the caller.
+MAX_RECOVERY_ATTEMPTS = 3
+
+#: The two data-transfer steps the shared-memory design eliminates
+#: (agent->daemon and daemon->agent copies of the 5-step flow, §III-A1),
+#: as a fraction of the download/upload per-entity costs.
+NAIVE_COPY_FACTOR = 0.35
+
+
+@dataclass
+class EdgePassResult:
+    """Outcome of one node's (pipelined) edge computation pass."""
+
+    partial: MessageSet
+    elapsed_ms: float
+    entities: int
+    blocks: int
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class Agent:
+    """One distributed node's agent, attached to its daemons."""
+
+    _next_daemon_id = 0
+
+    def __init__(self, node: DistributedNode, registry: ShmRegistry,
+                 config: MiddlewareConfig) -> None:
+        if not node.accelerators:
+            raise MiddlewareError(
+                f"node {node.node_id} has no accelerators to plug"
+            )
+        self.node = node
+        self.config = config
+        self.registry = registry
+        self.daemons: List[Daemon] = []
+        for accel in node.accelerators:
+            daemon = Daemon(Agent._next_daemon_id, accel, registry, config)
+            Agent._next_daemon_id += 1
+            self.daemons.append(daemon)
+        self.cache: Optional[LRUVertexCache] = None
+        self._cached_mask: Optional[np.ndarray] = None  # fast membership
+        #: fraction of a pass's triplets requiring a fresh vertex fetch
+        #: (cold caches ~ unique-vertex fraction, warm caches ~ 0)
+        self._last_fetch_ratio = 1.0
+        self.connected = False
+        # lifetime instrumentation
+        self.total_middleware_ms = 0.0
+        self.total_entities = 0
+        self.recoveries = 0
+
+    # -- operation interfaces (§IV-A2) --------------------------------------------
+
+    def connect(self) -> float:
+        """Bring up daemons; under runtime isolation devices init here once.
+
+        Returns the simulated setup cost.
+        """
+        if self.connected:
+            raise ProtocolError(f"agent {self.node.node_id}: already connected")
+        self.connected = True
+        cost = 0.0
+        if self.config.runtime_isolation:
+            for daemon in self.daemons:
+                cost += daemon.init_cost_ms()
+        if self.config.sync_cache:
+            capacity = self.config.cache_capacity or 1_000_000
+            self.cache = LRUVertexCache(capacity)
+            self._cached_mask = None
+        self.total_middleware_ms += cost
+        return cost
+
+    def disconnect(self) -> None:
+        """Tear the daemons down (devices released)."""
+        self._require_connected()
+        for daemon in self.daemons:
+            daemon.accelerator.shutdown()
+        self.connected = False
+
+    def update(self, vertex_ids: np.ndarray, values: np.ndarray,
+               algorithm: AlgorithmTemplate,
+               direction: str = "download") -> float:
+        """Bulk data synchronization with the upper system (§IV-A2).
+
+        The paper's per-iteration call sequence is ``connect() ->
+        update() -> {requestX()} -> update() -> disconnect()``: the first
+        ``update`` pulls vertex data down into the agent's tables, the
+        second pushes results back.  Returns the simulated cost; with the
+        cache enabled a download also warms it.
+        """
+        self._require_connected()
+        if direction not in ("download", "upload"):
+            raise ProtocolError(
+                f"update direction must be download/upload, got "
+                f"{direction!r}"
+            )
+        ids = np.asarray(vertex_ids, dtype=np.int64).ravel()
+        runtime = self.node.runtime
+        if direction == "download":
+            cost = runtime.download_ms_per_entity * ids.size
+            if self.cache is not None and ids.size:
+                self._ensure_mask(values.shape[0])
+                rows = algorithm.gather_values(values, ids)
+                for v, row in zip(ids, rows):
+                    evicted = self.cache.insert(int(v), row)
+                    self._cached_mask[int(v)] = True
+                    if evicted is not None:
+                        self._cached_mask[evicted] = False
+        else:
+            cost = runtime.upload_ms_per_entity * ids.size
+            if self.cache is not None:
+                self.cache.take_dirty(ids)
+        self.total_middleware_ms += cost
+        return cost
+
+    def transfer(self, daemon_index: int, region: str, data,
+                 nbytes: int = 0) -> None:
+        """Place data in a daemon's shared-memory segment (§IV-A2).
+
+        Zero-copy by construction: the object itself is shared through
+        the simulated System V segment, so the daemon observes it
+        immediately (§II-B).
+        """
+        self._require_connected()
+        if not 0 <= daemon_index < len(self.daemons):
+            raise ProtocolError(
+                f"agent {self.node.node_id}: no daemon #{daemon_index}"
+            )
+        self.daemons[daemon_index].segment.put(region, data, nbytes=nbytes)
+
+    def request_gen(self, src_ids: np.ndarray, dst_ids: np.ndarray,
+                    weights: np.ndarray, values: np.ndarray,
+                    algorithm: AlgorithmTemplate) -> EdgePassResult:
+        """MSGGen over the node's active triplets (pipelined edge pass).
+
+        Block-local MSGMerge runs fused with generation on the daemons —
+        "MSGMerge delivers the initial messages to corresponding graph
+        partitions", which here means the per-block partials the upload
+        thread hands back.
+        """
+        return self.edge_pass(src_ids, dst_ids, weights, values, algorithm)
+
+    def request_merge(self, partials: List[MessageSet],
+                      algorithm: AlgorithmTemplate
+                      ) -> Tuple[MessageSet, float]:
+        """MSGMerge across partials (block/daemon-level combine)."""
+        self._require_connected()
+        merged = algorithm.empty_messages()
+        for p in partials:
+            merged = algorithm.combine(merged, p)
+        cost = self.node.runtime.apply_ms_per_entity * merged.size
+        self.total_middleware_ms += cost
+        return merged, cost
+
+    def request_apply(self, values: np.ndarray, merged: MessageSet,
+                      algorithm: AlgorithmTemplate
+                      ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """MSGApply for this node's masters on the fastest daemon.
+
+        Returns ``(new_values, changed_ids, simulated_ms)``; the cost
+        covers staging the messages in, the device call, and uploading
+        the changed values back.
+        """
+        self._require_connected()
+        daemon = self._fastest_daemon()
+        runtime = self.node.runtime
+        cost = 0.0
+        attempts = 0
+        while True:
+            cost += daemon.init_cost_ms()
+            try:
+                new_values, changed, device_ms = daemon.apply_messages(
+                    algorithm, values, merged)
+                break
+            except DeviceFailure:
+                attempts += 1
+                self.recoveries += 1
+                if attempts > MAX_RECOVERY_ATTEMPTS:
+                    raise
+        cost += device_ms
+        cost += runtime.download_ms_per_entity * merged.size
+        cost += runtime.upload_ms_per_entity * changed.size
+        daemon.release_after_request()
+        self.total_middleware_ms += cost
+        return new_values, changed, cost
+
+    def note_master_updates(self, values: np.ndarray, changed: np.ndarray,
+                            algorithm: AlgorithmTemplate) -> None:
+        """Refresh cached rows for this node's updated master vertices.
+
+        Called by the engine after it has restricted an apply result to
+        the node's own masters; the rows are held dirty for lazy upload.
+        """
+        if self.cache is None or changed.size == 0:
+            return
+        self._ensure_mask(values.shape[0])
+        rows = algorithm.gather_values(values, changed)
+        for v, row in zip(changed, rows):
+            evicted = self.cache.update(int(v), row, dirty=True)
+            self._cached_mask[int(v)] = True
+            if evicted is not None:
+                self._cached_mask[evicted] = False
+
+    def request_scatter(self, affected_edges: int) -> float:
+        """GAS scatter pass: activate neighbours of changed vertices.
+
+        Scatter is a pure cost pass (no data result), so a device fault
+        simply costs one more initialization.
+        """
+        self._require_connected()
+        daemon = self._fastest_daemon()
+        cost = daemon.init_cost_ms() + daemon.scatter_cost_ms(affected_edges)
+        daemon.release_after_request()
+        self.total_middleware_ms += cost
+        return cost
+
+    # -- the pipelined edge pass (§III-A) ------------------------------------------------
+
+    def edge_pass(self, src_ids: np.ndarray, dst_ids: np.ndarray,
+                  weights: np.ndarray, values: np.ndarray,
+                  algorithm: AlgorithmTemplate) -> EdgePassResult:
+        """Process the iteration's triplets through the daemons.
+
+        With ``config.pipeline`` the 3-stage pipeline shuffle runs per
+        daemon (Algorithms 1-2 on the simulated scheduler); otherwise the
+        naive 5-step sequential flow is timed.  Work is split across
+        daemons proportionally to their capacity factors.
+        """
+        self._require_connected()
+        d = int(src_ids.size)
+        if d == 0:
+            return EdgePassResult(algorithm.empty_messages(), 0.0, 0, 0)
+
+        if self.cache is not None:
+            self.cache.tick()
+            self._ensure_mask(values.shape[0])
+        src_rows = algorithm.gather_values(values, src_ids)
+
+        # Failure recovery (§II-A's transparent hardware management): a
+        # device fault aborts the pass; the agent resets the protocol,
+        # re-initializes the daemons, and re-runs.  Work fetched before
+        # the fault stays cached, so the retry is cheaper.
+        lost_ms = 0.0
+        attempts = 0
+        while True:
+            try:
+                (partial, elapsed, total_blocks, breakdown,
+                 hits_misses) = self._attempt_pass(
+                    src_ids, dst_ids, weights, src_rows, algorithm)
+                break
+            except DeviceFailure as failure:
+                attempts += 1
+                self.recoveries += 1
+                lost_ms += getattr(failure, "elapsed_ms", 0.0)
+                if attempts > MAX_RECOVERY_ATTEMPTS:
+                    raise
+                for daemon in self.daemons:
+                    daemon.reset_protocol()
+                    daemon.accelerator.shutdown()
+        elapsed += lost_ms
+        if lost_ms:
+            breakdown[CAT_INIT] = breakdown.get(CAT_INIT, 0.0) + lost_ms
+
+        if self.config.validate:
+            self._validate_partial(src_ids, dst_ids, weights, values,
+                                   algorithm, partial)
+
+        result = EdgePassResult(
+            partial=partial,
+            elapsed_ms=elapsed,
+            entities=d,
+            blocks=total_blocks,
+            breakdown=breakdown,
+            cache_hits=hits_misses[0],
+            cache_misses=hits_misses[1],
+        )
+        self.total_middleware_ms += elapsed
+        self.total_entities += d
+        if d:
+            self._last_fetch_ratio = result.cache_misses / d
+        return result
+
+    def _attempt_pass(self, src_ids: np.ndarray, dst_ids: np.ndarray,
+                      weights: np.ndarray, src_rows: np.ndarray,
+                      algorithm: AlgorithmTemplate):
+        """One attempt at the (pipelined) pass; raises DeviceFailure with
+        the simulated time burned so far attached on a device fault."""
+        d = int(src_ids.size)
+        shares = self._daemon_shares()
+        bounds = np.floor(np.cumsum(shares) * d).astype(np.int64)
+        bounds[-1] = d
+        sched = Scheduler()
+        collectors: List[List[MessageSet]] = []
+        hits_misses = [0, 0]
+        lo = 0
+        total_blocks = 0
+        init_ms = 0.0
+        for daemon, hi in zip(self.daemons, bounds):
+            hi = int(hi)
+            if hi <= lo:
+                collectors.append([])
+                continue
+            init_ms = max(init_ms, daemon.init_cost_ms())
+            blocks = self._build_blocks(
+                daemon, algorithm,
+                src_ids[lo:hi], dst_ids[lo:hi], weights[lo:hi],
+                src_rows[lo:hi], hits_misses)
+            total_blocks += len(blocks)
+            collector: List[MessageSet] = []
+            collectors.append(collector)
+            if self.config.pipeline:
+                sched.spawn(daemon.iteration_process(algorithm),
+                            name=f"daemon{daemon.daemon_id}", daemon=True)
+                sched.spawn(
+                    self._pipeline_process(daemon, algorithm, blocks,
+                                           collector),
+                    name=f"agent{self.node.node_id}->d{daemon.daemon_id}")
+            else:
+                sched.spawn(
+                    self._sequential_process(daemon, algorithm, blocks,
+                                             collector),
+                    name=f"agent{self.node.node_id}-seq")
+            lo = hi
+        if init_ms:
+            # devices (re-)initialize before the pass; concurrent daemons
+            # overlap, so charge the slowest.
+            sched.time_by_category[CAT_INIT] = (
+                sched.time_by_category.get(CAT_INIT, 0.0) + init_ms)
+        try:
+            elapsed = sched.run() + init_ms
+        except DeviceFailure as failure:
+            failure.elapsed_ms = sched.clock.now + init_ms
+            raise
+
+        partial = algorithm.empty_messages()
+        for collector in collectors:
+            for block_partial in collector:
+                partial = algorithm.combine(partial, block_partial)
+        for daemon in self.daemons:
+            daemon.release_after_request()
+
+        breakdown = dict(sched.time_by_category)
+        return partial, elapsed, total_blocks, breakdown, hits_misses
+
+    # -- internals -----------------------------------------------------------------
+
+    def _validate_partial(self, src_ids, dst_ids, weights, values,
+                          algorithm: AlgorithmTemplate,
+                          partial: MessageSet) -> None:
+        """Debug-mode invariant (``MiddlewareConfig.validate``): the
+        blocked, pipelined, multi-daemon pass must equal a monolithic
+        gen+merge over the same triplets.  Costs real wall time; tests
+        and debugging only."""
+        msgs = algorithm.msg_gen(src_ids, dst_ids, weights, values)
+        expected = algorithm.msg_merge(dst_ids, msgs)
+
+        def canonical(ms: MessageSet):
+            return sorted(
+                (int(i),) + tuple(np.round(np.atleast_1d(row), 9))
+                for i, row in zip(ms.ids, np.atleast_2d(ms.data)))
+
+        if canonical(partial) != canonical(expected):
+            raise MiddlewareError(
+                f"agent {self.node.node_id}: pipelined partial diverges "
+                f"from the monolithic result ({partial.size} vs "
+                f"{expected.size} entries)"
+            )
+
+    def _require_connected(self) -> None:
+        if not self.connected:
+            raise ProtocolError(
+                f"agent {self.node.node_id}: call connect() first"
+            )
+
+    def _fastest_daemon(self) -> Daemon:
+        return min(self.daemons,
+                   key=lambda d: d.accelerator.model.per_entity_ms)
+
+    def _daemon_shares(self) -> np.ndarray:
+        caps = np.array([d.accelerator.model.capacity_factor()
+                         for d in self.daemons])
+        return caps / caps.sum()
+
+    def coefficients_for(self, daemon: Daemon) -> PipelineCoefficients:
+        """Effective Eq. 2 coefficients of this agent-daemon pair.
+
+        The download slope adapts to the observed cache hit rate (a hit
+        costs ``LOCAL_ACCESS_FACTOR * k1``) and the upload slope to lazy
+        uploading, so the Lemma-1 block-size choice reflects what the
+        stages will actually cost — the paper's "self-adaptive to the
+        workloads" behaviour.  Without caching this is the raw model.
+        """
+        runtime = self.node.runtime
+        k1 = runtime.download_ms_per_entity
+        k3 = runtime.upload_ms_per_entity
+        k1 = k1 * self._last_fetch_ratio + LOCAL_ACCESS_FACTOR * k1
+        if self.cache is not None and self.config.lazy_upload:
+            k3 *= LOCAL_ACCESS_FACTOR
+        return PipelineCoefficients(
+            k1=k1,
+            k2=daemon.accelerator.model.per_entity_ms,
+            k3=k3,
+            a=daemon.accelerator.model.call_ms,
+        )
+
+    def _block_size_for(self, daemon: Daemon, d: int) -> int:
+        if self.config.block_size is not None:
+            return self.config.block_size
+        return self.coefficients_for(daemon).choose_block_size(d)
+
+    def _ensure_mask(self, num_vertices: int) -> None:
+        if self._cached_mask is None or self._cached_mask.size < num_vertices:
+            mask = np.zeros(num_vertices, dtype=bool)
+            if self._cached_mask is not None:
+                mask[: self._cached_mask.size] = self._cached_mask
+            self._cached_mask = mask
+
+    def _build_blocks(self, daemon: Daemon, algorithm: AlgorithmTemplate,
+                      src_ids: np.ndarray, dst_ids: np.ndarray,
+                      weights: np.ndarray, src_rows: np.ndarray,
+                      hits_misses: List[int]) -> List[TripletBlock]:
+        """Slice triplets into blocks, tagging cache-miss fetch volumes."""
+        block_size = self._block_size_for(daemon, int(src_ids.size))
+        blocks = list(build_blocks(src_ids, dst_ids, weights, src_rows,
+                                   block_size))
+        if self.cache is None:
+            # no cache: each block still builds its paired vertex block,
+            # fetching each distinct source vertex once per block (§II-B)
+            for block in blocks:
+                uniques = int(np.unique(block.src_ids).size)
+                block.fetched_entities = uniques
+                hits_misses[1] += uniques
+            return blocks
+        for block in blocks:
+            in_cache = self._cached_mask[block.src_ids]
+            self.cache.touch(np.unique(block.src_ids[in_cache]))
+            miss_ids, first_idx = np.unique(block.src_ids[~in_cache],
+                                            return_index=True)
+            block.fetched_entities = int(miss_ids.size)
+            hits_misses[0] += int(in_cache.sum())
+            hits_misses[1] += int(miss_ids.size)
+            miss_rows = block.src_values[~in_cache][first_idx]
+            for v, row in zip(miss_ids, miss_rows):
+                evicted = self.cache.insert(int(v), row)
+                self._cached_mask[int(v)] = True
+                if evicted is not None:
+                    self._cached_mask[evicted] = False
+        return blocks
+
+    def refresh_cache(self, vertex_ids: np.ndarray, values: np.ndarray,
+                      algorithm: AlgorithmTemplate) -> None:
+        """Refresh cached rows with values delivered at synchronization.
+
+        Algorithm 3's last step (``s.Update(Fetch(gdq, s_q))``): the
+        global data queue hands each agent the queried vertices' new
+        values, so they are warm in the cache for the next iteration —
+        no re-download needed.  Only already-cached vertices refresh.
+        """
+        if self.cache is None or self._cached_mask is None:
+            return
+        ids = np.asarray(vertex_ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            return
+        ids = ids[ids < self._cached_mask.size]
+        ids = ids[self._cached_mask[ids]]
+        if ids.size == 0:
+            return
+        rows = algorithm.gather_values(values, ids)
+        for v, row in zip(ids, rows):
+            self.cache.update(int(v), row, dirty=False)
+
+    def invalidate_cache(self, vertex_ids: np.ndarray) -> None:
+        """Drop cache entries made stale by foreign updates."""
+        if self.cache is None or self._cached_mask is None:
+            return
+        for v in np.asarray(vertex_ids).ravel():
+            v = int(v)
+            if v < self._cached_mask.size and self._cached_mask[v]:
+                self._cached_mask[v] = False
+                self.cache.invalidate(v)
+
+    def _download_ms(self, block: TripletBlock) -> float:
+        """Download stage cost: one fetch per distinct missing source
+        vertex (the paper's vertex block) plus a cheap local join per
+        triplet."""
+        k1 = self.node.runtime.download_ms_per_entity
+        return (k1 * block.fetched_entities
+                + k1 * LOCAL_ACCESS_FACTOR * block.num_entities)
+
+    def _upload_ms(self, result: MessageSet) -> float:
+        k3 = self.node.runtime.upload_ms_per_entity
+        if self.cache is not None and self.config.lazy_upload:
+            # results land in the agent cache; the real upload happens
+            # lazily at synchronization time for queried vertices only.
+            return k3 * LOCAL_ACCESS_FACTOR * result.size
+        return k3 * result.size
+
+    # -- Algorithm 2 (agent side of the pipeline) ------------------------------------------
+
+    def _pipeline_process(self, daemon: Daemon,
+                          algorithm: AlgorithmTemplate,
+                          blocks: List[TripletBlock],
+                          collector: List[MessageSet]) -> Generator:
+        areas = daemon.areas
+        block_iter = iter(blocks)
+        first = next(block_iter, None)
+        if first is None:
+            return
+        yield Sleep(self._download_ms(first), CAT_DOWNLOAD)
+        areas.n.block = first
+        yield Send(daemon.to_daemon, MSG_EXCHANGE_FINISHED)
+        upload_h = download_h = None
+        while True:
+            msg = yield Recv(daemon.to_agent)
+            if msg == MSG_ROTATE_FINISHED:
+                upload_h = yield Spawn(
+                    self._upload_thread(areas, algorithm, collector),
+                    name="Thread.Upload", daemon=False)
+                download_h = yield Spawn(
+                    self._download_thread(areas, block_iter),
+                    name="Thread.Download", daemon=False)
+            elif msg == MSG_COMPUTE_FINISHED:
+                yield Join(upload_h)
+                yield Join(download_h)
+                yield Send(daemon.to_daemon, MSG_EXCHANGE_FINISHED)
+            elif msg == MSG_COMPUTE_ALL_FINISHED:
+                yield Join(upload_h)
+                yield Join(download_h)
+                return
+            else:
+                raise ProtocolError(
+                    f"agent {self.node.node_id}: unexpected message {msg!r}"
+                )
+
+    def _upload_thread(self, areas, algorithm: AlgorithmTemplate,
+                       collector: List[MessageSet]) -> Generator:
+        area = areas.u
+        result = area.result
+        if result is None:
+            return
+        yield Sleep(self._upload_ms(result), CAT_UPLOAD)
+        collector.append(result)
+        area.clear()
+
+    def _download_thread(self, areas, block_iter: Iterator[TripletBlock]
+                         ) -> Generator:
+        block = next(block_iter, None)
+        if block is None:
+            return
+        yield Sleep(self._download_ms(block), CAT_DOWNLOAD)
+        areas.n.block = block
+
+    # -- the 5-step sequential flow (pipeline disabled) -----------------------------------------
+
+    def _sequential_process(self, daemon: Daemon,
+                            algorithm: AlgorithmTemplate,
+                            blocks: List[TripletBlock],
+                            collector: List[MessageSet]) -> Generator:
+        """Download -> copy in -> compute -> copy out -> upload, per block.
+
+        The two extra copies are the agent<->daemon transfers the shared
+        memory design eliminates (§III-A2); nothing overlaps.
+        """
+        runtime = self.node.runtime
+        copy_in = runtime.download_ms_per_entity * NAIVE_COPY_FACTOR
+        copy_out = runtime.upload_ms_per_entity * NAIVE_COPY_FACTOR
+        for block in blocks:
+            yield Sleep(self._download_ms(block), CAT_DOWNLOAD)
+            yield Sleep(copy_in * block.num_entities, CAT_DOWNLOAD)
+            result, duration = daemon.compute_block(algorithm, block)
+            yield Sleep(duration, CAT_COMPUTE)
+            yield Sleep(copy_out * result.size, CAT_UPLOAD)
+            yield Sleep(self._upload_ms(result), CAT_UPLOAD)
+            collector.append(result)

@@ -1,0 +1,136 @@
+"""Workload balancing: estimation model and Lemmas 2-3 (§III-C).
+
+The middleware models a node's iteration time as ``T_j = c_j d_j +
+s T_call`` where ``c_j`` is the per-entity processing coefficient and
+``1/c_j`` the *computation capacity factor*.  Two tuning cases:
+
+* **Case 1 — tune partition sizes** for fixed capacities (Lemma 2):
+  ``d_j* = (1/c_j) / Σ(1/c) · D`` equalizes ``c_j d_j`` across nodes.
+* **Case 2 — tune capacities** for fixed partitions (Lemma 3): given the
+  per-node maximum available capacity factor ``f``, set
+  ``1/c_j = f d_j / d*`` where ``d* = max d_j``.
+
+Both optima are verified against brute-force minimization in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import math
+
+import numpy as np
+
+from ..errors import MiddlewareError
+from ..cluster.node import DistributedNode, HostRuntime
+
+
+def makespan(sizes: Sequence[float], coefficients: Sequence[float]) -> float:
+    """The balancing objective G = max_j c_j d_j (Eq. 5)."""
+    sizes = np.asarray(sizes, dtype=np.float64)
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    if sizes.shape != coeffs.shape:
+        raise MiddlewareError(
+            f"{sizes.size} sizes vs {coeffs.size} coefficients"
+        )
+    if sizes.size == 0:
+        raise MiddlewareError("need at least one node")
+    return float(np.max(coeffs * sizes))
+
+
+def optimal_partition_sizes(total: float,
+                            coefficients: Sequence[float]) -> np.ndarray:
+    """Lemma 2: d_j proportional to capacity factors 1/c_j.
+
+    Returns real-valued sizes summing to ``total``; the caller rounds them
+    into partition ``shares``.
+    """
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    if coeffs.size == 0:
+        raise MiddlewareError("need at least one node")
+    if (coeffs <= 0).any():
+        raise MiddlewareError("coefficients must be positive")
+    if total < 0:
+        raise MiddlewareError(f"negative total workload {total}")
+    inv = 1.0 / coeffs
+    return inv / inv.sum() * total
+
+
+def optimal_makespan(total: float,
+                     coefficients: Sequence[float]) -> float:
+    """Lemma 2's optimum value: D / Σ(1/c_j)."""
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    if (coeffs <= 0).any():
+        raise MiddlewareError("coefficients must be positive")
+    return float(total / (1.0 / coeffs).sum())
+
+
+def balancing_factors(coefficients: Sequence[float]) -> np.ndarray:
+    """The paper's balancing factors (1/c_j) / Σ(1/c_j) — usable directly
+    as partitioner ``shares``."""
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    if (coeffs <= 0).any():
+        raise MiddlewareError("coefficients must be positive")
+    inv = 1.0 / coeffs
+    return inv / inv.sum()
+
+
+def optimal_capacity_factors(sizes: Sequence[float],
+                             max_factor: float) -> np.ndarray:
+    """Lemma 3: 1/c_j = f · d_j / d* for fixed partition sizes.
+
+    ``max_factor`` is the largest capacity factor a node may be given
+    (e.g. the full GPU pool of the cloud).  The returned factors give
+    every node the same finish time d*/f while using the least capacity.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    if sizes.size == 0:
+        raise MiddlewareError("need at least one node")
+    if (sizes < 0).any():
+        raise MiddlewareError("sizes must be non-negative")
+    if max_factor <= 0:
+        raise MiddlewareError(f"max capacity factor must be > 0")
+    d_star = sizes.max()
+    if d_star == 0:
+        return np.zeros_like(sizes)
+    return max_factor * sizes / d_star
+
+
+def accelerators_for_load(sizes: Sequence[float], max_factor: float,
+                          unit_factor: float) -> List[int]:
+    """Case-2 deployment helper: GPUs per node for balanced finish times.
+
+    Rounds Lemma 3's ideal capacity factors up to whole accelerators of
+    capacity ``unit_factor`` (e.g. one V100), as the middleware does when
+    it "dynamically allocate[s] idle accelerators to generate more daemons
+    for the node demanding computation powers".
+    """
+    if unit_factor <= 0:
+        raise MiddlewareError("unit capacity factor must be > 0")
+    ideal = optimal_capacity_factors(sizes, max_factor)
+    return [max(1, int(math.ceil(f / unit_factor - 1e-9))) if f > 0 else 0
+            for f in ideal]
+
+
+def node_coefficient(runtime: HostRuntime,
+                     accelerators: Sequence) -> float:
+    """Estimate a node's c_j (ms per entity) from its device models.
+
+    Per §III-C, T_total^j = (T_n + T_c + T_u) so the coefficient is the
+    sum of the per-entity download, compute and upload slopes.  With
+    several daemons on one agent the compute slope shrinks by their summed
+    capacity.
+    """
+    k1 = runtime.download_ms_per_entity
+    k3 = runtime.upload_ms_per_entity
+    if accelerators:
+        capacity = sum(a.model.capacity_factor() for a in accelerators)
+        k2 = 1.0 / capacity
+    else:
+        k2 = runtime.compute.per_entity_ms
+    return k1 + k2 + k3
+
+
+def cluster_coefficients(nodes: Sequence[DistributedNode]) -> List[float]:
+    """Per-node c_j estimates for a cluster (inputs to Lemma 2)."""
+    return [node_coefficient(n.runtime, n.accelerators) for n in nodes]

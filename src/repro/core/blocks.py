@@ -1,0 +1,183 @@
+"""Triplet blocks and the pipeline-shuffle buffer areas (§II-B, §III-A).
+
+The middleware's unit of work is the **edge triplet** — "an edge and its
+source and destination vertices" — grouped into fixed-size blocks.  The
+pipeline keeps three equal memory areas (*n*, *c*, *u* — new, computing,
+uploading) and rotates *pointers* between them instead of copying data;
+:class:`AreaSet` implements that rotation and the tests verify no copy
+ever happens (object identity is preserved across rotations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..errors import MiddlewareError
+from .template import MessageSet
+
+
+@dataclass
+class TripletBlock:
+    """A fixed-size batch of edge triplets, ready for a daemon.
+
+    ``src_values`` carries the source-vertex attributes joined in by the
+    agent (the "vertex block" paired with the edge block); destination
+    attributes are only needed at apply time and travel with the merged
+    messages instead.
+    """
+
+    index: int                   # position within the iteration's blocks
+    src_ids: np.ndarray
+    dst_ids: np.ndarray
+    weights: np.ndarray
+    src_values: np.ndarray       # rows aligned with src_ids
+    fetched_entities: int = 0    # unique src vertices fetched (cache misses)
+
+    @property
+    def num_entities(self) -> int:
+        return int(self.src_ids.size)
+
+    def __post_init__(self) -> None:
+        n = self.src_ids.size
+        if self.dst_ids.size != n or self.weights.size != n:
+            raise MiddlewareError(
+                f"block {self.index}: ragged triplet arrays "
+                f"({n}, {self.dst_ids.size}, {self.weights.size})"
+            )
+        if self.src_values.shape[0] != n:
+            raise MiddlewareError(
+                f"block {self.index}: {self.src_values.shape[0]} value rows "
+                f"for {n} triplets"
+            )
+
+
+class BlockArea:
+    """One of the three pipeline memory chunks (n-, c-, or u-block slot).
+
+    Lives in the daemon's shared-memory segment; holds at most one
+    :class:`TripletBlock` going *in* and one :class:`MessageSet` result
+    coming *out*.
+    """
+
+    __slots__ = ("label", "block", "result")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.block: Optional[TripletBlock] = None
+        self.result: Optional[MessageSet] = None
+
+    @property
+    def empty(self) -> bool:
+        return self.block is None and self.result is None
+
+    def clear(self) -> None:
+        self.block = None
+        self.result = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "empty" if self.empty else (
+            f"block#{self.block.index}" if self.block is not None
+            else "result")
+        return f"BlockArea({self.label!r}, {state})"
+
+
+class AreaSet:
+    """The rotating n/c/u pointer triple of the pipeline shuffle.
+
+    ``rotate()`` performs the paper's pointer rotation n → c → u → n:
+    the freshly downloaded block becomes the computing block, the computed
+    block becomes the uploading block, and the drained uploading area is
+    recycled for the next download.  No data moves.
+    """
+
+    def __init__(self) -> None:
+        self._areas = [BlockArea("area0"), BlockArea("area1"),
+                       BlockArea("area2")]
+        # role indices into _areas
+        self._n, self._c, self._u = 0, 1, 2
+        self.rotations = 0
+
+    @property
+    def n(self) -> BlockArea:
+        """Area receiving new data from the upper system."""
+        return self._areas[self._n]
+
+    @property
+    def c(self) -> BlockArea:
+        """Area the daemon is computing on."""
+        return self._areas[self._c]
+
+    @property
+    def u(self) -> BlockArea:
+        """Area being uploaded back to the upper system."""
+        return self._areas[self._u]
+
+    def rotate(self) -> None:
+        """Pointer rotation n → c → u → n (in-situ, no copies)."""
+        self._n, self._c, self._u = self._u, self._n, self._c
+        self.rotations += 1
+
+    def areas(self) -> List[BlockArea]:
+        return list(self._areas)
+
+
+def build_blocks(src_ids: np.ndarray, dst_ids: np.ndarray,
+                 weights: np.ndarray, src_values: np.ndarray,
+                 block_size: int) -> Iterator[TripletBlock]:
+    """Split an iteration's triplets into fixed-size blocks.
+
+    The agent constructs edge blocks by walking the vertex-edge mapping
+    table; here the triplets arrive pre-joined (``src_values`` row per
+    edge) and are sliced without copying (numpy views).
+    """
+    if block_size < 1:
+        raise MiddlewareError(f"block_size must be >= 1, got {block_size}")
+    total = src_ids.size
+    index = 0
+    for lo in range(0, total, block_size):
+        hi = min(lo + block_size, total)
+        yield TripletBlock(
+            index=index,
+            src_ids=src_ids[lo:hi],
+            dst_ids=dst_ids[lo:hi],
+            weights=weights[lo:hi],
+            src_values=src_values[lo:hi],
+        )
+        index += 1
+
+
+@dataclass
+class VertexEdgeMap:
+    """The agent's vertex-edge mapping table (§II-B).
+
+    Maps a node's local edge set into CSR-like form grouped by source so
+    the agent can "select a vertex and retrieve its outer edges" when
+    packaging blocks, and can find which local edges are affected by an
+    updated vertex.
+    """
+
+    order: np.ndarray      # permutation sorting local edges by src
+    src_sorted: np.ndarray
+    starts: np.ndarray     # unique sources
+    offsets: np.ndarray    # CSR offsets into order, len(starts)+1
+
+    @classmethod
+    def build(cls, src_ids: np.ndarray) -> "VertexEdgeMap":
+        order = np.argsort(src_ids, kind="stable")
+        src_sorted = src_ids[order]
+        starts, first = np.unique(src_sorted, return_index=True)
+        offsets = np.concatenate([first, [src_sorted.size]])
+        return cls(order, src_sorted, starts, offsets)
+
+    def edges_of(self, vertex: int) -> np.ndarray:
+        """Local edge positions whose source is ``vertex``."""
+        i = np.searchsorted(self.starts, vertex)
+        if i >= self.starts.size or self.starts[i] != vertex:
+            return np.empty(0, dtype=np.int64)
+        return self.order[self.offsets[i]:self.offsets[i + 1]]
+
+    def sources(self) -> np.ndarray:
+        return self.starts

@@ -1,0 +1,106 @@
+"""Middleware configuration.
+
+One :class:`MiddlewareConfig` collects every optimization toggle the paper
+evaluates, so each figure's bench is an ablation of exactly one knob:
+
+* ``pipeline`` / ``block_size``      — §III-A  (Fig. 10, Fig. 15)
+* ``sync_cache`` / ``lazy_upload``   — §III-B2 (Fig. 11(a))
+* ``sync_skip``                      — §III-B3 (Fig. 11(b))
+* ``balance``                        — §III-C  (Fig. 12)
+* ``runtime_isolation``              — §IV-C   (Fig. 13)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..errors import MiddlewareError
+
+
+@dataclass(frozen=True)
+class MiddlewareConfig:
+    """Feature toggles and tunables for a GX-Plug deployment."""
+
+    #: Run the 3-stage pipeline shuffle (§III-A).  When off, the five-step
+    #: sequential flow is used (download, transfer, compute, transfer,
+    #: upload — the "Without pipeline" bars of Fig. 10).
+    pipeline: bool = True
+
+    #: Fixed triplet-block size.  ``None`` selects the Lemma-1 optimal
+    #: size per iteration ("Pipeline*"); an integer pins it ("Pipeline").
+    block_size: Optional[int] = None
+
+    #: LRU-weighted vertex caching on agents (§III-B2a).
+    sync_cache: bool = True
+
+    #: Cache capacity in vertices; ``None`` sizes it to the node's
+    #: referenced vertex count (everything fits — the paper's agents cache
+    #: a "temporary vertex table").
+    cache_capacity: Optional[int] = None
+
+    #: Lazy uploading through the global query/data queues (§III-B2b).
+    lazy_upload: bool = True
+
+    #: Synchronization skipping (§III-B3).
+    sync_skip: bool = True
+
+    #: Depth bound on the locally combined iterations of a skipping
+    #: superstep.  Unbounded local fast-forward can re-propagate stale
+    #: improvements back and forth across partition boundaries (wasted
+    #: re-work on long-diameter graphs); a moderate bound keeps most of
+    #: the synchronization savings without the ping-pong.
+    skip_max_local_iterations: int = 10
+
+    #: Capacity-aware workload balancing (§III-C) applied when the runner
+    #: partitions the graph / allocates accelerators.
+    balance: bool = True
+
+    #: Keep daemons alive between iterations (§IV-C).  When off, devices
+    #: re-initialize on every request — the "direct GPU call" side of
+    #: Fig. 13.
+    runtime_isolation: bool = True
+
+    #: Extra invariant checking inside the middleware (tests only).
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.block_size is not None and self.block_size < 1:
+            raise MiddlewareError(
+                f"block_size must be >= 1, got {self.block_size}"
+            )
+        if self.cache_capacity is not None and self.cache_capacity < 1:
+            raise MiddlewareError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}"
+            )
+        if self.skip_max_local_iterations < 1:
+            raise MiddlewareError(
+                f"skip_max_local_iterations must be >= 1, got "
+                f"{self.skip_max_local_iterations}"
+            )
+        if self.lazy_upload and not self.sync_cache:
+            raise MiddlewareError(
+                "lazy_upload requires sync_cache (updates are held in the "
+                "agent cache until queried)"
+            )
+        if self.sync_skip and not self.sync_cache:
+            raise MiddlewareError(
+                "sync_skip builds on synchronization caching (§III-B3)"
+            )
+
+    def with_(self, **changes) -> "MiddlewareConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: Everything on — the full GX-Plug as evaluated in Fig. 8/9.
+FULL = MiddlewareConfig()
+
+#: Every optimization off — the naive daemon-agent integration.
+BASELINE = MiddlewareConfig(
+    pipeline=False,
+    sync_cache=False,
+    lazy_upload=False,
+    sync_skip=False,
+    balance=False,
+)

@@ -1,0 +1,160 @@
+"""The daemon: accelerator wrapper with runtime/iteration control (§II-A1).
+
+A daemon represents one accelerator.  It holds the algorithm template, a
+System V shared memory segment (identified by its unique key) containing
+the rotating n/c/u block areas, and the two control channels to its agent.
+Its iteration behaviour is the paper's Algorithm 1: on ``ExchangeFinished``
+rotate the areas and acknowledge with ``RotateFinished``; compute the
+c-area block on the device and report ``ComputeFinished``; when the c-area
+is empty after a rotation the iteration's blocks are exhausted and the
+daemon reports ``ComputeAllFinished``.
+
+Runtime isolation (§IV-C): the daemon process outlives upper-system calls,
+so the device initializes exactly once.  With isolation disabled
+(``MiddlewareConfig.runtime_isolation=False``) the device context is torn
+down after every request and re-initialization is charged each time — the
+"direct GPU call" baseline of Fig. 13.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Tuple
+
+import numpy as np
+
+from ..accel.device import Accelerator
+from ..errors import ProtocolError
+from ..ipc import Channel, Recv, Send, Sleep
+from ..ipc.shm import ShmRegistry
+from .blocks import AreaSet, TripletBlock
+from .config import MiddlewareConfig
+from .template import AlgorithmTemplate, MessageSet
+
+# Control message vocabulary of Algorithms 1-2.
+MSG_EXCHANGE_FINISHED = "ExchangeFinished"
+MSG_ROTATE_FINISHED = "RotateFinished"
+MSG_COMPUTE_FINISHED = "ComputeFinished"
+MSG_COMPUTE_ALL_FINISHED = "ComputeAllFinished"
+
+#: Base System V key space for daemon segments (arbitrary, SysV-style hex).
+DAEMON_KEY_BASE = 0x47580000
+
+#: Accounting categories for the Fig. 14 middleware cost ratio.
+CAT_COMPUTE = "middleware.compute"
+CAT_DOWNLOAD = "middleware.download"
+CAT_UPLOAD = "middleware.upload"
+CAT_INIT = "middleware.init"
+
+
+class Daemon:
+    """One accelerator's daemon: template holder + iteration control."""
+
+    def __init__(self, daemon_id: int, accelerator: Accelerator,
+                 registry: ShmRegistry, config: MiddlewareConfig) -> None:
+        self.daemon_id = daemon_id
+        self.accelerator = accelerator
+        self.config = config
+        # the daemon's unique System V key and shared segment (§II-B)
+        self.key = DAEMON_KEY_BASE + daemon_id
+        self.segment = registry.shmget(self.key).attach(f"daemon-{daemon_id}")
+        self.areas = AreaSet()
+        self.segment.put("areas", self.areas)
+        # control channels (message exchange, not data: data lives in shm)
+        self.to_daemon = Channel(f"agent->daemon{daemon_id}")
+        self.to_agent = Channel(f"daemon{daemon_id}->agent")
+        self.blocks_computed = 0
+
+    def reset_protocol(self) -> None:
+        """Recover from a mid-pass failure: drop in-flight blocks and
+        control messages so the next pass starts from a clean protocol
+        state (the device context is re-established separately)."""
+        for area in self.areas.areas():
+            area.clear()
+        self.to_daemon = Channel(f"agent->daemon{self.daemon_id}")
+        self.to_agent = Channel(f"daemon{self.daemon_id}->agent")
+
+    # -- device lifecycle --------------------------------------------------------
+
+    def init_cost_ms(self) -> float:
+        """Charge for making the device ready for the next request.
+
+        Zero when runtime isolation keeps the initialized context alive.
+        """
+        if self.accelerator.initialized and self.config.runtime_isolation:
+            return 0.0
+        return self.accelerator.init()
+
+    def release_after_request(self) -> None:
+        """Without isolation the device context dies with the call."""
+        if not self.config.runtime_isolation:
+            self.accelerator.shutdown()
+
+    # -- kernels --------------------------------------------------------------------
+
+    def compute_block(self, algorithm: AlgorithmTemplate,
+                      block: TripletBlock) -> Tuple[MessageSet, float]:
+        """MSGGen + block-local MSGMerge on the device.
+
+        Returns the block's partial message set and the simulated device
+        time (T_call + per-entity compute/copy, Eq. 2).
+        """
+        def kernel() -> MessageSet:
+            msgs = algorithm.msg_gen_local(block.src_values, block.weights)
+            return algorithm.msg_merge(block.dst_ids, msgs)
+
+        result, duration = self.accelerator.run(
+            kernel, entities=block.num_entities)
+        self.blocks_computed += 1
+        return result, duration
+
+    def apply_messages(self, algorithm: AlgorithmTemplate,
+                       values: np.ndarray, merged: MessageSet
+                       ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """MSGApply on the device: fold merged messages into vertex values.
+
+        Returns ``(new_values, changed_ids, simulated_ms)``.
+        """
+        def kernel():
+            return algorithm.msg_apply(values, merged)
+
+        (new_values, changed), duration = self.accelerator.run(
+            kernel, entities=merged.size)
+        return new_values, changed, duration
+
+    def scatter_cost_ms(self, affected_edges: int) -> float:
+        """Device time of a GAS scatter pass over ``affected_edges``."""
+        return self.accelerator.kernel_ms(affected_edges)
+
+    # -- Algorithm 1 ------------------------------------------------------------------
+
+    def iteration_process(self, algorithm: AlgorithmTemplate
+                          ) -> Generator:
+        """The daemon side of one pipelined iteration (paper Algorithm 1).
+
+        Runs as a simulated process.  After each rotation the daemon
+        immediately computes the c-area block (the paper's pseudocode
+        leaves the compute trigger implicit; computing right after
+        ``RotateFinished`` is the only schedule that terminates and it
+        yields exactly the Eq. 1 makespan).
+        """
+        while True:
+            msg = yield Recv(self.to_daemon)
+            if msg == MSG_EXCHANGE_FINISHED:
+                self.areas.rotate()
+                yield Send(self.to_agent, MSG_ROTATE_FINISHED)
+                area = self.areas.c
+                if area.block is not None:
+                    block = area.block
+                    result, duration = self.compute_block(algorithm, block)
+                    yield Sleep(duration, CAT_COMPUTE)
+                    # result replaces the block in situ (*c <- com_dev.data)
+                    area.block = None
+                    area.result = result
+                    yield Send(self.to_agent, MSG_COMPUTE_FINISHED)
+                else:
+                    yield Send(self.to_agent, MSG_COMPUTE_ALL_FINISHED)
+                    return
+            else:
+                raise ProtocolError(
+                    f"daemon {self.daemon_id}: unexpected message {msg!r}"
+                )

@@ -1,0 +1,81 @@
+"""GX-Plug: the middleware facade.
+
+A :class:`GXPlug` instance owns one agent per distributed node (each agent
+attached to the node's accelerators as daemons) plus the global lazy-upload
+queues.  Plugging it into an engine is the paper's "few lines of code"::
+
+    cluster = make_cluster(4, gpus_per_node=1)
+    plug = GXPlug(cluster)
+    engine = PowerGraphEngine(pgraph, cluster, middleware=plug)
+    result = engine.run(PageRank())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cluster.cluster import Cluster
+from ..errors import MiddlewareError
+from ..ipc.shm import ShmRegistry
+from .agent import Agent
+from .config import MiddlewareConfig
+from .sync_cache import GlobalQueues
+
+
+class GXPlug:
+    """The middleware: agents + daemons for every node of a cluster."""
+
+    def __init__(self, cluster: Cluster,
+                 config: Optional[MiddlewareConfig] = None) -> None:
+        self.cluster = cluster
+        self.config = config if config is not None else MiddlewareConfig()
+        self.registry = ShmRegistry()
+        accelerated = [n for n in cluster.nodes if n.accelerators]
+        if not accelerated:
+            raise MiddlewareError(
+                "GX-Plug needs at least one accelerator in the cluster"
+            )
+        if len(accelerated) != len(cluster.nodes):
+            missing = [n.node_id for n in cluster.nodes
+                       if not n.accelerators]
+            raise MiddlewareError(
+                f"every node needs an accelerator to plug; nodes {missing} "
+                f"have none"
+            )
+        self.agents: Dict[int, Agent] = {
+            node.node_id: Agent(node, self.registry, self.config)
+            for node in cluster.nodes
+        }
+        self.queues = GlobalQueues()
+        self.connected = False
+
+    def connect_all(self) -> float:
+        """Connect every agent; returns the total simulated setup cost.
+
+        Daemons on different nodes initialize in parallel, so the cluster
+        pays the slowest node's setup, not the sum.
+        """
+        if self.connected:
+            raise MiddlewareError("middleware already connected")
+        self.connected = True
+        costs = [agent.connect() for agent in self.agents.values()]
+        return max(costs) if costs else 0.0
+
+    def disconnect_all(self) -> None:
+        if not self.connected:
+            return
+        for agent in self.agents.values():
+            agent.disconnect()
+        self.connected = False
+
+    def agent_for(self, node_id: int) -> Agent:
+        if node_id not in self.agents:
+            raise MiddlewareError(f"no agent for node {node_id}")
+        return self.agents[node_id]
+
+    def total_middleware_ms(self) -> float:
+        return sum(a.total_middleware_ms for a in self.agents.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"GXPlug({len(self.agents)} agents, "
+                f"connected={self.connected})")

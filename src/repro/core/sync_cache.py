@@ -1,0 +1,223 @@
+"""Synchronization caching: LRU-weighted vertex cache + lazy upload (§III-B2).
+
+The agent keeps a temporary vertex table so that vertices repeatedly
+involved in computation are not re-downloaded from the upper system every
+iteration.  Entries carry a *weight* that rises when used and decays with
+the passage of iterations; when the cache is full, the stalest (lowest
+weight, i.e. least recently used) entry is evicted.
+
+.. note::
+   The paper's prose says the agent "evicts the vertex with the highest
+   weight" in one sentence and "chooses vertices with the lowest weights"
+   for replacement in the next; since weights *increase* on use, evicting
+   the highest-weight (most recently used) entry would defeat the cache.
+   We implement the only internally consistent reading — evict the lowest
+   weight — and note the discrepancy in DESIGN.md.
+
+Lazy uploading (Algorithm 3) is driven by two queues: each agent pushes
+the vertex ids it will need next iteration to the **global query queue**;
+the union is broadcast, and each agent uploads to the **global data
+queue** only its updated vertices that some other agent queried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import MiddlewareError
+
+
+class LRUVertexCache:
+    """Weight-decayed LRU cache of vertex attribute rows.
+
+    Weights follow the paper's scheme: new/used entries get the current
+    generation stamp (so weight effectively "decreases with the passage of
+    iterations" relative to fresh entries and "increases if being used").
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise MiddlewareError(f"cache capacity must be >= 1, got "
+                                  f"{capacity}")
+        self.capacity = capacity
+        self._values: Dict[int, np.ndarray] = {}
+        self._weights: Dict[int, float] = {}
+        self._dirty: Set[int] = set()
+        self._generation = 0.0
+        # instrumentation
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- iteration lifecycle ---------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance one iteration: every resident weight ages by one."""
+        self._generation += 1.0
+
+    # -- lookups ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._values
+
+    def lookup(self, vertex: int) -> Optional[np.ndarray]:
+        """Value for ``vertex`` or None on miss; a hit bumps its weight."""
+        value = self._values.get(vertex)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._weights[vertex] = self._generation
+        return value
+
+    def partition_ids(self, ids: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Split ``ids`` into (cached, missing) without bumping weights.
+
+        Used by the agent when costing a download batch; call
+        :meth:`touch` afterwards for the ids actually used.
+        """
+        mask = np.fromiter((int(v) in self._values for v in ids),
+                           dtype=bool, count=ids.size)
+        return ids[mask], ids[~mask]
+
+    def touch(self, ids: np.ndarray) -> None:
+        """Bump weights of cached ids (counted as hits)."""
+        for v in ids:
+            v = int(v)
+            if v in self._values:
+                self._weights[v] = self._generation
+                self.hits += 1
+
+    # -- inserts / updates ------------------------------------------------------------
+
+    def insert(self, vertex: int, value: np.ndarray) -> Optional[int]:
+        """Cache a freshly downloaded vertex (counted as a miss upstream).
+
+        Returns the evicted vertex id if the insert displaced an entry,
+        else None.
+        """
+        vertex = int(vertex)
+        evicted = None
+        if vertex not in self._values and len(self._values) >= self.capacity:
+            evicted = self._evict_one()
+        self._values[vertex] = value
+        self._weights[vertex] = self._generation
+        return evicted
+
+    def update(self, vertex: int, value: np.ndarray,
+               dirty: bool = True) -> Optional[int]:
+        """Write a computed result into the cache (lazy upload holds it).
+
+        Returns the evicted vertex id if the update displaced an entry.
+        """
+        vertex = int(vertex)
+        evicted = None
+        if vertex not in self._values and len(self._values) >= self.capacity:
+            evicted = self._evict_one()
+        self._values[vertex] = value
+        self._weights[vertex] = self._generation
+        if dirty:
+            self._dirty.add(vertex)
+        return evicted
+
+    def invalidate(self, vertex: int) -> None:
+        """Drop an entry made stale by a foreign update (no eviction stat)."""
+        vertex = int(vertex)
+        self._values.pop(vertex, None)
+        self._weights.pop(vertex, None)
+        self._dirty.discard(vertex)
+
+    def _evict_one(self) -> int:
+        # never evict dirty entries (their updates would be lost);
+        # choose the lowest-weight clean entry.
+        candidates = [(w, v) for v, w in self._weights.items()
+                      if v not in self._dirty]
+        if not candidates:
+            raise MiddlewareError(
+                "cache full of dirty entries; flush with take_dirty() first"
+            )
+        _w, victim = min(candidates)
+        del self._values[victim]
+        del self._weights[victim]
+        self.evictions += 1
+        return victim
+
+    # -- dirty tracking (lazy upload) ---------------------------------------------------
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def dirty_ids(self) -> List[int]:
+        return sorted(self._dirty)
+
+    def take_dirty(self, ids: Optional[np.ndarray] = None
+                   ) -> Dict[int, np.ndarray]:
+        """Remove and return dirty entries (all, or the given subset).
+
+        The returned mapping is what the agent pushes to the global data
+        queue; the entries stay cached but are clean afterwards.
+        """
+        if ids is None:
+            chosen = list(self._dirty)
+        else:
+            wanted = {int(v) for v in ids}
+            chosen = [v for v in self._dirty if v in wanted]
+        out = {v: self._values[v] for v in chosen}
+        self._dirty.difference_update(chosen)
+        return out
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class GlobalQueues:
+    """The global query queue and global data queue of Algorithm 3."""
+
+    query_lists: Dict[int, np.ndarray] = field(default_factory=dict)
+    data_entries: Dict[int, Dict[int, np.ndarray]] = field(
+        default_factory=dict)
+
+    def push_query(self, node_id: int, vertex_ids: np.ndarray) -> None:
+        """An agent announces the vertices it needs next iteration."""
+        self.query_lists[node_id] = np.asarray(vertex_ids, dtype=np.int64)
+
+    def query_union(self, exclude_node: Optional[int] = None) -> np.ndarray:
+        """The broadcast union of local query lists.
+
+        ``exclude_node`` yields "vertices some *other* node needs", which
+        is what node ``exclude_node`` must upload.
+        """
+        arrays = [ids for node, ids in self.query_lists.items()
+                  if node != exclude_node]
+        if not arrays:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(arrays))
+
+    def push_data(self, node_id: int,
+                  entries: Dict[int, np.ndarray]) -> None:
+        """An agent uploads the queried subset of its updated vertices."""
+        self.data_entries[node_id] = entries
+
+    def fetch(self, vertex_ids: np.ndarray) -> Dict[int, np.ndarray]:
+        """Fetch requested vertices from the global data queue."""
+        wanted = {int(v) for v in vertex_ids}
+        out: Dict[int, np.ndarray] = {}
+        for entries in self.data_entries.values():
+            for v, value in entries.items():
+                if v in wanted:
+                    out[v] = value
+        return out
+
+    def clear(self) -> None:
+        self.query_lists.clear()
+        self.data_entries.clear()

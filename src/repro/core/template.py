@@ -1,0 +1,193 @@
+"""The GX-Plug algorithm template (§IV-A1).
+
+The paper's daemons hold an iteration-based algorithm template with three
+APIs — ``MSGGen()``, ``MSGMerge()`` and ``MSGApply()`` — that algorithm
+engineers implement; the middleware handles everything else.  Different
+call orders yield different computation models (§IV-B2):
+
+* BSP (GraphX):      Gen -> Merge -> Apply
+* GAS (PowerGraph):  Merge -> Apply -> Gen
+
+This module defines the Python equivalent: :class:`AlgorithmTemplate`
+with :meth:`msg_gen`, :meth:`msg_merge` and :meth:`msg_apply`, operating
+on numpy edge/vertex arrays.  Message sets (:class:`MessageSet`) are the
+associative intermediate exchanged between blocks, daemons and nodes;
+associativity is what lets the middleware merge partial results computed
+anywhere in any order — a property the test suite checks for every
+algorithm.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import AlgorithmError
+from ..graph import Graph
+
+
+@dataclass
+class MessageSet:
+    """A merged set of messages addressed to vertices.
+
+    ``ids`` are destination vertex ids (unique unless the algorithm's
+    merge key is composite, e.g. label-propagation's (vertex, label)
+    pairs); ``data`` holds one row of message payload per id.  Empty
+    message sets use zero-length arrays.
+    """
+
+    ids: np.ndarray
+    data: np.ndarray
+
+    @classmethod
+    def empty(cls, payload_width: int = 1) -> "MessageSet":
+        return cls(np.empty(0, dtype=np.int64),
+                   np.empty((0, payload_width), dtype=np.float64))
+
+    @property
+    def size(self) -> int:
+        return int(self.ids.size)
+
+    def __post_init__(self) -> None:
+        if self.ids.shape[0] != self.data.shape[0]:
+            raise AlgorithmError(
+                f"MessageSet ids/data mismatch: {self.ids.shape[0]} vs "
+                f"{self.data.shape[0]}"
+            )
+
+
+@dataclass
+class AlgorithmState:
+    """Vertex values plus the active frontier of the current iteration."""
+
+    values: np.ndarray       # shape (n,) or (n, k)
+    active: np.ndarray      # bool mask, shape (n,)
+
+    def active_count(self) -> int:
+        return int(self.active.sum())
+
+
+class AlgorithmTemplate(ABC):
+    """Base class for iterative graph algorithms on the GX-Plug template.
+
+    Subclasses implement the three paper APIs plus initialization.  All
+    array arguments are numpy; implementations must be pure (no hidden
+    state between calls) because blocks may be processed in any order by
+    the pipeline.
+    """
+
+    #: Human-readable algorithm name used in reports and benches.
+    name: str = "abstract"
+
+    #: Iterations cap when the algorithm does not converge on its own
+    #: (the paper caps LP at 15 "to avoid unlimited computation").
+    default_max_iterations: int = 100
+
+    #: Monotone *and replay-safe* algorithms (idempotent semirings:
+    #: min-plus SSSP/BFS/CC, max-min widest path, bitwise-OR reach)
+    #: tolerate applying or regenerating message subsets in any order
+    #: without changing the fixed point.  Only these can use
+    #: synchronization skipping's combined local iterations (§III-B3):
+    #: a node may keep iterating on its own partition and defer
+    #: cross-partition messages to the next global sync.  Sum/vote/count
+    #: algorithms (PageRank, LP, k-core) need each message applied
+    #: exactly once per superstep, so they use the strict detector.
+    monotone: bool = False
+
+    #: Algorithms whose messages are *events* (sent exactly once per
+    #: state change, e.g. k-core removal notifications) must run
+    #: frontier-driven even on engines that normally materialize the
+    #: full triplet view: re-scanning all edges would replay the events.
+    requires_frontier_scan: bool = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @abstractmethod
+    def init_state(self, graph: Graph, **params) -> AlgorithmState:
+        """Initial vertex values and active mask for ``graph``."""
+
+    # -- the three paper APIs ---------------------------------------------------
+
+    @abstractmethod
+    def msg_gen(self, src_ids: np.ndarray, dst_ids: np.ndarray,
+                weights: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """MSGGen: per-edge message payloads (one row per edge).
+
+        Computes "the initial results with vertex and edge blocks and
+        transform[s] them into initial messages".
+        """
+
+    @abstractmethod
+    def msg_merge(self, dst_ids: np.ndarray,
+                  messages: np.ndarray) -> MessageSet:
+        """MSGMerge: combine raw per-edge messages into a message set."""
+
+    @abstractmethod
+    def combine(self, a: MessageSet, b: MessageSet) -> MessageSet:
+        """Associatively merge two message sets (cross-block/cross-node)."""
+
+    @abstractmethod
+    def msg_apply(self, values: np.ndarray, merged: MessageSet
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+        """MSGApply: fold messages into vertex values.
+
+        Returns ``(new_values, changed_vertex_ids)``; ``new_values`` must
+        be a fresh array (callers keep the old one for delta bookkeeping).
+        """
+
+    # -- block-local variants (used by daemons) -----------------------------------
+    #
+    # Daemons never see the full vertex table: the agent joins the needed
+    # source-vertex attributes into the block's paired *vertex block*
+    # (§II-B).  ``gather_values`` extracts those per-vertex rows and
+    # ``msg_gen_local`` generates messages from them; the default
+    # ``msg_gen`` is equivalent to ``msg_gen_local(gather_values(...))``,
+    # which the property tests verify for every algorithm.
+
+    def gather_values(self, values: np.ndarray,
+                      ids: np.ndarray) -> np.ndarray:
+        """Vertex-block rows for the given vertex ids (2-D, one row/id)."""
+        rows = values[ids]
+        if rows.ndim == 1:
+            rows = rows[:, None]
+        return rows
+
+    def msg_gen_local(self, src_rows: np.ndarray,
+                      weights: np.ndarray) -> np.ndarray:
+        """MSGGen from pre-gathered source rows (daemon-side form).
+
+        Default: algorithms whose messages depend only on the source value
+        and the edge weight can usually override this directly; the base
+        implementation raises so mismatches are caught early.
+        """
+        raise AlgorithmError(
+            f"{type(self).__name__} does not implement msg_gen_local"
+        )
+
+    # -- iteration control ---------------------------------------------------------
+
+    def next_active(self, graph: Graph, changed_ids: np.ndarray,
+                    num_vertices: int) -> np.ndarray:
+        """Frontier for the next iteration (default: changed vertices)."""
+        active = np.zeros(num_vertices, dtype=bool)
+        active[changed_ids] = True
+        return active
+
+    def is_converged(self, changed_count: int, iteration: int) -> bool:
+        """Stop when an iteration changes nothing (frontier algorithms)."""
+        return changed_count == 0
+
+    # -- helpers -------------------------------------------------------------------
+
+    def payload_width(self) -> int:
+        """Columns in a message payload row (for empty-set construction)."""
+        return 1
+
+    def empty_messages(self) -> MessageSet:
+        return MessageSet.empty(self.payload_width())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,26 @@
+"""Upper systems: GraphX-like (BSP/JVM) and PowerGraph-like (GAS/native)."""
+
+from .async_engine import AsyncEngine
+from .base import IterationStats, IterativeEngine, RunResult
+from .graphx import GraphXEngine, jvm_runtime_for
+from .jni import (
+    NAIVE_JNI,
+    OPTIMIZED_JNI,
+    JNIConfig,
+    improvement_factor,
+)
+from .powergraph import PowerGraphEngine
+
+__all__ = [
+    "IterativeEngine",
+    "IterationStats",
+    "RunResult",
+    "GraphXEngine",
+    "PowerGraphEngine",
+    "AsyncEngine",
+    "JNIConfig",
+    "NAIVE_JNI",
+    "OPTIMIZED_JNI",
+    "improvement_factor",
+    "jvm_runtime_for",
+]

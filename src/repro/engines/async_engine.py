@@ -1,0 +1,64 @@
+"""Asynchronous computation model (§IV-A1's third model).
+
+The paper's middleware is "adaptable to various graph computation models,
+such [as] BSP, GAS, and asynchronous model" — the last in the tradition
+of GraphLab [32], which "allows asynchronous computation and dynamic
+asynchronous scheduling".
+
+:class:`AsyncEngine` runs nodes continuously on their own partitions
+(the combined-local-iteration machinery), synchronizing only when
+cross-partition messages accumulate.  This is only sound for monotone,
+replay-safe algorithms (SSSP, BFS, CC, widest path, ...); the engine
+rejects anything else, and it needs the middleware (asynchrony lives in
+the agents — a bare host engine is superstep-driven by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.cluster import Cluster
+from ..core.middleware import GXPlug
+from ..core.template import AlgorithmTemplate
+from ..errors import EngineError
+from ..graph.graph import Graph
+from ..graph.partition import PartitionedGraph, clustering_partition
+from .base import IterativeEngine, RunResult
+
+
+class AsyncEngine(IterativeEngine):
+    """GraphLab-style asynchronous execution over GX-Plug agents."""
+
+    model = "async"
+    name = "async"
+    force_async = True
+    edge_scan = "frontier"
+
+    def __init__(self, pgraph: PartitionedGraph, cluster: Cluster,
+                 middleware: Optional[GXPlug] = None) -> None:
+        if middleware is None:
+            raise EngineError(
+                "the asynchronous model runs inside the middleware's "
+                "agents; plug a GXPlug instance"
+            )
+        super().__init__(pgraph, cluster, middleware)
+
+    @classmethod
+    def build(cls, graph: Graph, cluster: Cluster,
+              middleware: Optional[GXPlug] = None,
+              shares=None, seed: int = 0) -> "AsyncEngine":
+        """Partition with the locality-preserving clustering strategy
+        (asynchrony profits from partition-local structure)."""
+        pgraph = clustering_partition(graph, cluster.num_nodes,
+                                      shares=shares, seed=seed)
+        return cls(pgraph, cluster, middleware)
+
+    def run(self, algorithm: AlgorithmTemplate,
+            max_iterations: Optional[int] = None) -> RunResult:
+        if not algorithm.monotone:
+            raise EngineError(
+                f"{algorithm.name!r} is not replay-safe (monotone): the "
+                f"asynchronous model only supports idempotent-semiring "
+                f"algorithms; use GraphXEngine/PowerGraphEngine"
+            )
+        return super().run(algorithm, max_iterations=max_iterations)

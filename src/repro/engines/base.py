@@ -1,0 +1,698 @@
+"""The iterative distributed engine core shared by GraphX and PowerGraph.
+
+One :class:`IterativeEngine` drives the BSP/GAS iteration over a
+partitioned graph on a simulated cluster, either computing on the nodes'
+host runtimes ("GraphX"/"PowerGraph" bars of Fig. 8) or delegating the
+per-node computation to plugged GX-Plug agents ("CPU+"/"GPU+" bars).
+
+Per iteration:
+
+1. **Edge computation** — every node processes its active local triplets
+   (MSGGen + block-local MSGMerge).  Nodes run in parallel, so the
+   iteration pays the slowest node (the workload-balancing objective of
+   §III-C).
+2. **Global merge** — partial message sets combine associatively; each
+   master node receives the messages addressed to its vertices.
+3. **Apply** — every node folds its masters' messages into the vertex
+   table (MSGApply), again in parallel.
+4. **Synchronization** — unless synchronization skipping (§III-B3) proves
+   no inter-node traffic is needed, the engine pays the network collective
+   plus the data uploads (trimmed by lazy uploading, §III-B2b) and
+   invalidates agent cache entries made stale by foreign updates.
+
+Simulated results are *real*: the engine's values equal the algorithm's
+single-machine reference bit-for-bit, which the integration tests assert
+for every engine/config combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..core.config import MiddlewareConfig
+from ..core.middleware import GXPlug
+from ..core.sync_skip import SkipDetector
+from ..core.template import AlgorithmTemplate, MessageSet
+from ..errors import EngineError
+from ..graph.partition import PartitionedGraph
+
+#: simulated bytes per float64 payload cell crossing the network
+BYTES_PER_CELL = 8
+#: simulated bytes per vertex id in the global query queue broadcast
+BYTES_PER_ID = 8
+
+
+@dataclass
+class IterationStats:
+    """Everything recorded about one engine superstep."""
+
+    index: int
+    active_edges: int
+    compute_ms: float            # slowest node's edge pass
+    apply_ms: float              # slowest node's apply
+    sync_ms: float               # global synchronization (0 when skipped)
+    skipped: bool
+    changed_vertices: int
+    uploads: int                 # vertex values shipped at sync time
+    cache_hits: int = 0
+    cache_misses: int = 0
+    node_compute_ms: List[float] = field(default_factory=list)
+    #: computation iterations this superstep absorbed (>1 when
+    #: synchronization skipping let nodes keep iterating locally)
+    local_iterations: int = 1
+
+    @property
+    def total_ms(self) -> float:
+        return self.compute_ms + self.apply_ms + self.sync_ms
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run."""
+
+    values: np.ndarray
+    iterations: int
+    total_ms: float
+    setup_ms: float
+    converged: bool
+    stats: List[IterationStats]
+    breakdown: Dict[str, float]      # middleware / device / engine ms
+    engine_name: str
+    algorithm_name: str
+    skipped_iterations: int = 0
+
+    @property
+    def computation_iterations(self) -> int:
+        """Total computation iterations, counting the locally combined
+        ones that synchronization skipping hid from the upper system."""
+        return sum(s.local_iterations for s in self.stats)
+
+    @property
+    def middleware_ratio(self) -> float:
+        """Fig. 14's metric: middleware time / whole-system time."""
+        if self.total_ms <= 0:
+            return 0.0
+        return self.breakdown.get("middleware", 0.0) / self.total_ms
+
+    def summary(self) -> str:
+        return (f"{self.engine_name}/{self.algorithm_name}: "
+                f"{self.iterations} iterations, "
+                f"{self.total_ms:.1f} ms simulated "
+                f"({self.skipped_iterations} syncs skipped)")
+
+
+class IterativeEngine:
+    """Distributed iteration driver over a partitioned graph."""
+
+    #: "bsp" (Gen -> Merge -> Apply) or "gas" (Merge -> Apply -> Gen).
+    model = "bsp"
+    name = "engine"
+
+    #: Asynchronous engines force the combined-local-iteration path for
+    #: every (monotone) run, independent of the skip toggle.
+    force_async = False
+
+    #: "full": every superstep materializes the whole local triplet view
+    #: (GraphX/Spark behaviour — what makes synchronization caching pay
+    #: off 2-3x there, Fig. 11(a)); "frontier": only edges of active
+    #: vertices are gathered (PowerGraph behaviour).
+    edge_scan = "frontier"
+
+    def __init__(self, pgraph: PartitionedGraph, cluster: Cluster,
+                 middleware: Optional[GXPlug] = None) -> None:
+        if pgraph.num_partitions != cluster.num_nodes:
+            raise EngineError(
+                f"{pgraph.num_partitions} partitions for "
+                f"{cluster.num_nodes} nodes"
+            )
+        if middleware is not None and middleware.cluster is not cluster:
+            raise EngineError("middleware was built for a different cluster")
+        self.pgraph = pgraph
+        self.cluster = cluster
+        self.middleware = middleware
+        self.graph = pgraph.graph
+        # per-vertex replica counts (vertex-cut mirror sync volumes)
+        counts = np.zeros(self.graph.num_vertices, dtype=np.int64)
+        for part in pgraph.parts:
+            counts[part.referenced] += 1
+        self._replica_count = np.maximum(counts, 1)
+        self._master_sets = [
+            np.zeros(self.graph.num_vertices, dtype=bool)
+            for _ in pgraph.parts
+        ]
+        for part in pgraph.parts:
+            self._master_sets[part.node_id][part.masters] = True
+        # stored_local[v]: are all of v's out-edges stored on v's master?
+        # (always true for edge-cut-by-source; false for vertex-cut
+        # replicas).  Vertices violating it must be re-activated globally
+        # after a combined-local superstep.
+        stored_local = np.ones(self.graph.num_vertices, dtype=bool)
+        for part in pgraph.parts:
+            foreign_src = part.src[pgraph.master_of[part.src]
+                                   != part.node_id]
+            stored_local[foreign_src] = False
+        self._stored_local = stored_local
+
+    # -- configuration hooks (overridden by GraphX / PowerGraph) --------------------
+
+    @property
+    def config(self) -> Optional[MiddlewareConfig]:
+        return self.middleware.config if self.middleware else None
+
+    def _mirror_sync_cells(self, changed: np.ndarray, width: int) -> int:
+        """Extra sync payload for replica/mirror propagation (GAS only)."""
+        return 0
+
+    def _scatter_cost_ms(self, node_id: int, changed_here: int) -> float:
+        """Extra per-node cost of the scatter/activation step (GAS only)."""
+        return 0.0
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def run(self, algorithm: AlgorithmTemplate,
+            max_iterations: Optional[int] = None) -> RunResult:
+        """Run ``algorithm`` to convergence (or the iteration cap)."""
+        g = self.graph
+        n = g.num_vertices
+        state = algorithm.init_state(g)
+        values, active = state.values, state.active
+        width = values.shape[1] if values.ndim > 1 else 1
+        cap = max_iterations if max_iterations is not None \
+            else algorithm.default_max_iterations
+
+        mw = self.middleware
+        use_skip = bool(mw and mw.config.sync_skip)
+        use_lazy = bool(mw and mw.config.lazy_upload)
+        # monotone algorithms get the combined-local-iteration form of
+        # synchronization skipping; others keep the strict detector.
+        # An asynchronous engine forces the combined path outright.
+        use_async = (use_skip or self.force_async) and algorithm.monotone
+        detector = SkipDetector(self.pgraph) if (use_skip and
+                                                 not use_async) else None
+
+        setup_ms = 0.0
+        if mw is not None and not mw.connected:
+            setup_ms = mw.connect_all()
+
+        # setup (daemon spawn + device init) is a one-time deployment
+        # cost; it gets its own bucket so the Fig. 14 ratio reflects the
+        # iterative processing the paper measures on long-running jobs.
+        breakdown = {"middleware": 0.0, "device": 0.0, "engine": 0.0,
+                     "setup": setup_ms}
+        stats: List[IterationStats] = []
+        total_ms = setup_ms
+        converged = False
+        iteration = 0
+
+        while iteration < cap:
+            if use_async:
+                step = self._run_superstep_combined(
+                    iteration, algorithm, values, active, width,
+                    use_lazy, breakdown)
+            else:
+                step = self._run_iteration(
+                    iteration, algorithm, values, active, width,
+                    detector, use_lazy, breakdown)
+            it_stats, values, active, changed_total = step
+            stats.append(it_stats)
+            total_ms += it_stats.total_ms
+            iteration += 1
+            if algorithm.is_converged(changed_total, iteration):
+                converged = True
+                break
+
+        return RunResult(
+            values=values,
+            iterations=iteration,
+            total_ms=total_ms,
+            setup_ms=setup_ms,
+            converged=converged,
+            stats=stats,
+            breakdown=breakdown,
+            engine_name=self.name,
+            algorithm_name=algorithm.name,
+            skipped_iterations=(
+                sum(1 for s in stats if s.skipped)
+                + sum(s.local_iterations - 1 for s in stats)),
+        )
+
+    # -- one iteration ---------------------------------------------------------------------
+
+    def _run_iteration(self, index: int, algorithm: AlgorithmTemplate,
+                       values: np.ndarray, active: np.ndarray, width: int,
+                       detector: Optional[SkipDetector], use_lazy: bool,
+                       breakdown: Dict[str, float]):
+        g = self.graph
+        n = g.num_vertices
+        mw = self.middleware
+
+        # -- 1. per-node edge computation (parallel: pay the max) ------------
+        partials: Dict[int, MessageSet] = {}
+        node_ms: List[float] = []
+        hits = misses = 0
+        active_edges = 0
+        crit_mw_ms = 0.0      # middleware share on the critical node
+        crit_dev_ms = 0.0     # device share on the critical node
+        crit_total = -1.0
+        force_frontier = algorithm.requires_frontier_scan
+        for part in self.pgraph.parts:
+            src, dst, w = self._select_edges(part, active, force_frontier)
+            d = int(src.size)
+            active_edges += d
+            if mw is not None:
+                agent = mw.agent_for(part.node_id)
+                res = agent.edge_pass(src, dst, w, values, algorithm)
+                partials[part.node_id] = res.partial
+                node_ms.append(res.elapsed_ms)
+                hits += res.cache_hits
+                misses += res.cache_misses
+                if res.elapsed_ms > crit_total:
+                    crit_total = res.elapsed_ms
+                    mw_busy = (
+                        res.breakdown.get("middleware.download", 0.0)
+                        + res.breakdown.get("middleware.upload", 0.0)
+                        + res.breakdown.get("middleware.init", 0.0))
+                    crit_mw_ms = min(mw_busy, res.elapsed_ms)
+                    crit_dev_ms = res.elapsed_ms - crit_mw_ms
+            else:
+                partial, host_ms = self._host_edge_pass(
+                    part.node_id, src, dst, w, values, algorithm)
+                partials[part.node_id] = partial
+                node_ms.append(host_ms)
+        compute_ms = max(node_ms) if node_ms else 0.0
+        if mw is not None:
+            breakdown["middleware"] += max(crit_mw_ms, 0.0)
+            breakdown["device"] += max(crit_dev_ms, 0.0)
+        else:
+            breakdown["engine"] += compute_ms
+
+        # -- 2. global merge ---------------------------------------------------
+        combined = algorithm.empty_messages()
+        for node_id in sorted(partials):
+            combined = algorithm.combine(combined, partials[node_id])
+
+        # -- 3. apply at masters (parallel) --------------------------------------
+        apply_times: List[float] = []
+        changed_by_node: Dict[int, np.ndarray] = {}
+        new_values = values
+        for part in self.pgraph.parts:
+            own = self._master_sets[part.node_id]
+            if combined.size:
+                sel = own[combined.ids]
+                merged_here = MessageSet(combined.ids[sel],
+                                         combined.data[sel])
+            else:
+                merged_here = algorithm.empty_messages()
+            if mw is not None:
+                agent = mw.agent_for(part.node_id)
+                cand, changed, cost = agent.request_apply(
+                    new_values, merged_here, algorithm)
+            else:
+                cand, changed = algorithm.msg_apply(new_values, merged_here)
+                cost = self._host_apply_ms(part.node_id, merged_here.size)
+            changed = changed[own[changed]] if changed.size else changed
+            if changed.size:
+                new_values = new_values.copy() if new_values is values \
+                    else new_values
+                new_values[changed] = cand[changed]
+            changed_by_node[part.node_id] = changed
+            if mw is not None:
+                cost += self._scatter_cost_ms(part.node_id, changed.size)
+            apply_times.append(cost)
+        apply_ms = max(apply_times) if apply_times else 0.0
+        values = new_values
+        if mw is not None:
+            # apply is dominated by transfer bookkeeping; split half/half
+            breakdown["middleware"] += apply_ms * 0.5
+            breakdown["device"] += apply_ms * 0.5
+            for part in self.pgraph.parts:
+                agent = mw.agent_for(part.node_id)
+                agent.note_master_updates(
+                    values, changed_by_node[part.node_id], algorithm)
+        else:
+            breakdown["engine"] += apply_ms
+
+        all_changed = (np.concatenate(list(changed_by_node.values()))
+                       if changed_by_node else np.empty(0, dtype=np.int64))
+        changed_total = int(all_changed.size)
+
+        # -- 4. frontier for the next iteration -----------------------------------
+        active = algorithm.next_active(g, all_changed, n)
+
+        # -- 5. synchronization (or skip) --------------------------------------------
+        skipped = False
+        sync_ms = 0.0
+        uploads = 0
+        if detector is not None and detector.can_skip(partials,
+                                                      changed_by_node):
+            skipped = True
+        else:
+            sync_ms, uploads, needed_by_node = self._sync_cost(
+                changed_by_node, active, width, use_lazy)
+            breakdown["engine"] += sync_ms
+            if mw is not None:
+                self._settle_caches(changed_by_node, needed_by_node,
+                                    values, algorithm)
+
+        return (IterationStats(
+            index=index,
+            active_edges=active_edges,
+            compute_ms=compute_ms,
+            apply_ms=apply_ms,
+            sync_ms=sync_ms,
+            skipped=skipped,
+            changed_vertices=changed_total,
+            uploads=uploads,
+            cache_hits=hits,
+            cache_misses=misses,
+            node_compute_ms=node_ms,
+        ), values, active, changed_total)
+
+    # -- combined local iterations (synchronization skipping, §III-B3) ---------------
+
+    def _run_superstep_combined(self, index: int,
+                                algorithm: AlgorithmTemplate,
+                                values: np.ndarray, active: np.ndarray,
+                                width: int, use_lazy: bool,
+                                breakdown: Dict[str, float]):
+        """One superstep where every node iterates locally to quiescence.
+
+        The §III-B3 mechanism for monotone algorithms: a node applies the
+        messages addressed to its own masters immediately and keeps
+        iterating ("multiple computation iterations can be equivalent to
+        a logically combined iteration"); messages addressed to foreign
+        masters are buffered and delivered at one global synchronization
+        when all nodes are locally quiescent.
+        """
+        g = self.graph
+        n = g.num_vertices
+        mw = self.middleware
+        node_ms: List[float] = []
+        node_apply_ms: List[float] = []
+        hits = misses = 0
+        active_edges = 0
+        max_sub = 0
+        crit_mw_ms = crit_dev_ms = 0.0
+        crit_total = -1.0
+        foreign_buffer = algorithm.empty_messages()
+        local_changed_parts: List[np.ndarray] = []
+        pending_parts: List[np.ndarray] = []
+        new_values = values.copy()
+
+        for part in self.pgraph.parts:
+            own = self._master_sets[part.node_id]
+            agent = mw.agent_for(part.node_id)
+            local_active = active.copy()
+            t_compute = 0.0
+            t_apply = 0.0
+            sub = 0
+            changed_accum: List[np.ndarray] = []
+            mw_ms = dev_ms = 0.0
+            depth_cap = max(1, mw.config.skip_max_local_iterations)
+            pending: np.ndarray = np.empty(0, dtype=np.int64)
+            while True:
+                # combined local iterations always run frontier-driven:
+                # the upper system (and its full triplet view) is not
+                # involved between skipped syncs — nodes iterate from
+                # agent-local data (§III-B3)
+                sel = local_active[part.src]
+                src = part.src[sel]
+                if src.size == 0:
+                    break
+                dst = part.dst[sel]
+                w = part.weights[sel]
+                if sub == 0:
+                    active_edges += int(src.size)
+                res = agent.edge_pass(src, dst, w, new_values, algorithm)
+                t_compute += res.elapsed_ms
+                hits += res.cache_hits
+                misses += res.cache_misses
+                mw_busy = (res.breakdown.get("middleware.download", 0.0)
+                           + res.breakdown.get("middleware.upload", 0.0)
+                           + res.breakdown.get("middleware.init", 0.0))
+                mw_busy = min(mw_busy, res.elapsed_ms)
+                mw_ms += mw_busy
+                dev_ms += res.elapsed_ms - mw_busy
+                sub += 1
+                partial = res.partial
+                if partial.size == 0:
+                    break
+                own_sel = own[partial.ids]
+                local_part = MessageSet(partial.ids[own_sel],
+                                        partial.data[own_sel])
+                foreign_part = MessageSet(partial.ids[~own_sel],
+                                          partial.data[~own_sel])
+                if foreign_part.size:
+                    foreign_buffer = algorithm.combine(foreign_buffer,
+                                                       foreign_part)
+                if local_part.size == 0:
+                    break
+                cand, changed, cost = agent.request_apply(
+                    new_values, local_part, algorithm)
+                t_apply += cost
+                changed = changed[own[changed]] if changed.size else changed
+                if changed.size == 0:
+                    break
+                new_values[changed] = cand[changed]
+                agent.note_master_updates(new_values, changed, algorithm)
+                changed_accum.append(changed)
+                if sub >= depth_cap:
+                    # depth bound reached: hand the unfinished frontier to
+                    # the next superstep instead of fast-forwarding on
+                    pending = changed
+                    break
+                local_active = np.zeros(n, dtype=bool)
+                local_active[changed] = True
+            if pending.size:
+                pending_parts.append(pending)
+            node_ms.append(t_compute)
+            node_apply_ms.append(t_apply)
+            max_sub = max(max_sub, sub)
+            if t_compute + t_apply > crit_total:
+                crit_total = t_compute + t_apply
+                crit_dev_ms = dev_ms
+                crit_mw_ms = mw_ms
+            if changed_accum:
+                local_changed_parts.append(np.concatenate(changed_accum))
+
+        compute_ms = max(node_ms) if node_ms else 0.0
+        apply_ms = max(node_apply_ms) if node_apply_ms else 0.0
+        breakdown["middleware"] += max(crit_mw_ms, 0.0) + apply_ms * 0.5
+        breakdown["device"] += max(crit_dev_ms, 0.0) + apply_ms * 0.5
+
+        # -- global sync: deliver the buffered foreign messages -------------
+        sync_changed: List[np.ndarray] = []
+        changed_by_node: Dict[int, np.ndarray] = {}
+        sync_ms = 0.0
+        uploads = 0
+        skipped = foreign_buffer.size == 0
+        if not skipped:
+            uploads = foreign_buffer.size
+            payload_bytes = (uploads * width * BYTES_PER_CELL
+                             + self._mirror_sync_cells(
+                                 foreign_buffer.ids, width)
+                             * BYTES_PER_CELL)
+            sync_ms = self.cluster.network.sync_ms(
+                self.cluster.num_nodes, payload_bytes)
+            sync_ms += max(node.runtime.sync_fixed_ms
+                           for node in self.cluster.nodes)
+            apply_sync: List[float] = []
+            for part in self.pgraph.parts:
+                own = self._master_sets[part.node_id]
+                sel = own[foreign_buffer.ids]
+                merged_here = MessageSet(foreign_buffer.ids[sel],
+                                         foreign_buffer.data[sel])
+                if merged_here.size == 0:
+                    changed_by_node[part.node_id] = np.empty(
+                        0, dtype=np.int64)
+                    continue
+                agent = mw.agent_for(part.node_id)
+                cand, changed, cost = agent.request_apply(
+                    new_values, merged_here, algorithm)
+                apply_sync.append(cost)
+                changed = changed[own[changed]] if changed.size else changed
+                if changed.size:
+                    new_values[changed] = cand[changed]
+                    agent.note_master_updates(new_values, changed,
+                                              algorithm)
+                    sync_changed.append(changed)
+                changed_by_node[part.node_id] = changed
+            if apply_sync:
+                sync_ms += max(apply_sync)
+            breakdown["engine"] += sync_ms
+            self._invalidate_foreign(changed_by_node)
+
+        # frontier: vertices changed by the sync, frontiers left
+        # unfinished by the depth bound, plus local changes whose
+        # out-edges are stored on other nodes (vertex-cut replicas)
+        frontier_parts = list(sync_changed) + pending_parts
+        for changed in local_changed_parts:
+            cross = changed[~self._stored_local[changed]]
+            if cross.size:
+                frontier_parts.append(cross)
+        all_changed = (np.concatenate(frontier_parts) if frontier_parts
+                       else np.empty(0, dtype=np.int64))
+        active = algorithm.next_active(g, all_changed, n)
+        if all_changed.size == 0:
+            active = np.zeros(n, dtype=bool)
+
+        changed_total = int(all_changed.size)
+        return (IterationStats(
+            index=index,
+            active_edges=active_edges,
+            compute_ms=compute_ms,
+            apply_ms=apply_ms,
+            sync_ms=sync_ms,
+            skipped=skipped,
+            changed_vertices=changed_total,
+            uploads=uploads,
+            cache_hits=hits,
+            cache_misses=misses,
+            node_compute_ms=node_ms,
+            local_iterations=max(max_sub, 1),
+        ), new_values, active, changed_total)
+
+    def _select_edges(self, part, active: np.ndarray,
+                      force_frontier: bool = False):
+        """The edges a node processes this round, per the scan policy.
+
+        A full scan still requires at least one active local source —
+        a node whose partition is entirely quiescent does no work.
+        Event-message algorithms force frontier scans everywhere.
+        """
+        sel = active[part.src]
+        if (self.edge_scan == "full" and not force_frontier
+                and sel.any()):
+            return part.src, part.dst, part.weights
+        return part.src[sel], part.dst[sel], part.weights[sel]
+
+    # -- host-mode cost hooks --------------------------------------------------------
+
+    def _host_edge_pass(self, node_id: int, src: np.ndarray,
+                        dst: np.ndarray, w: np.ndarray,
+                        values: np.ndarray,
+                        algorithm: AlgorithmTemplate
+                        ) -> Tuple[MessageSet, float]:
+        runtime = self.cluster.nodes[node_id].runtime
+        if src.size == 0:
+            return algorithm.empty_messages(), 0.0
+        msgs = algorithm.msg_gen(src, dst, w, values)
+        partial = algorithm.msg_merge(dst, msgs)
+        cost = runtime.compute.kernel_ms(src.size)
+        cost += runtime.apply_ms_per_entity * partial.size
+        return partial, cost
+
+    def _host_apply_ms(self, node_id: int, num_messages: int) -> float:
+        runtime = self.cluster.nodes[node_id].runtime
+        if num_messages == 0:
+            return 0.0
+        return runtime.compute.kernel_ms(num_messages)
+
+    # -- synchronization ----------------------------------------------------------------
+
+    def _sync_cost(self, changed_by_node: Dict[int, np.ndarray],
+                   next_active: np.ndarray, width: int,
+                   use_lazy: bool
+                   ) -> Tuple[float, int, Dict[int, np.ndarray]]:
+        """Network + upload cost of the inter-iteration synchronization.
+
+        Returns ``(sync_ms, uploads, needed_by_node)``; the query lists
+        are reused for Algorithm 3's delivery step (cache refresh).
+        """
+        num_nodes = self.cluster.num_nodes
+        network = self.cluster.network
+
+        # which vertices does each node need next iteration? (query lists)
+        needed_by_node: Dict[int, np.ndarray] = {}
+        if use_lazy:
+            for part in self.pgraph.parts:
+                sel = next_active[part.src]
+                needed_by_node[part.node_id] = np.unique(part.src[sel])
+
+        upload_total = 0
+        slowest_upload = 0.0
+        query_bytes = 0
+        for part in self.pgraph.parts:
+            changed = changed_by_node.get(part.node_id,
+                                          np.empty(0, dtype=np.int64))
+            if use_lazy:
+                foreign_needs = [ids for node, ids in needed_by_node.items()
+                                 if node != part.node_id]
+                if foreign_needs:
+                    queried = np.unique(np.concatenate(foreign_needs))
+                    to_upload = np.intersect1d(changed, queried,
+                                               assume_unique=False)
+                else:
+                    to_upload = np.empty(0, dtype=np.int64)
+                query_bytes += needed_by_node[part.node_id].size * \
+                    BYTES_PER_ID
+            else:
+                to_upload = changed
+            count = int(to_upload.size)
+            upload_total += count
+            runtime = self.cluster.nodes[part.node_id].runtime
+            slowest_upload = max(
+                slowest_upload, runtime.upload_ms_per_entity * count)
+
+        payload_cells = upload_total * width
+        payload_cells += self._mirror_sync_cells(
+            np.concatenate(list(changed_by_node.values()))
+            if changed_by_node else np.empty(0, dtype=np.int64), width)
+        payload_bytes = payload_cells * BYTES_PER_CELL
+
+        sync_ms = network.sync_ms(num_nodes, payload_bytes)
+        if use_lazy:
+            sync_ms += network.broadcast_ms(num_nodes, query_bytes)
+        sync_ms += max(node.runtime.sync_fixed_ms
+                       for node in self.cluster.nodes)
+        sync_ms += slowest_upload
+        return sync_ms, upload_total, needed_by_node
+
+    def _settle_caches(self, changed_by_node: Dict[int, np.ndarray],
+                       needed_by_node: Dict[int, np.ndarray],
+                       values: np.ndarray,
+                       algorithm: AlgorithmTemplate) -> None:
+        """Post-sync cache maintenance on every agent.
+
+        Under lazy uploading (Algorithm 3) the global data queue delivers
+        each agent the queried vertices' fresh values, so foreign changes
+        the node asked for are *refreshed* in place (their delivery was
+        already charged as sync payload); foreign changes it did not
+        query are invalidated and will be re-downloaded on demand.
+        """
+        mw = self.middleware
+        for part in self.pgraph.parts:
+            foreign = [ids for node, ids in changed_by_node.items()
+                       if node != part.node_id]
+            if not foreign:
+                continue
+            stale = np.concatenate(foreign)
+            if stale.size == 0:
+                continue
+            agent = mw.agent_for(part.node_id)
+            needed = needed_by_node.get(part.node_id)
+            if needed is not None and needed.size:
+                delivered = np.intersect1d(stale, needed)
+                agent.refresh_cache(delivered, values, algorithm)
+                remaining = np.setdiff1d(stale, delivered)
+            else:
+                remaining = stale
+            if remaining.size:
+                agent.invalidate_cache(remaining)
+
+    def _invalidate_foreign(self, changed_by_node: Dict[int, np.ndarray]
+                            ) -> None:
+        """Foreign updates stale out the other agents' cache entries."""
+        mw = self.middleware
+        for part in self.pgraph.parts:
+            foreign = [ids for node, ids in changed_by_node.items()
+                       if node != part.node_id]
+            if not foreign:
+                continue
+            stale = np.concatenate(foreign)
+            if stale.size:
+                mw.agent_for(part.node_id).invalidate_cache(stale)

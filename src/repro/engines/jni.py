@@ -1,0 +1,81 @@
+"""JNI transmitter and data packager simulation (§IV-B1).
+
+GraphX runs on the JVM, so every byte the middleware moves crosses the
+JNI boundary.  Naively invoking JVM methods per element "incurs
+significant transmission lags"; the paper's JNI transmitter batches
+transfers through POSIX shared memory and the data packager reorganizes
+bits in place, together yielding "about 3 to 10 times of improvement ...
+compared to direct target function invoking".
+
+This module models that boundary as a per-entity cost with three
+configurations; the GraphX engine derives its runtime k1/k3 from the
+optimized one, and a dedicated bench reproduces the 3-10x claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EngineError
+
+#: per-entity cost of a naive JNI callback round trip (ms)
+NAIVE_JNI_MS_PER_ENTITY = 0.0045
+#: fixed cost of establishing one JNI batch call (ms)
+JNI_BATCH_SETUP_MS = 0.02
+
+
+@dataclass(frozen=True)
+class JNIConfig:
+    """Which §IV-B1 techniques are enabled on the JVM boundary."""
+
+    #: batch many entities into one native call through POSIX shm
+    batched_transfer: bool = True
+    #: bit-organized in-place format conversion (data packager)
+    data_packager: bool = True
+    #: entities per batch when batching is on
+    batch_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise EngineError(f"batch_size must be >= 1, got "
+                              f"{self.batch_size}")
+
+    def transfer_ms(self, num_entities: int) -> float:
+        """Simulated cost of moving ``num_entities`` across the boundary."""
+        if num_entities < 0:
+            raise EngineError(f"negative entity count {num_entities}")
+        if num_entities == 0:
+            return 0.0
+        if not self.batched_transfer:
+            # one JNI callback per entity
+            cost = num_entities * NAIVE_JNI_MS_PER_ENTITY
+        else:
+            batches = -(-num_entities // self.batch_size)
+            per_entity = NAIVE_JNI_MS_PER_ENTITY / 2.5
+            cost = batches * JNI_BATCH_SETUP_MS + num_entities * per_entity
+        if not self.data_packager:
+            # extra copy for format transformation between JVM objects and
+            # native layouts
+            cost *= 1.8
+        return cost
+
+    def ms_per_entity(self, typical_batch: int = 100_000) -> float:
+        """Effective per-entity slope at a representative transfer size."""
+        return self.transfer_ms(typical_batch) / typical_batch
+
+
+#: the naive baseline (direct target function invoking)
+NAIVE_JNI = JNIConfig(batched_transfer=False, data_packager=False)
+
+#: the paper's optimized JNI transmitter + data packager
+OPTIMIZED_JNI = JNIConfig(batched_transfer=True, data_packager=True)
+
+
+def improvement_factor(num_entities: int = 100_000) -> float:
+    """How much the transmitter+packager beat naive invocation.
+
+    The paper reports "about 3 to 10 times"; the bench asserts this.
+    """
+    naive = NAIVE_JNI.transfer_ms(num_entities)
+    optimized = OPTIMIZED_JNI.transfer_ms(num_entities)
+    return naive / optimized

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the GX-Plug reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """An invariant of the discrete-event simulation was violated."""
+
+
+class DeadlockError(SimulationError):
+    """The scheduler ran out of runnable processes while some were blocked."""
+
+
+class ChannelClosedError(SimulationError):
+    """A send/receive was attempted on a closed message channel."""
+
+
+class ShmError(ReproError):
+    """Shared-memory segment misuse (bad key, double create, detach twice)."""
+
+
+class GraphError(ReproError):
+    """Malformed graph input or an out-of-range vertex/edge reference."""
+
+
+class PartitionError(GraphError):
+    """A partitioning request could not be satisfied."""
+
+
+class DeviceError(ReproError):
+    """Accelerator misuse (compute before load, bad block, ...)."""
+
+
+class DeviceFailure(DeviceError):
+    """A device crashed mid-computation (failure injection / recovery).
+
+    Raised by :meth:`repro.accel.device.Accelerator.run` when an injected
+    fault fires; the daemon-agent framework recovers by re-initializing
+    the device and re-running the pass.
+    """
+
+
+class DeviceMemoryError(DeviceError):
+    """The working set exceeds the simulated accelerator's memory capacity.
+
+    Mirrors the paper's Fig. 9(b) observation that Gunrock "gets overflowed"
+    on Twitter and UK-2007 because a single GPU cannot hold the graph.
+    """
+
+
+class MiddlewareError(ReproError):
+    """Errors in the daemon-agent protocol or middleware configuration."""
+
+
+class ProtocolError(MiddlewareError):
+    """An agent or daemon received a message it cannot handle in its state."""
+
+
+class EngineError(ReproError):
+    """Upper-system (GraphX/PowerGraph engine) misuse."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm template implementation broke its contract."""

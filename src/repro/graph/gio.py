@@ -1,0 +1,105 @@
+"""Edge-list IO.
+
+Plain-text edge lists in the SNAP style the paper's datasets ship in::
+
+    # comment lines start with '#'
+    src dst [weight]
+
+Lines are whitespace separated; vertices are non-negative integers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, TextIO, Union
+
+import numpy as np
+
+from ..errors import GraphError
+from .graph import Graph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_edge_list(graph: Graph, path: PathLike,
+                   write_weights: bool = True) -> None:
+    """Write a graph as a SNAP-style edge list."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(f"# {graph.name}\n")
+        f.write(f"# Nodes: {graph.num_vertices} Edges: {graph.num_edges}\n")
+        for s, d, w in graph.edges():
+            if write_weights:
+                f.write(f"{s} {d} {w:.6g}\n")
+            else:
+                f.write(f"{s} {d}\n")
+
+
+def load_edge_list(path: PathLike, num_vertices: Optional[int] = None,
+                   name: Optional[str] = None) -> Graph:
+    """Read a SNAP-style edge list.
+
+    When ``num_vertices`` is omitted it is inferred as ``max id + 1``.
+    """
+    srcs: List[int] = []
+    dsts: List[int] = []
+    weights: List[float] = []
+    saw_weight = False
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{lineno}: expected 'src dst [w]'")
+            try:
+                s, d = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphError(f"{path}:{lineno}: bad vertex id") from exc
+            srcs.append(s)
+            dsts.append(d)
+            if len(parts) >= 3:
+                saw_weight = True
+                try:
+                    weights.append(float(parts[2]))
+                except ValueError as exc:
+                    raise GraphError(f"{path}:{lineno}: bad weight") from exc
+            else:
+                weights.append(1.0)
+    if num_vertices is None:
+        num_vertices = (max(max(srcs), max(dsts)) + 1) if srcs else 0
+    graph_name = name if name is not None else str(path)
+    return Graph.from_edges(num_vertices, np.asarray(srcs, dtype=np.int64),
+                            np.asarray(dsts, dtype=np.int64),
+                            np.asarray(weights) if saw_weight else None,
+                            name=graph_name)
+
+
+def save_npz(graph: Graph, path: PathLike) -> None:
+    """Save a graph in compressed binary form (numpy ``.npz``).
+
+    Orders of magnitude faster than edge lists for the larger twins.
+    """
+    np.savez_compressed(
+        path,
+        num_vertices=np.int64(graph.num_vertices),
+        src=graph.src,
+        dst=graph.dst,
+        weights=graph.weights,
+        name=np.array(graph.name),
+    )
+
+
+def load_npz(path: PathLike) -> Graph:
+    """Load a graph written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        for key in ("num_vertices", "src", "dst", "weights", "name"):
+            if key not in data:
+                raise GraphError(f"{path}: missing array {key!r}")
+        return Graph.from_edges(
+            int(data["num_vertices"]),
+            data["src"],
+            data["dst"],
+            data["weights"],
+            name=str(data["name"]),
+        )

@@ -1,0 +1,107 @@
+"""Graph and partition quality metrics.
+
+Used by the balancing machinery and the documentation examples to reason
+about partitioner choices: edge cut and locality (what drives
+synchronization volume and skipping, §III-B), load balance (the §III-C
+objective), and replication (the vertex-cut storage cost).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..errors import GraphError
+from .graph import Graph
+from .partition import PartitionedGraph
+
+
+def degree_histogram(graph: Graph, bins: int = 10) -> Dict[str, np.ndarray]:
+    """Log-ish histogram of out-degrees: ``{"edges": counts, "bounds"}``."""
+    if bins < 1:
+        raise GraphError(f"need >=1 bins, got {bins}")
+    degrees = graph.out_degrees()
+    max_deg = int(degrees.max()) if degrees.size else 0
+    bounds = np.unique(np.geomspace(1, max(max_deg, 1) + 1,
+                                    bins + 1).astype(np.int64))
+    counts, _ = np.histogram(degrees, bins=np.concatenate([[0], bounds]))
+    return {"counts": counts, "bounds": np.concatenate([[0], bounds])}
+
+
+def degree_skew(graph: Graph) -> float:
+    """Top-5% degree share — near 0.05 for uniform, large for power law."""
+    degrees = np.sort(graph.out_degrees())[::-1]
+    total = degrees.sum()
+    if total == 0:
+        return 0.0
+    top = max(1, degrees.size // 20)
+    return float(degrees[:top].sum() / total)
+
+
+def edge_cut(pgraph: PartitionedGraph) -> int:
+    """Edges whose endpoints have different master nodes."""
+    g = pgraph.graph
+    if g.num_edges == 0:
+        return 0
+    return int((pgraph.master_of[g.src] != pgraph.master_of[g.dst]).sum())
+
+
+def edge_cut_fraction(pgraph: PartitionedGraph) -> float:
+    g = pgraph.graph
+    if g.num_edges == 0:
+        return 0.0
+    return edge_cut(pgraph) / g.num_edges
+
+
+def load_imbalance(pgraph: PartitionedGraph) -> float:
+    """max / mean of per-node edge counts (1.0 = perfectly balanced)."""
+    counts = pgraph.edge_counts().astype(np.float64)
+    mean = counts.mean()
+    if mean == 0:
+        return 1.0
+    return float(counts.max() / mean)
+
+
+def weighted_imbalance(pgraph: PartitionedGraph,
+                       capacities) -> float:
+    """max over nodes of (edges_j / capacity_j), normalized by the ideal.
+
+    The §III-C objective evaluated on an actual partitioning: 1.0 means
+    the partition sizes are exactly proportional to node capacities.
+    """
+    counts = pgraph.edge_counts().astype(np.float64)
+    caps = np.asarray(capacities, dtype=np.float64)
+    if caps.shape != counts.shape:
+        raise GraphError(
+            f"{caps.size} capacities for {counts.size} partitions"
+        )
+    if (caps <= 0).any():
+        raise GraphError("capacities must be positive")
+    total = counts.sum()
+    if total == 0:
+        return 1.0
+    ideal = total / caps.sum()          # finish time if perfectly balanced
+    actual = (counts / caps).max()
+    return float(actual / ideal)
+
+
+def skip_potential(pgraph: PartitionedGraph) -> float:
+    """Fraction of vertices whose out-edges are all partition-local —
+    the static upper bound on synchronization skipping (§III-B3)."""
+    mask = pgraph.out_local_mask()
+    if mask.size == 0:
+        return 1.0
+    return float(mask.mean())
+
+
+def partition_report(pgraph: PartitionedGraph) -> Dict[str, float]:
+    """All partition metrics in one dictionary (for logs and examples)."""
+    return {
+        "partitions": float(pgraph.num_partitions),
+        "edge_cut_fraction": edge_cut_fraction(pgraph),
+        "local_edge_fraction": pgraph.local_edge_fraction(),
+        "replication_factor": pgraph.replication_factor(),
+        "load_imbalance": load_imbalance(pgraph),
+        "skip_potential": skip_potential(pgraph),
+    }

@@ -1,0 +1,50 @@
+"""Simulated process / IPC substrate.
+
+Provides the deterministic discrete-event machinery the middleware runs on:
+
+* :class:`~repro.ipc.simclock.SimClock` — simulated milliseconds;
+* :class:`~repro.ipc.scheduler.Scheduler` — cooperative processes
+  (generators yielding :class:`Sleep` / :class:`Send` / :class:`Recv` /
+  :class:`Spawn` / :class:`Join` / :class:`WaitBarrier` commands);
+* :class:`~repro.ipc.scheduler.Channel` — message channels with latency
+  and per-unit transfer cost;
+* :class:`~repro.ipc.shm.ShmRegistry` — simulated System V shared memory.
+"""
+
+from .simclock import SimClock
+from .scheduler import (
+    Barrier,
+    Channel,
+    Command,
+    Join,
+    Now,
+    ProcessHandle,
+    Recv,
+    Scheduler,
+    Send,
+    Sleep,
+    Spawn,
+    WaitBarrier,
+    run_process,
+)
+from .shm import IPC_PRIVATE, SharedMemorySegment, ShmRegistry
+
+__all__ = [
+    "SimClock",
+    "Scheduler",
+    "ProcessHandle",
+    "Channel",
+    "Barrier",
+    "Command",
+    "Sleep",
+    "Send",
+    "Recv",
+    "Spawn",
+    "Join",
+    "WaitBarrier",
+    "Now",
+    "run_process",
+    "IPC_PRIVATE",
+    "SharedMemorySegment",
+    "ShmRegistry",
+]

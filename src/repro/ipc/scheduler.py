@@ -1,0 +1,392 @@
+"""Cooperative discrete-event process scheduler.
+
+The paper's daemon-agent framework runs daemons and agents as separate OS
+processes exchanging messages (Algorithms 1 and 2).  We reproduce that
+control flow faithfully with *simulated processes*: Python generators that
+yield :class:`Command` objects to a deterministic scheduler.  Simulated
+time only advances through explicit :class:`Sleep` commands, so every run
+is reproducible and the measured makespans can be checked against the
+paper's analytical models.
+
+A process is any generator function.  Inside it::
+
+    def worker(ch):
+        msg = yield Recv(ch)          # block until a message arrives
+        yield Sleep(5.0, "compute")   # charge 5 simulated ms to "compute"
+        yield Send(ch, "done")        # non-blocking send
+        return 42                     # value observable through Join
+
+Commands
+--------
+``Sleep(duration, category=None)``
+    Advance this process's local time; optionally attribute the duration
+    to an accounting category (used for the Fig. 14 middleware cost ratio).
+``Send(channel, message)``
+    Enqueue a message; delivery is delayed by the channel's latency and
+    per-byte cost.  The sender continues immediately.
+``Recv(channel)``
+    Block until a message is deliverable; the message is the yield value.
+``Spawn(generator, name=..., daemon=...)``
+    Start a child process; the yield value is its :class:`ProcessHandle`.
+``Join(handle)``
+    Block until the child finishes; the yield value is its return value.
+``WaitBarrier(barrier)``
+    Block until ``barrier.parties`` processes arrive, then all resume.
+``Now()``
+    The yield value is the current simulated time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Dict, Generator, Iterator, List, Optional, Tuple
+
+from ..errors import ChannelClosedError, DeadlockError, SimulationError
+from .simclock import SimClock
+
+ProcessGen = Generator["Command", Any, Any]
+
+
+class Command:
+    """Base class of all scheduler commands a process may yield."""
+
+    __slots__ = ()
+
+
+class Sleep(Command):
+    """Advance simulated time for the yielding process by ``duration`` ms."""
+
+    __slots__ = ("duration", "category")
+
+    def __init__(self, duration: float, category: Optional[str] = None) -> None:
+        if duration < 0:
+            raise SimulationError(f"cannot sleep a negative duration {duration}")
+        self.duration = float(duration)
+        self.category = category
+
+
+class Send(Command):
+    """Enqueue ``message`` on ``channel`` without blocking the sender."""
+
+    __slots__ = ("channel", "message")
+
+    def __init__(self, channel: "Channel", message: Any) -> None:
+        self.channel = channel
+        self.message = message
+
+
+class Recv(Command):
+    """Block until a message is available on ``channel``."""
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: "Channel") -> None:
+        self.channel = channel
+
+
+class Spawn(Command):
+    """Start a child process from a generator."""
+
+    __slots__ = ("generator", "name", "daemon")
+
+    def __init__(self, generator: ProcessGen, name: str = "proc",
+                 daemon: bool = False) -> None:
+        self.generator = generator
+        self.name = name
+        self.daemon = daemon
+
+
+class Join(Command):
+    """Block until ``handle``'s process terminates; yields its return value."""
+
+    __slots__ = ("handle",)
+
+    def __init__(self, handle: "ProcessHandle") -> None:
+        self.handle = handle
+
+
+class WaitBarrier(Command):
+    """Block until all of the barrier's parties have arrived."""
+
+    __slots__ = ("barrier",)
+
+    def __init__(self, barrier: "Barrier") -> None:
+        self.barrier = barrier
+
+
+class Now(Command):
+    """Yields the current simulated time back to the process."""
+
+    __slots__ = ()
+
+
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+class ProcessHandle:
+    """Observable state of a simulated process."""
+
+    __slots__ = ("name", "daemon", "_gen", "_state", "_result", "_waiters",
+                 "_local_time")
+
+    def __init__(self, gen: ProcessGen, name: str, daemon: bool) -> None:
+        self._gen = gen
+        self.name = name
+        self.daemon = daemon
+        self._state = _READY
+        self._result: Any = None
+        self._waiters: List["ProcessHandle"] = []
+        self._local_time = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self._state == _DONE
+
+    @property
+    def result(self) -> Any:
+        """Return value of the process; only meaningful once :attr:`done`."""
+        if not self.done:
+            raise SimulationError(f"process {self.name!r} has not finished")
+        return self._result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ProcessHandle({self.name!r}, state={self._state})"
+
+
+class Barrier:
+    """A reusable synchronization barrier for ``parties`` processes."""
+
+    __slots__ = ("parties", "_arrived", "generation")
+
+    def __init__(self, parties: int) -> None:
+        if parties < 1:
+            raise SimulationError(f"barrier needs >=1 parties, got {parties}")
+        self.parties = parties
+        self._arrived: List[ProcessHandle] = []
+        self.generation = 0
+
+
+class Channel:
+    """A FIFO message channel with optional delivery latency and byte cost.
+
+    Models the paper's inter-process message exchange (System V message
+    passing between agents and daemons).  ``latency`` is a fixed delivery
+    delay; ``cost_per_unit`` charges delivery time proportional to
+    ``size_of(message)`` for channels that carry bulk data.
+    """
+
+    __slots__ = ("name", "latency", "cost_per_unit", "size_of", "_queue",
+                 "_waiters", "_closed", "messages_sent")
+
+    def __init__(self, name: str = "chan", latency: float = 0.0,
+                 cost_per_unit: float = 0.0, size_of=None) -> None:
+        self.name = name
+        self.latency = float(latency)
+        self.cost_per_unit = float(cost_per_unit)
+        self.size_of = size_of if size_of is not None else (lambda _msg: 1.0)
+        self._queue: deque = deque()  # entries: (deliverable_at, message)
+        self._waiters: deque = deque()  # blocked receiver handles
+        self._closed = False
+        self.messages_sent = 0
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _delivery_delay(self, message: Any) -> float:
+        return self.latency + self.cost_per_unit * float(self.size_of(message))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Channel({self.name!r}, queued={len(self._queue)})"
+
+
+class Scheduler:
+    """Deterministic discrete-event scheduler for simulated processes.
+
+    The run loop pops ``(time, seq)``-ordered resume events; ties are broken
+    by spawn order, so runs are fully reproducible.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: List[Tuple[float, int, ProcessHandle, Any]] = []
+        self._seq = 0
+        self._live = 0          # non-daemon processes not yet done
+        self._blocked = 0       # processes parked on channels/joins/barriers
+        self.time_by_category: Dict[str, float] = {}
+        self.processes: List[ProcessHandle] = []
+
+    # -- public API --------------------------------------------------------
+
+    def spawn(self, gen: ProcessGen, name: str = "proc",
+              daemon: bool = False) -> ProcessHandle:
+        """Register a new process and schedule its first step at ``now``."""
+        handle = ProcessHandle(gen, name, daemon)
+        handle._local_time = self.clock.now
+        self.processes.append(handle)
+        if not daemon:
+            self._live += 1
+        self._schedule(self.clock.now, handle, None)
+        return handle
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until no non-daemon process remains runnable (or ``until``).
+
+        Returns the final simulated time.  Raises :class:`DeadlockError` if
+        non-daemon processes are blocked with no event able to wake them.
+        """
+        while self._heap:
+            t, _seq, proc, value = heapq.heappop(self._heap)
+            if until is not None and t > until:
+                # push back and stop at the horizon
+                heapq.heappush(self._heap, (t, _seq, proc, value))
+                self.clock.advance_to(until)
+                return self.clock.now
+            self.clock.advance_to(t)
+            self._step(proc, value)
+            if self._live == 0:
+                break
+        if self._live > 0 and not self._heap:
+            stuck = [p.name for p in self.processes
+                     if p._state == _BLOCKED and not p.daemon]
+            raise DeadlockError(
+                f"deadlock: no runnable process; blocked: {stuck}"
+            )
+        return self.clock.now
+
+    def category_time(self, category: str) -> float:
+        """Total simulated time charged to ``category`` via Sleep."""
+        return self.time_by_category.get(category, 0.0)
+
+    # -- internals ---------------------------------------------------------
+
+    def _schedule(self, t: float, proc: ProcessHandle, value: Any) -> None:
+        self._seq += 1
+        proc._state = _READY
+        heapq.heappush(self._heap, (t, self._seq, proc, value))
+
+    def _park(self, proc: ProcessHandle) -> None:
+        proc._state = _BLOCKED
+        self._blocked += 1
+
+    def _unpark(self, t: float, proc: ProcessHandle, value: Any) -> None:
+        self._blocked -= 1
+        self._schedule(t, proc, value)
+
+    def _finish(self, proc: ProcessHandle, result: Any) -> None:
+        proc._state = _DONE
+        proc._result = result
+        if not proc.daemon:
+            self._live -= 1
+        now = self.clock.now
+        for waiter in proc._waiters:
+            self._unpark(now, waiter, result)
+        proc._waiters.clear()
+
+    def _step(self, proc: ProcessHandle, value: Any) -> None:
+        """Advance ``proc`` until it blocks, sleeps, or terminates."""
+        proc._state = _RUNNING
+        gen = proc._gen
+        while True:
+            try:
+                cmd = gen.send(value)
+            except StopIteration as stop:
+                self._finish(proc, stop.value)
+                return
+            value = None
+            if isinstance(cmd, Sleep):
+                if cmd.category is not None:
+                    bucket = self.time_by_category
+                    bucket[cmd.category] = (
+                        bucket.get(cmd.category, 0.0) + cmd.duration
+                    )
+                if cmd.duration == 0.0:
+                    value = None
+                    continue
+                self._schedule(self.clock.now + cmd.duration, proc, None)
+                return
+            if isinstance(cmd, Send):
+                self._do_send(cmd.channel, cmd.message)
+                continue
+            if isinstance(cmd, Recv):
+                if self._do_recv(proc, cmd.channel):
+                    return  # parked; will resume with the message later
+                # immediate delivery happened through _schedule; stop here
+                return
+            if isinstance(cmd, Spawn):
+                value = self.spawn(cmd.generator, cmd.name, cmd.daemon)
+                continue
+            if isinstance(cmd, Join):
+                if cmd.handle.done:
+                    value = cmd.handle._result
+                    continue
+                cmd.handle._waiters.append(proc)
+                self._park(proc)
+                return
+            if isinstance(cmd, WaitBarrier):
+                if self._do_barrier(proc, cmd.barrier):
+                    return  # parked until the barrier trips
+                continue
+            if isinstance(cmd, Now):
+                value = self.clock.now
+                continue
+            raise SimulationError(
+                f"process {proc.name!r} yielded a non-command: {cmd!r}"
+            )
+
+    def _do_send(self, channel: Channel, message: Any) -> None:
+        if channel.closed:
+            raise ChannelClosedError(f"send on closed channel {channel.name!r}")
+        channel.messages_sent += 1
+        deliverable_at = self.clock.now + channel._delivery_delay(message)
+        if channel._waiters:
+            waiter = channel._waiters.popleft()
+            self._unpark(deliverable_at, waiter, message)
+        else:
+            channel._queue.append((deliverable_at, message))
+
+    def _do_recv(self, proc: ProcessHandle, channel: Channel) -> bool:
+        """Returns True if the process was parked waiting."""
+        if channel._queue:
+            deliverable_at, message = channel._queue.popleft()
+            resume_at = max(self.clock.now, deliverable_at)
+            self._schedule(resume_at, proc, message)
+            return False
+        if channel.closed:
+            raise ChannelClosedError(f"recv on closed channel {channel.name!r}")
+        channel._waiters.append(proc)
+        self._park(proc)
+        return True
+
+    def _do_barrier(self, proc: ProcessHandle, barrier: Barrier) -> bool:
+        """Returns True if the process was parked waiting on the barrier."""
+        barrier._arrived.append(proc)
+        if len(barrier._arrived) < barrier.parties:
+            self._park(proc)
+            return True
+        # Barrier trips: wake everyone else; the arriving process continues.
+        barrier.generation += 1
+        now = self.clock.now
+        arrived, barrier._arrived = barrier._arrived, []
+        for p in arrived:
+            if p is not proc:
+                self._unpark(now, p, None)
+        return False
+
+
+def run_process(gen: ProcessGen, name: str = "main") -> Tuple[Any, float]:
+    """Convenience: run a single process to completion on a fresh scheduler.
+
+    Returns ``(return_value, elapsed_simulated_time)``.
+    """
+    sched = Scheduler()
+    handle = sched.spawn(gen, name=name)
+    end = sched.run()
+    return handle.result, end

@@ -1,0 +1,77 @@
+"""Tests for device cost models."""
+
+import pytest
+
+from repro.accel import (
+    HOST_JVM,
+    HOST_NATIVE,
+    PRESETS,
+    V100,
+    XEON_ACCEL,
+    DeviceCostModel,
+)
+from repro.errors import DeviceError
+
+
+def model(**overrides):
+    base = dict(name="t", init_ms=10.0, call_ms=1.0,
+                compute_ms_per_entity=0.01, copy_ms_per_entity=0.005,
+                threads=4, memory_bytes=1000)
+    base.update(overrides)
+    return DeviceCostModel(**base)
+
+
+def test_kernel_ms_is_linear_eq2():
+    m = model()
+    assert m.kernel_ms(0) == pytest.approx(1.0)
+    assert m.kernel_ms(100) == pytest.approx(1.0 + 100 * 0.015)
+
+
+def test_per_entity_combines_compute_and_copy():
+    assert model().per_entity_ms == pytest.approx(0.015)
+
+
+def test_capacity_factor_is_reciprocal():
+    m = model()
+    assert m.capacity_factor() == pytest.approx(1.0 / 0.015)
+
+
+def test_scaled_divides_per_entity_costs():
+    m = model().scaled(2.0)
+    assert m.per_entity_ms == pytest.approx(0.0075)
+    assert m.call_ms == 1.0  # fixed costs unchanged
+    assert m.name == "t-x2"
+
+
+def test_scaled_rejects_nonpositive():
+    with pytest.raises(DeviceError):
+        model().scaled(0.0)
+
+
+def test_validation():
+    with pytest.raises(DeviceError):
+        model(init_ms=-1)
+    with pytest.raises(DeviceError):
+        model(compute_ms_per_entity=-0.1)
+    with pytest.raises(DeviceError):
+        model(threads=0)
+    with pytest.raises(DeviceError):
+        model(memory_bytes=-1)
+    with pytest.raises(DeviceError):
+        model().kernel_ms(-5)
+
+
+def test_presets_reflect_paper_hierarchy():
+    """§V-A: GPU=1024-thread model, CPU accelerator=20-thread model;
+    host JVM slower than host native; GPU fastest per entity."""
+    assert V100.threads == 1024
+    assert XEON_ACCEL.threads == 20
+    assert V100.per_entity_ms < XEON_ACCEL.per_entity_ms
+    assert XEON_ACCEL.per_entity_ms < HOST_NATIVE.per_entity_ms
+    assert HOST_NATIVE.per_entity_ms < HOST_JVM.per_entity_ms
+    assert set(PRESETS) == {"v100", "xeon-accel", "host-native", "host-jvm"}
+
+
+def test_gpu_init_dominates_its_call_cost():
+    """Fig 13 premise: device init is orders of magnitude above one call."""
+    assert V100.init_ms > 50 * V100.call_ms

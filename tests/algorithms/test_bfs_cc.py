@@ -1,0 +1,70 @@
+"""Tests for the extension algorithms (BFS, connected components)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, ConnectedComponents
+from repro.errors import AlgorithmError
+from repro.graph import Graph, cycle, path, rmat
+
+
+def test_bfs_levels_on_path():
+    dist = BFS(source=0).reference(path(5))
+    assert dist.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_bfs_unreachable_inf():
+    g = Graph.from_edges(3, [0], [1])
+    dist = BFS(source=0).reference(g)
+    assert np.isinf(dist[2])
+
+
+def test_bfs_ignores_weights():
+    g = Graph.from_edges(3, [0, 1], [1, 2], [100.0, 100.0])
+    dist = BFS(source=0).reference(g)
+    assert dist.tolist() == [0.0, 1.0, 2.0]
+
+
+def test_bfs_source_validation():
+    with pytest.raises(AlgorithmError):
+        BFS(source=10).init_state(path(3))
+
+
+def test_bfs_matches_networkx():
+    nx = pytest.importorskip("networkx")
+    g = rmat(64, 400, seed=6)
+    dist = BFS(source=0).reference(g)
+    ng = nx.DiGraph()
+    ng.add_nodes_from(range(64))
+    ng.add_edges_from(zip(g.src.tolist(), g.dst.tolist()))
+    expected = nx.single_source_shortest_path_length(ng, 0)
+    for v in range(64):
+        if v in expected:
+            assert dist[v] == expected[v]
+        else:
+            assert np.isinf(dist[v])
+
+
+def test_cc_on_undirected_components():
+    # two components: {0,1,2} and {3,4}
+    g = Graph.from_edges(5, [0, 1, 3], [1, 2, 4]).to_undirected()
+    labels = ConnectedComponents().reference(g)
+    assert labels.tolist() == [0.0, 0.0, 0.0, 3.0, 3.0]
+
+
+def test_cc_matches_networkx_components():
+    nx = pytest.importorskip("networkx")
+    g = rmat(80, 160, seed=9).to_undirected()
+    labels = ConnectedComponents().reference(g)
+    ng = nx.Graph()
+    ng.add_nodes_from(range(80))
+    ng.add_edges_from(zip(g.src.tolist(), g.dst.tolist()))
+    for comp in nx.connected_components(ng):
+        comp = sorted(comp)
+        assert len(set(labels[comp].tolist())) == 1
+        assert labels[comp[0]] == float(comp[0])
+
+
+def test_cc_cycle_single_component():
+    labels = ConnectedComponents().reference(cycle(7))
+    assert np.all(labels == 0.0)

@@ -1,0 +1,123 @@
+"""Tests for the k-core and widest-path extension algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import KCore, WidestPath
+from repro.cluster import make_cluster
+from repro.core import GXPlug
+from repro.engines import GraphXEngine, PowerGraphEngine
+from repro.errors import AlgorithmError
+from repro.graph import Graph, complete, path, rmat
+
+
+# -- k-core ---------------------------------------------------------------------
+
+
+def test_kcore_complete_graph_survives():
+    """K_6 (undirected) has degree 10 per vertex in multigraph form."""
+    g = complete(6).to_undirected()
+    values = KCore(k=5).reference(g)
+    assert KCore.core_members(values).size == 6
+
+
+def test_kcore_path_has_no_2core():
+    g = path(10).to_undirected()
+    values = KCore(k=2).reference(g)
+    # a path peels away entirely from its endpoints inward... except that
+    # undirected doubling gives every interior vertex degree 4
+    # (two neighbours x two directions); use k=5 to peel everything
+    values = KCore(k=5).reference(g)
+    assert KCore.core_members(values).size == 0
+
+
+def test_kcore_triangle_with_tail():
+    # triangle 0-1-2 plus tail 2-3: the triangle is the 2-core
+    g = Graph.from_edges(4, [0, 1, 2, 2], [1, 2, 0, 3]).to_undirected()
+    values = KCore(k=2).reference(g)
+    assert KCore.core_members(values).tolist() == [0, 1, 2]
+    assert values[3, 1] == 1.0   # tail removed
+
+
+def test_kcore_matches_networkx():
+    nx = pytest.importorskip("networkx")
+    g = rmat(150, 900, seed=2, weighted=False)
+    # build a simple graph (no parallel edges / self loops) so degrees
+    # match networkx semantics, then symmetrize
+    pairs = {(min(s, d), max(s, d)) for s, d, _ in g.edges() if s != d}
+    src = [p[0] for p in pairs] + [p[1] for p in pairs]
+    dst = [p[1] for p in pairs] + [p[0] for p in pairs]
+    simple = Graph.from_edges(150, src, dst)
+    for k in (2, 3, 5):
+        values = KCore(k=k).reference(simple)
+        mine = set(KCore.core_members(values).tolist())
+        ng = nx.Graph()
+        ng.add_nodes_from(range(150))
+        ng.add_edges_from(pairs)
+        theirs = set(nx.k_core(ng, k).nodes())
+        assert mine == theirs, k
+
+
+def test_kcore_distributed_matches_reference():
+    g = rmat(200, 1600, seed=4).to_undirected()
+    ref = KCore(k=8).reference(g)
+    for engine_cls in (GraphXEngine, PowerGraphEngine):
+        cluster = make_cluster(3, gpus_per_node=1)
+        plug = GXPlug(cluster)
+        res = engine_cls.build(g, cluster, middleware=plug).run(KCore(k=8))
+        assert np.array_equal(res.values, ref), engine_cls.name
+
+
+def test_kcore_validation():
+    with pytest.raises(AlgorithmError):
+        KCore(k=0)
+
+
+def test_kcore_messages_are_events():
+    assert KCore(k=2).requires_frontier_scan
+    assert not KCore(k=2).monotone   # counts are not replay-safe
+
+
+# -- widest path -------------------------------------------------------------------
+
+
+def test_widest_path_simple():
+    #  0 -5-> 1 -3-> 2  and a narrow shortcut 0 -1-> 2
+    g = Graph.from_edges(3, [0, 1, 0], [1, 2, 2], [5.0, 3.0, 1.0])
+    widths = WidestPath(source=0).reference(g)
+    assert widths[0] == np.inf
+    assert widths[1] == 5.0
+    assert widths[2] == 3.0   # through 1, not the width-1 shortcut
+
+
+def test_widest_path_unreachable_is_zero():
+    g = Graph.from_edges(3, [0], [1], [2.0])
+    widths = WidestPath(source=0).reference(g)
+    assert widths[2] == 0.0
+
+
+def test_widest_path_prefers_bottleneck_over_hops():
+    # long wide path beats short narrow one
+    g = Graph.from_edges(4, [0, 1, 2, 0], [1, 2, 3, 3],
+                         [9.0, 8.0, 7.0, 2.0])
+    widths = WidestPath(source=0).reference(g)
+    assert widths[3] == 7.0
+
+
+def test_widest_path_distributed_matches_reference():
+    g = rmat(256, 2048, seed=11)
+    ref = WidestPath(source=0).reference(g)
+    cluster = make_cluster(4, gpus_per_node=1)
+    plug = GXPlug(cluster)
+    res = PowerGraphEngine.build(g, cluster, middleware=plug).run(
+        WidestPath(source=0))
+    assert np.allclose(res.values, ref)
+
+
+def test_widest_path_source_validation():
+    with pytest.raises(AlgorithmError):
+        WidestPath(source=5).init_state(path(3))
+
+
+def test_widest_path_is_replay_safe():
+    assert WidestPath().monotone

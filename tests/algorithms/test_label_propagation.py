@@ -1,0 +1,92 @@
+"""Tests for Label Propagation on the template."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import LabelPropagation
+from repro.graph import Graph, clustered_communities, complete
+
+
+def test_init_labels_are_vertex_ids():
+    g = complete(4)
+    state = LabelPropagation().init_state(g)
+    assert state.values.tolist() == [0.0, 1.0, 2.0, 3.0]
+    assert state.active.all()
+
+
+def test_complete_graph_converges_to_smallest_label():
+    g = complete(5)
+    labels = LabelPropagation().reference(g, iterations=30)
+    # in a clique everyone eventually adopts one community label
+    assert len(set(labels.tolist())) == 1
+
+
+def test_majority_wins():
+    # three vertices vote label onto vertex 3: two have label 7, one label 9
+    g = Graph.from_edges(4, [0, 1, 2], [3, 3, 3])
+    alg = LabelPropagation()
+    values = np.array([7.0, 7.0, 9.0, 3.0])
+    msgs = alg.msg_gen(g.src, g.dst, g.weights, values)
+    merged = alg.msg_merge(g.dst, msgs)
+    new_values, changed = alg.msg_apply(values, merged)
+    assert new_values[3] == 7.0
+    assert changed.tolist() == [3]
+
+
+def test_tie_breaks_toward_smaller_label():
+    g = Graph.from_edges(3, [0, 1], [2, 2])
+    alg = LabelPropagation()
+    values = np.array([5.0, 4.0, 2.0])
+    msgs = alg.msg_gen(g.src, g.dst, g.weights, values)
+    merged = alg.msg_merge(g.dst, msgs)
+    new_values, _ = alg.msg_apply(values, merged)
+    assert new_values[2] == 4.0
+
+
+def test_histogram_merge_sums_counts():
+    alg = LabelPropagation()
+    dst = np.array([1, 1, 1, 2])
+    msgs = np.array([[7.0, 1.0], [7.0, 1.0], [9.0, 1.0], [7.0, 1.0]])
+    merged = alg.msg_merge(dst, msgs)
+    rows = {(int(i), float(l)): float(c)
+            for i, (l, c) in zip(merged.ids, merged.data)}
+    assert rows[(1, 7.0)] == 2.0
+    assert rows[(1, 9.0)] == 1.0
+    assert rows[(2, 7.0)] == 1.0
+
+
+def test_combine_equals_single_merge():
+    """Partial histograms combined across blocks equal one big merge."""
+    alg = LabelPropagation()
+    rng = np.random.default_rng(0)
+    dst = rng.integers(0, 10, 100)
+    msgs = np.column_stack([rng.integers(0, 5, 100).astype(float),
+                            np.ones(100)])
+    whole = alg.msg_merge(dst, msgs)
+    half = 50
+    combined = alg.combine(alg.msg_merge(dst[:half], msgs[:half]),
+                           alg.msg_merge(dst[half:], msgs[half:]))
+    key = lambda ms: sorted(zip(ms.ids.tolist(),
+                                ms.data[:, 0].tolist(),
+                                ms.data[:, 1].tolist()))
+    assert key(whole) == key(combined)
+
+
+def test_communities_detected_on_clustered_graph():
+    g = clustered_communities(4, 30, inter_edge_fraction=0.0, seed=1)
+    labels = LabelPropagation().reference(g, iterations=15)
+    comm = np.arange(g.num_vertices) // 30
+    # labels must never cross communities when there are no inter edges
+    for c in range(4):
+        members = labels[comm == c]
+        assert set(np.unique(members) // 30) == {c}
+
+
+def test_default_cap_is_fifteen():
+    assert LabelPropagation().default_max_iterations == 15
+
+
+def test_isolated_vertex_keeps_label():
+    g = Graph.from_edges(3, [0], [1])
+    labels = LabelPropagation().reference(g, iterations=5)
+    assert labels[2] == 2.0

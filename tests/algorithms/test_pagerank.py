@@ -1,0 +1,84 @@
+"""Tests for PageRank on the template."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank
+from repro.errors import AlgorithmError
+from repro.graph import Graph, cycle, rmat, star
+
+
+def test_cycle_is_fixed_point_at_one():
+    """On a cycle every vertex has in=out=1, so rank 1.0 is stationary."""
+    g = cycle(6)
+    ranks = PageRank().reference(g, iterations=50)
+    assert np.allclose(ranks, 1.0)
+
+
+def test_star_center_gets_no_rank_leaves_equal():
+    g = star(4)  # 0 -> 1..4
+    ranks = PageRank().reference(g, iterations=20)
+    assert ranks[0] == pytest.approx(0.15)
+    leaf = ranks[1]
+    assert np.allclose(ranks[1:], leaf)
+    assert leaf > ranks[0]
+
+
+def test_matches_power_iteration_direct():
+    """Reference agrees with a direct dense power iteration."""
+    g = rmat(32, 256, seed=3)
+    d = 0.85
+    n = g.num_vertices
+    outdeg = g.out_degrees().astype(float)
+    ranks = np.ones(n)
+    for _ in range(10):
+        incoming = np.zeros(n)
+        contrib = np.where(outdeg[g.src] > 0,
+                           ranks[g.src] / np.maximum(outdeg[g.src], 1), 0.0)
+        np.add.at(incoming, g.dst, contrib)
+        ranks = (1 - d) + d * incoming
+    assert np.allclose(PageRank().reference(g, iterations=10), ranks)
+
+
+def test_dangling_vertices_send_nothing():
+    g = Graph.from_edges(3, [0], [1], [1.0])  # 1 and 2 dangle
+    ranks = PageRank().reference(g, iterations=30)
+    assert ranks[2] == pytest.approx(0.15)
+
+
+def test_merge_sums_contributions():
+    alg = PageRank()
+    alg.init_state(cycle(3))
+    merged = alg.msg_merge(np.array([1, 1, 2]),
+                           np.array([[0.5], [0.25], [1.0]]))
+    assert merged.ids.tolist() == [1, 2]
+    assert merged.data[:, 0].tolist() == [0.75, 1.0]
+
+
+def test_all_vertices_stay_active():
+    g = cycle(4)
+    alg = PageRank()
+    alg.init_state(g)
+    active = alg.next_active(g, np.array([1]), 4)
+    assert active.all()
+
+
+def test_msg_gen_before_init_raises():
+    with pytest.raises(AlgorithmError):
+        PageRank().msg_gen(np.array([0]), np.array([1]),
+                           np.array([1.0]), np.array([1.0, 1.0]))
+
+
+def test_param_validation():
+    with pytest.raises(AlgorithmError):
+        PageRank(damping=1.5)
+    with pytest.raises(AlgorithmError):
+        PageRank(damping=0.0)
+    with pytest.raises(AlgorithmError):
+        PageRank(tolerance=-1.0)
+
+
+def test_vertex_with_no_inedges_gets_base_rank():
+    g = Graph.from_edges(2, [0], [1], [1.0])
+    ranks = PageRank().reference(g, iterations=5)
+    assert ranks[0] == pytest.approx(0.15)

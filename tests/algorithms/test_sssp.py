@@ -1,0 +1,105 @@
+"""Tests for multi-source Bellman-Ford on the template."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import MultiSourceSSSP
+from repro.errors import AlgorithmError
+from repro.graph import Graph, path, rmat
+
+
+def line_graph():
+    # 0 -1-> 1 -2-> 2 -3-> 3
+    return Graph.from_edges(4, [0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+
+
+def test_init_state_sources_zero_rest_inf():
+    alg = MultiSourceSSSP(sources=(0, 2))
+    state = alg.init_state(line_graph())
+    assert state.values.shape == (4, 2)
+    assert state.values[0, 0] == 0.0
+    assert state.values[2, 1] == 0.0
+    assert np.isinf(state.values[1, 0])
+    assert state.active.tolist() == [True, False, True, False]
+
+
+def test_reference_distances_line():
+    alg = MultiSourceSSSP(sources=(0,))
+    dist = alg.reference(line_graph())
+    assert dist[:, 0].tolist() == [0.0, 1.0, 3.0, 6.0]
+
+
+def test_reference_multi_source_columns_independent():
+    g = line_graph()
+    multi = MultiSourceSSSP(sources=(0, 1)).reference(g)
+    s0 = MultiSourceSSSP(sources=(0,)).reference(g)
+    s1 = MultiSourceSSSP(sources=(1,)).reference(g)
+    assert np.allclose(multi[:, 0], s0[:, 0], equal_nan=True)
+    assert np.allclose(multi[:, 1], s1[:, 0], equal_nan=True)
+
+
+def test_unreachable_stays_inf():
+    g = Graph.from_edges(3, [0], [1], [1.0])
+    dist = MultiSourceSSSP(sources=(0,)).reference(g)
+    assert np.isinf(dist[2, 0])
+
+
+def test_matches_networkx_on_random_graph():
+    nx = pytest.importorskip("networkx")
+    g = rmat(64, 512, seed=11)
+    dist = MultiSourceSSSP(sources=(0,)).reference(g)
+    ng = nx.DiGraph()
+    ng.add_nodes_from(range(64))
+    for s, d, w in g.edges():
+        # keep the minimum weight for parallel edges, like BF does
+        if ng.has_edge(s, d):
+            ng[s][d]["weight"] = min(ng[s][d]["weight"], w)
+        else:
+            ng.add_edge(s, d, weight=w)
+    expected = nx.single_source_dijkstra_path_length(ng, 0)
+    for v in range(64):
+        if v in expected:
+            assert dist[v, 0] == pytest.approx(expected[v])
+        else:
+            assert np.isinf(dist[v, 0])
+
+
+def test_msg_merge_takes_columnwise_min():
+    alg = MultiSourceSSSP(sources=(0, 1))
+    dst = np.array([5, 5, 7])
+    msgs = np.array([[3.0, 9.0], [4.0, 2.0], [1.0, 1.0]])
+    merged = alg.msg_merge(dst, msgs)
+    assert merged.ids.tolist() == [5, 7]
+    assert merged.data[0].tolist() == [3.0, 2.0]
+
+
+def test_msg_apply_reports_only_improvements():
+    alg = MultiSourceSSSP(sources=(0,))
+    values = np.array([[0.0], [5.0], [2.0]])
+    merged = alg.msg_merge(np.array([1, 2]), np.array([[4.0], [3.0]]))
+    new_values, changed = alg.msg_apply(values, merged)
+    assert changed.tolist() == [1]  # vertex 2 not improved (3 > 2)
+    assert new_values[1, 0] == 4.0
+    assert new_values[2, 0] == 2.0
+    assert values[1, 0] == 5.0  # input untouched
+
+
+def test_empty_messages_apply_is_noop():
+    alg = MultiSourceSSSP(sources=(0,))
+    values = np.array([[0.0], [1.0]])
+    new_values, changed = alg.msg_apply(values, alg.empty_messages())
+    assert changed.size == 0
+    assert np.array_equal(new_values, values)
+
+
+def test_validation():
+    with pytest.raises(AlgorithmError):
+        MultiSourceSSSP(sources=())
+    with pytest.raises(AlgorithmError):
+        MultiSourceSSSP(sources=(9,)).init_state(line_graph())
+
+
+def test_paper_default_four_sources():
+    from repro.algorithms import paper_workloads
+    alg = paper_workloads()["sssp-bf"]
+    assert len(alg.sources) == 4

@@ -1,0 +1,107 @@
+"""Tests for the Gunrock-like and Lux-like comparator systems."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import MultiSourceSSSP, PageRank
+from repro.baselines import (
+    GunrockSystem,
+    LuxSystem,
+    distributed_gpu_fits,
+    global_iteration,
+)
+from repro.errors import DeviceMemoryError, SimulationError
+from repro.graph import load_dataset, rmat
+
+GRAPH = rmat(256, 4096, seed=13)
+
+
+def test_gunrock_computes_correct_results():
+    alg = MultiSourceSSSP(sources=(0, 1))
+    res = GunrockSystem(GRAPH).run(alg)
+    assert np.allclose(res.values, alg.reference(GRAPH), equal_nan=True)
+    assert res.converged
+    assert res.system == "gunrock"
+
+
+def test_lux_computes_correct_results():
+    alg = PageRank()
+    res = LuxSystem(GRAPH, num_gpus=4).run(alg, max_iterations=10)
+    assert np.allclose(res.values, alg.reference(GRAPH, 10))
+
+
+def test_gunrock_fastest_on_single_gpu():
+    """Fig. 9(a): 'Gunrock performs the best on the single-GPU setting'."""
+    alg = PageRank()
+    gunrock = GunrockSystem(GRAPH).run(PageRank(), max_iterations=10)
+    lux = LuxSystem(GRAPH, num_gpus=1).run(PageRank(), max_iterations=10)
+    assert gunrock.total_ms < lux.total_ms
+
+
+def test_gunrock_overflows_on_large_twins():
+    """Fig. 9(b): Twitter and UK-2007 exceed a single GPU."""
+    for name in ("twitter", "uk-2007-02"):
+        system = GunrockSystem(load_dataset(name))
+        assert not system.fits()
+        with pytest.raises(DeviceMemoryError):
+            system.run(PageRank(), max_iterations=1)
+    assert GunrockSystem(load_dataset("orkut")).fits()
+
+
+def test_uk2007_distributed_fit_boundary():
+    """Fig. 9(b): UK-2007 runs at 2-3 GPUs but not 4, for all systems."""
+    uk = load_dataset("uk-2007-02")
+    assert distributed_gpu_fits(uk, 2)
+    assert distributed_gpu_fits(uk, 3)
+    assert not distributed_gpu_fits(uk, 4)
+    twitter = load_dataset("twitter")
+    for g in (2, 3, 4):
+        assert distributed_gpu_fits(twitter, g)
+
+
+def test_lux_oom_raises():
+    uk = load_dataset("uk-2007-02")
+    with pytest.raises(DeviceMemoryError):
+        LuxSystem(uk, num_gpus=4).run(PageRank(), max_iterations=1)
+
+
+def test_lux_scales_down_with_gpus_initially():
+    """More GPUs reduce compute time (until sync dominates)."""
+    alg_runs = {}
+    for g in (1, 2):
+        alg_runs[g] = LuxSystem(GRAPH, num_gpus=g).run(
+            PageRank(), max_iterations=10)
+    # identical results regardless of GPU count
+    assert np.allclose(alg_runs[1].values, alg_runs[2].values)
+
+
+def test_lux_sync_overhead_grows_with_gpus():
+    """Per-iteration sync+coordination cost rises with GPU count."""
+    big = rmat(512, 30_000, seed=2)
+    times = {g: LuxSystem(big, num_gpus=g).run(
+        PageRank(), max_iterations=5).total_ms for g in (2, 8, 16)}
+    # at high GPU counts the eager exchange overwhelms compute savings
+    assert times[16] > times[8]
+
+
+def test_validation():
+    with pytest.raises(SimulationError):
+        LuxSystem(GRAPH, num_gpus=0)
+    with pytest.raises(SimulationError):
+        distributed_gpu_fits(GRAPH, 0)
+
+
+def test_global_iteration_helper():
+    alg = MultiSourceSSSP(sources=(0,))
+    state = alg.init_state(GRAPH)
+    values, changed, d, n_msgs = global_iteration(
+        alg, GRAPH, state.values, state.active)
+    # only source-out edges were active
+    assert d == GRAPH.out_degrees()[0]
+    assert changed.size > 0 or d == 0
+
+
+def test_iteration_ms_recorded():
+    res = GunrockSystem(GRAPH).run(PageRank(), max_iterations=7)
+    assert len(res.iteration_ms) == 7
+    assert res.total_ms > sum(res.iteration_ms)  # setup included

@@ -1,0 +1,69 @@
+"""Tests for run telemetry export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.algorithms import PageRank
+from repro.bench import (
+    iteration_records,
+    read_json,
+    run_summary,
+    write_csv,
+    write_json,
+)
+from repro.bench.trace import FIELDS
+from repro.cluster import make_cluster
+from repro.core import GXPlug
+from repro.engines import PowerGraphEngine
+from repro.graph import rmat
+
+
+@pytest.fixture(scope="module")
+def result():
+    g = rmat(128, 1024, seed=3)
+    cluster = make_cluster(2, gpus_per_node=1)
+    plug = GXPlug(cluster)
+    engine = PowerGraphEngine.build(g, cluster, middleware=plug)
+    return engine.run(PageRank(), max_iterations=4)
+
+
+def test_iteration_records_shape(result):
+    records = iteration_records(result)
+    assert len(records) == result.iterations
+    for i, record in enumerate(records):
+        assert record["iteration"] == i
+        assert set(record) == set(FIELDS)
+        assert record["total_ms"] == pytest.approx(
+            record["compute_ms"] + record["apply_ms"] + record["sync_ms"],
+            abs=1e-5)
+
+
+def test_run_summary_contents(result):
+    summary = run_summary(result)
+    assert summary["engine"] == "powergraph"
+    assert summary["algorithm"] == "pagerank"
+    assert summary["iterations"] == 4
+    assert summary["total_ms"] > 0
+    assert 0 <= summary["middleware_ratio"] <= 1
+    assert "setup" in summary["breakdown"]
+
+
+def test_csv_roundtrip(result, tmp_path):
+    path = tmp_path / "run.csv"
+    write_csv(result, path)
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    assert len(rows) == result.iterations
+    assert float(rows[0]["compute_ms"]) >= 0
+
+
+def test_json_roundtrip(result, tmp_path):
+    path = tmp_path / "run.json"
+    write_json(result, path)
+    doc = read_json(path)
+    assert doc["summary"]["iterations"] == result.iterations
+    assert len(doc["iterations"]) == result.iterations
+    # valid JSON end to end
+    json.dumps(doc)

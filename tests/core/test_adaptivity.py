@@ -1,0 +1,62 @@
+"""Tests for the agent's self-adaptive pipeline coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.accel import make_gpu
+from repro.algorithms import MultiSourceSSSP
+from repro.cluster import DistributedNode, NATIVE_RUNTIME
+from repro.core import MiddlewareConfig
+from repro.core.agent import LOCAL_ACCESS_FACTOR, Agent
+from repro.graph import rmat
+from repro.ipc import ShmRegistry
+
+
+def make_agent(**kw):
+    node = DistributedNode(0, NATIVE_RUNTIME, [make_gpu()])
+    agent = Agent(node, ShmRegistry(), MiddlewareConfig(**kw))
+    agent.connect()
+    return agent
+
+
+def test_k1_adapts_to_warm_cache():
+    g = rmat(128, 2048, seed=41)
+    alg = MultiSourceSSSP(sources=(0,))
+    values = np.zeros((g.num_vertices, 1))
+    agent = make_agent(sync_skip=False)
+    daemon = agent.daemons[0]
+
+    cold_k1 = agent.coefficients_for(daemon).k1
+    raw = NATIVE_RUNTIME.download_ms_per_entity
+    # fresh agent assumes worst-case fetch ratio (1.0) plus join cost
+    assert cold_k1 == pytest.approx(raw * (1.0 + LOCAL_ACCESS_FACTOR))
+
+    agent.edge_pass(g.src, g.dst, g.weights, values, alg)
+    after_cold = agent.coefficients_for(daemon).k1
+    assert after_cold < cold_k1      # rmat dedup already helps
+
+    agent.edge_pass(g.src, g.dst, g.weights, values, alg)
+    warm_k1 = agent.coefficients_for(daemon).k1
+    # fully warm: only the local join cost remains
+    assert warm_k1 == pytest.approx(raw * LOCAL_ACCESS_FACTOR)
+
+
+def test_k3_reflects_lazy_upload():
+    lazy = make_agent(lazy_upload=True, sync_skip=False)
+    eager = make_agent(lazy_upload=False, sync_skip=False)
+    k3_lazy = lazy.coefficients_for(lazy.daemons[0]).k3
+    k3_eager = eager.coefficients_for(eager.daemons[0]).k3
+    assert k3_lazy == pytest.approx(k3_eager * LOCAL_ACCESS_FACTOR)
+
+
+def test_adaptation_shrinks_block_count():
+    """Warm caches shift the Lemma-1 optimum toward fewer, larger blocks."""
+    g = rmat(256, 8192, seed=42)
+    alg = MultiSourceSSSP(sources=(0,))
+    values = np.zeros((g.num_vertices, 1))
+    agent = make_agent(sync_skip=False)
+    first = agent.edge_pass(g.src, g.dst, g.weights, values, alg)
+    agent.edge_pass(g.src, g.dst, g.weights, values, alg)
+    third = agent.edge_pass(g.src, g.dst, g.weights, values, alg)
+    assert third.blocks <= first.blocks
+    assert third.elapsed_ms < first.elapsed_ms

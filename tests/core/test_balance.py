@@ -1,0 +1,165 @@
+"""Tests for workload balancing (Lemmas 2 and 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import make_cpu_accelerator, make_gpu
+from repro.cluster import NATIVE_RUNTIME, DistributedNode
+from repro.core.balance import (
+    accelerators_for_load,
+    balancing_factors,
+    cluster_coefficients,
+    makespan,
+    node_coefficient,
+    optimal_capacity_factors,
+    optimal_makespan,
+    optimal_partition_sizes,
+)
+from repro.errors import MiddlewareError
+
+
+# -- Lemma 2 ------------------------------------------------------------------
+
+
+def test_lemma2_equalizes_finish_times():
+    coeffs = [0.5, 1.0, 2.0]
+    sizes = optimal_partition_sizes(700.0, coeffs)
+    finish = np.asarray(coeffs) * sizes
+    assert np.allclose(finish, finish[0])
+    assert sizes.sum() == pytest.approx(700.0)
+
+
+def test_lemma2_optimum_value():
+    coeffs = [0.5, 1.0, 2.0]
+    sizes = optimal_partition_sizes(700.0, coeffs)
+    assert makespan(sizes, coeffs) == pytest.approx(
+        optimal_makespan(700.0, coeffs))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    coeffs=st.lists(st.floats(0.05, 5.0), min_size=1, max_size=6),
+    total=st.floats(1.0, 1e6),
+)
+def test_lemma2_beats_random_partitions(coeffs, total):
+    """No random partition does better than the Lemma-2 sizes."""
+    optimal = optimal_makespan(total, coeffs)
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        raw = rng.random(len(coeffs)) + 1e-6
+        sizes = raw / raw.sum() * total
+        assert makespan(sizes, coeffs) >= optimal * (1 - 1e-9)
+
+
+def test_balancing_factors_sum_to_one():
+    f = balancing_factors([0.5, 1.0, 2.0])
+    assert f.sum() == pytest.approx(1.0)
+    # the fastest node (smallest c) takes the largest share
+    assert f[0] > f[1] > f[2]
+
+
+def test_even_split_is_suboptimal_for_heterogeneous_nodes():
+    coeffs = [0.2, 1.0]
+    even = makespan([500.0, 500.0], coeffs)
+    best = optimal_makespan(1000.0, coeffs)
+    assert best < even
+
+
+# -- Lemma 3 ------------------------------------------------------------------
+
+
+def test_lemma3_scales_capacity_with_load():
+    sizes = [100.0, 400.0]
+    factors = optimal_capacity_factors(sizes, max_factor=8.0)
+    assert factors[1] == pytest.approx(8.0)       # largest load: full pool
+    assert factors[0] == pytest.approx(2.0)       # quarter load: quarter cap
+
+
+def test_lemma3_equalizes_finish_times():
+    sizes = np.array([100.0, 250.0, 400.0])
+    factors = optimal_capacity_factors(sizes, max_factor=10.0)
+    finish = sizes / factors
+    assert np.allclose(finish, finish[0])
+
+
+def test_lemma3_optimum_is_dstar_over_f():
+    sizes = [100.0, 400.0]
+    f = 8.0
+    factors = optimal_capacity_factors(sizes, f)
+    assert makespan(sizes, 1.0 / factors) == pytest.approx(400.0 / f)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    sizes=st.lists(st.floats(1.0, 1e5), min_size=1, max_size=6),
+    f=st.floats(0.5, 50.0),
+)
+def test_lemma3_no_feasible_assignment_beats_it(sizes, f):
+    """Any capacity assignment bounded by f finishes no earlier."""
+    factors = optimal_capacity_factors(sizes, f)
+    best = makespan(sizes, 1.0 / np.maximum(factors, 1e-12))
+    rng = np.random.default_rng(1)
+    for _ in range(10):
+        trial = rng.uniform(1e-3, f, len(sizes))
+        assert makespan(sizes, 1.0 / trial) >= best * (1 - 1e-9)
+
+
+def test_lemma3_zero_loads():
+    factors = optimal_capacity_factors([0.0, 0.0], 4.0)
+    assert np.all(factors == 0.0)
+
+
+def test_accelerators_for_load_rounds_up():
+    counts = accelerators_for_load([100.0, 400.0], max_factor=8.0,
+                                   unit_factor=3.0)
+    assert counts == [1, 3]  # ideal 2.0 -> 1 unit, ideal 8.0 -> 3 units
+
+
+# -- node coefficient estimation -----------------------------------------------------
+
+
+def test_node_coefficient_prefers_more_accelerators():
+    one_gpu = node_coefficient(NATIVE_RUNTIME, [make_gpu()])
+    two_gpu = node_coefficient(NATIVE_RUNTIME, [make_gpu(), make_gpu(1)])
+    host = node_coefficient(NATIVE_RUNTIME, [])
+    assert two_gpu < one_gpu < host
+
+
+def test_cluster_coefficients_match_nodes():
+    nodes = [
+        DistributedNode(0, NATIVE_RUNTIME, [make_gpu(0)]),
+        DistributedNode(1, NATIVE_RUNTIME, [make_gpu(1), make_cpu_accelerator(2)]),
+    ]
+    coeffs = cluster_coefficients(nodes)
+    assert len(coeffs) == 2
+    assert coeffs[1] < coeffs[0]
+
+
+# -- validation ------------------------------------------------------------------------
+
+
+def test_validation():
+    with pytest.raises(MiddlewareError):
+        makespan([1.0], [1.0, 2.0])
+    with pytest.raises(MiddlewareError):
+        makespan([], [])
+    with pytest.raises(MiddlewareError):
+        optimal_partition_sizes(10.0, [0.0, 1.0])
+    with pytest.raises(MiddlewareError):
+        optimal_partition_sizes(-1.0, [1.0])
+    with pytest.raises(MiddlewareError):
+        optimal_partition_sizes(1.0, [])
+    with pytest.raises(MiddlewareError):
+        optimal_makespan(1.0, [-1.0])
+    with pytest.raises(MiddlewareError):
+        optimal_capacity_factors([], 1.0)
+    with pytest.raises(MiddlewareError):
+        optimal_capacity_factors([1.0], 0.0)
+    with pytest.raises(MiddlewareError):
+        optimal_capacity_factors([-1.0], 1.0)
+    with pytest.raises(MiddlewareError):
+        accelerators_for_load([1.0], 1.0, 0.0)
+    with pytest.raises(MiddlewareError):
+        balancing_factors([0.0])

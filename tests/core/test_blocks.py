@@ -1,0 +1,114 @@
+"""Tests for triplet blocks, block areas and pointer rotation."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import (
+    AreaSet,
+    BlockArea,
+    TripletBlock,
+    VertexEdgeMap,
+    build_blocks,
+)
+from repro.errors import MiddlewareError
+
+
+def make_block(n=4, index=0):
+    return TripletBlock(
+        index=index,
+        src_ids=np.arange(n),
+        dst_ids=np.arange(n) + 1,
+        weights=np.ones(n),
+        src_values=np.ones((n, 2)),
+    )
+
+
+def test_triplet_block_counts():
+    b = make_block(5)
+    assert b.num_entities == 5
+
+
+def test_triplet_block_validation():
+    with pytest.raises(MiddlewareError):
+        TripletBlock(0, np.arange(3), np.arange(2), np.ones(3),
+                     np.ones((3, 1)))
+    with pytest.raises(MiddlewareError):
+        TripletBlock(0, np.arange(3), np.arange(3), np.ones(3),
+                     np.ones((2, 1)))
+
+
+def test_build_blocks_sizes_and_order():
+    src = np.arange(10)
+    blocks = list(build_blocks(src, src + 1, np.ones(10),
+                               np.ones((10, 1)), block_size=4))
+    assert [b.num_entities for b in blocks] == [4, 4, 2]
+    assert [b.index for b in blocks] == [0, 1, 2]
+    assert np.concatenate([b.src_ids for b in blocks]).tolist() == \
+        src.tolist()
+
+
+def test_build_blocks_views_not_copies():
+    """Blocks must be numpy views: zero-copy slicing."""
+    src = np.arange(8)
+    blocks = list(build_blocks(src, src, np.ones(8), np.ones((8, 1)), 3))
+    assert blocks[0].src_ids.base is src
+
+
+def test_build_blocks_validation():
+    with pytest.raises(MiddlewareError):
+        list(build_blocks(np.arange(3), np.arange(3), np.ones(3),
+                          np.ones((3, 1)), 0))
+
+
+def test_area_set_initial_roles_distinct():
+    areas = AreaSet()
+    assert areas.n is not areas.c
+    assert areas.c is not areas.u
+    assert areas.n is not areas.u
+
+
+def test_rotation_moves_roles_not_data():
+    """The §III-A2 guarantee: rotation is pointer shuffling, no copies."""
+    areas = AreaSet()
+    block = make_block()
+    areas.n.block = block
+    n_area, c_area, u_area = areas.n, areas.c, areas.u
+    areas.rotate()
+    # the physical area that held the download is now the compute area
+    assert areas.c is n_area
+    assert areas.c.block is block          # identical object: no copy
+    assert areas.u is c_area
+    assert areas.n is u_area
+    assert areas.rotations == 1
+
+
+def test_three_rotations_return_to_start():
+    areas = AreaSet()
+    start = (areas.n, areas.c, areas.u)
+    for _ in range(3):
+        areas.rotate()
+    assert (areas.n, areas.c, areas.u) == start
+
+
+def test_block_area_clear():
+    area = BlockArea("x")
+    assert area.empty
+    area.block = make_block()
+    assert not area.empty
+    area.clear()
+    assert area.empty
+
+
+def test_vertex_edge_map_lookup():
+    src = np.array([3, 1, 3, 0, 1, 3])
+    vem = VertexEdgeMap.build(src)
+    assert vem.sources().tolist() == [0, 1, 3]
+    assert sorted(src[vem.edges_of(3)].tolist()) == [3, 3, 3]
+    assert vem.edges_of(3).size == 3
+    assert vem.edges_of(1).size == 2
+    assert vem.edges_of(0).size == 1
+    assert vem.edges_of(2).size == 0
+    assert vem.edges_of(99).size == 0
+    # positions actually point at the right edges
+    for v in (0, 1, 3):
+        assert np.all(src[vem.edges_of(v)] == v)

@@ -1,0 +1,124 @@
+"""Model-based property test: LRUVertexCache vs a reference model.
+
+Drives the cache with random operation sequences and checks it against a
+straightforward dictionary model implementing the same policy (decaying
+recency weights, dirty pinning, lowest-weight eviction).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sync_cache import LRUVertexCache
+from repro.errors import MiddlewareError
+
+
+class ModelCache:
+    """Reference implementation: plain dicts, no cleverness."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.values = {}
+        self.weights = {}
+        self.dirty = set()
+        self.gen = 0.0
+
+    def tick(self):
+        self.gen += 1.0
+
+    def lookup(self, v):
+        if v in self.values:
+            self.weights[v] = self.gen
+            return self.values[v]
+        return None
+
+    def _evict(self):
+        candidates = [(w, v) for v, w in self.weights.items()
+                      if v not in self.dirty]
+        if not candidates:
+            raise MiddlewareError("full of dirty")
+        _, victim = min(candidates)
+        del self.values[victim]
+        del self.weights[victim]
+
+    def insert(self, v, value):
+        if v not in self.values and len(self.values) >= self.capacity:
+            self._evict()
+        self.values[v] = value
+        self.weights[v] = self.gen
+
+    def update(self, v, value, dirty=True):
+        self.insert(v, value)
+        if dirty:
+            self.dirty.add(v)
+
+    def invalidate(self, v):
+        self.values.pop(v, None)
+        self.weights.pop(v, None)
+        self.dirty.discard(v)
+
+    def take_dirty(self):
+        out = {v: self.values[v] for v in self.dirty}
+        self.dirty.clear()
+        return out
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("tick")),
+        st.tuples(st.just("lookup"), st.integers(0, 15)),
+        st.tuples(st.just("insert"), st.integers(0, 15)),
+        st.tuples(st.just("update"), st.integers(0, 15),
+                  st.booleans()),
+        st.tuples(st.just("invalidate"), st.integers(0, 15)),
+        st.tuples(st.just("flush")),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=OPS, capacity=st.integers(1, 8))
+def test_cache_matches_model(ops, capacity):
+    real = LRUVertexCache(capacity)
+    model = ModelCache(capacity)
+    counter = 0
+    for op in ops:
+        counter += 1
+        value = np.array([float(counter)])
+        kind = op[0]
+        try:
+            if kind == "tick":
+                real.tick()
+                model.tick()
+            elif kind == "lookup":
+                got = real.lookup(op[1])
+                expected = model.lookup(op[1])
+                assert (got is None) == (expected is None)
+                if got is not None:
+                    assert got[0] == expected[0]
+            elif kind == "insert":
+                real.insert(op[1], value)
+                model.insert(op[1], value)
+            elif kind == "update":
+                real.update(op[1], value, dirty=op[2])
+                model.update(op[1], value, dirty=op[2])
+            elif kind == "invalidate":
+                real.invalidate(op[1])
+                model.invalidate(op[1])
+            elif kind == "flush":
+                got = real.take_dirty()
+                expected = model.take_dirty()
+                assert set(got) == set(expected)
+        except MiddlewareError:
+            # both must agree the cache is wedged full of dirty entries
+            with pytest.raises(MiddlewareError):
+                model._evict()
+            return
+        # invariants after every step
+        assert len(real) == len(model.values)
+        assert set(real.dirty_ids()) == model.dirty
+        assert len(real) <= capacity
+        for v in model.values:
+            assert v in real

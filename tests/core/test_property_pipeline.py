@@ -1,0 +1,124 @@
+"""Property-based tests: the daemon-agent pipeline vs the Eq. 1 model.
+
+For random device coefficients and block sizes (cache off so stage times
+are exactly linear), the simulated protocol of Algorithms 1-2 must
+realize the rotation-synchronized pipeline makespan — Eq. 1 for uniform
+blocks, the stage-time simulator for the ragged last block.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import Accelerator
+from repro.accel.costmodel import DeviceCostModel
+from repro.algorithms import MultiSourceSSSP
+from repro.cluster import DistributedNode, HostRuntime
+from repro.cluster.node import NATIVE_RUNTIME
+from repro.core.agent import Agent, LOCAL_ACCESS_FACTOR
+from repro.core.config import MiddlewareConfig
+from repro.core.pipeline import pipeline_makespan_from_stage_times
+from repro.ipc import ShmRegistry
+
+from dataclasses import replace
+
+
+def make_chain(d):
+    """d edges with distinct sources and destinations (block partials
+    have exactly block-size entries, and per-block unique-vertex fetch
+    counts equal the block size)."""
+    src = np.arange(d, dtype=np.int64)
+    dst = np.arange(d, dtype=np.int64) + d
+    weights = np.ones(d)
+    values = np.zeros((2 * d, 1))
+    return src, dst, weights, values
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    d=st.integers(10, 200),
+    block=st.integers(1, 80),
+    k1=st.floats(0.001, 0.5),
+    k2=st.floats(0.001, 0.5),
+    k3=st.floats(0.001, 0.5),
+    a=st.floats(0.0, 5.0),
+)
+def test_mechanism_matches_stage_time_model(d, block, k1, k2, k3, a):
+    src, dst, weights, values = make_chain(d)
+    model = DeviceCostModel("t", init_ms=0.0, call_ms=a,
+                            compute_ms_per_entity=k2,
+                            copy_ms_per_entity=0.0, threads=1,
+                            memory_bytes=10**9)
+    runtime = replace(NATIVE_RUNTIME, download_ms_per_entity=k1,
+                      upload_ms_per_entity=k3)
+    node = DistributedNode(0, runtime, [Accelerator(model)])
+    agent = Agent(node, ShmRegistry(), MiddlewareConfig(
+        block_size=block, sync_cache=False, lazy_upload=False,
+        sync_skip=False))
+    agent.connect()
+    res = agent.edge_pass(src, dst, weights, values,
+                          MultiSourceSSSP(sources=(0,)))
+
+    sizes = [min(block, d - lo) for lo in range(0, d, block)]
+    # distinct sources: every triplet is a unique-vertex fetch, plus the
+    # per-triplet local join cost
+    times_n = [k1 * b + k1 * LOCAL_ACCESS_FACTOR * b for b in sizes]
+    times_c = [a + k2 * b for b in sizes]
+    times_u = [k3 * b for b in sizes]
+    expected = pipeline_makespan_from_stage_times(times_n, times_c,
+                                                  times_u)
+    assert res.blocks == len(sizes)
+    assert res.elapsed_ms == pytest.approx(expected, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    d=st.integers(20, 150),
+    block=st.integers(2, 60),
+    k1=st.floats(0.001, 0.3),
+    k2=st.floats(0.001, 0.3),
+    k3=st.floats(0.001, 0.3),
+    a=st.floats(0.0, 2.0),
+)
+def test_pipeline_never_slower_than_sequential(d, block, k1, k2, k3, a):
+    """Overlap can only help: pipelined <= 5-step sequential, always."""
+    src, dst, weights, values = make_chain(d)
+    model = DeviceCostModel("t", init_ms=0.0, call_ms=a,
+                            compute_ms_per_entity=k2,
+                            copy_ms_per_entity=0.0, threads=1,
+                            memory_bytes=10**9)
+    runtime = replace(NATIVE_RUNTIME, download_ms_per_entity=k1,
+                      upload_ms_per_entity=k3)
+
+    def run(pipeline):
+        node = DistributedNode(0, runtime, [Accelerator(model)])
+        agent = Agent(node, ShmRegistry(), MiddlewareConfig(
+            pipeline=pipeline, block_size=block, sync_cache=False,
+            lazy_upload=False, sync_skip=False))
+        agent.connect()
+        return agent.edge_pass(src, dst, weights, values,
+                               MultiSourceSSSP(sources=(0,)))
+
+    with_pipe = run(True)
+    without = run(False)
+    assert with_pipe.elapsed_ms <= without.elapsed_ms * (1 + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    times=st.lists(
+        st.tuples(st.floats(0, 10), st.floats(0, 10), st.floats(0, 10)),
+        min_size=0, max_size=12),
+)
+def test_stage_time_simulator_bounds(times):
+    """The rotation-synchronized makespan is bounded below by every
+    single stage's busy time and above by the sum of all stage times."""
+    times_n = [t[0] for t in times]
+    times_c = [t[1] for t in times]
+    times_u = [t[2] for t in times]
+    makespan = pipeline_makespan_from_stage_times(times_n, times_c,
+                                                  times_u)
+    for stage in (times_n, times_c, times_u):
+        assert makespan >= sum(stage) - 1e-9
+    assert makespan <= sum(times_n) + sum(times_c) + sum(times_u) + 1e-9

@@ -1,0 +1,87 @@
+"""Tests for the asynchronous computation model engine."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    ConnectedComponents,
+    LabelPropagation,
+    MultiSourceSSSP,
+    PageRank,
+    WidestPath,
+)
+from repro.cluster import make_cluster
+from repro.core import GXPlug, MiddlewareConfig
+from repro.engines import AsyncEngine, PowerGraphEngine
+from repro.errors import EngineError
+from repro.graph import load_dataset, rmat
+
+GRAPH = rmat(256, 2048, seed=23)
+
+
+def make_engine(config=None):
+    cluster = make_cluster(3, gpus_per_node=1)
+    plug = GXPlug(cluster, config) if config else GXPlug(cluster)
+    return AsyncEngine.build(GRAPH, cluster, middleware=plug)
+
+
+@pytest.mark.parametrize("alg_factory,reference", [
+    (lambda: MultiSourceSSSP(sources=(0, 1)),
+     lambda: MultiSourceSSSP(sources=(0, 1)).reference(GRAPH)),
+    (lambda: BFS(source=0), lambda: BFS(source=0).reference(GRAPH)),
+    (lambda: ConnectedComponents(),
+     lambda: ConnectedComponents().reference(GRAPH)),
+    (lambda: WidestPath(source=0),
+     lambda: WidestPath(source=0).reference(GRAPH)),
+])
+def test_async_matches_reference(alg_factory, reference):
+    result = make_engine().run(alg_factory())
+    assert np.allclose(result.values, reference(), equal_nan=True)
+
+
+def test_async_rejects_non_monotone():
+    engine = make_engine()
+    with pytest.raises(EngineError):
+        engine.run(PageRank())
+    with pytest.raises(EngineError):
+        engine.run(LabelPropagation())
+
+
+def test_async_requires_middleware():
+    cluster = make_cluster(2, gpus_per_node=1)
+    with pytest.raises(EngineError):
+        AsyncEngine.build(GRAPH, cluster, middleware=None)
+
+
+def test_async_combines_iterations_even_without_skip_flag():
+    """force_async: the combined path runs regardless of sync_skip."""
+    config = MiddlewareConfig(sync_skip=False)
+    result = make_engine(config).run(MultiSourceSSSP(sources=(0,)))
+    assert result.computation_iterations >= result.iterations
+
+
+def test_async_fewer_supersteps_than_bsp_on_road_network():
+    g = load_dataset("wrn")
+    alg = lambda: MultiSourceSSSP(sources=(0, 1, 2, 3))
+
+    cluster = make_cluster(4, gpus_per_node=1)
+    plug = GXPlug(cluster, MiddlewareConfig(sync_skip=False))
+    sync_engine = PowerGraphEngine.build(g, cluster, middleware=plug)
+    synchronous = sync_engine.run(alg())
+
+    cluster2 = make_cluster(4, gpus_per_node=1)
+    plug2 = GXPlug(cluster2, MiddlewareConfig(sync_skip=False))
+    async_engine = AsyncEngine.build(g, cluster2, middleware=plug2)
+    asynchronous = async_engine.run(alg())
+
+    assert np.allclose(synchronous.values, asynchronous.values,
+                       equal_nan=True)
+    assert asynchronous.iterations < synchronous.iterations
+
+
+def test_async_engine_metadata():
+    engine = make_engine()
+    assert engine.model == "async"
+    assert engine.name == "async"
+    assert engine.force_async

@@ -1,0 +1,154 @@
+"""Tests for graph partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import (
+    Graph,
+    clustered_communities,
+    clustering_partition,
+    greedy_vertex_cut,
+    hash_partition,
+    partition,
+    range_partition,
+    rmat,
+    uniform_random,
+)
+
+STRATEGIES = ["hash", "range", "clustering", "greedy-vertex-cut"]
+
+
+@pytest.fixture(scope="module")
+def g():
+    return rmat(512, 4096, seed=5)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_every_edge_assigned_exactly_once(g, strategy):
+    pg = partition(g, 4, strategy=strategy)
+    all_ids = np.concatenate([p.edge_ids for p in pg.parts])
+    assert np.sort(all_ids).tolist() == list(range(g.num_edges))
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_every_vertex_has_exactly_one_master(g, strategy):
+    pg = partition(g, 4, strategy=strategy)
+    assert pg.master_of.size == g.num_vertices
+    assert pg.master_of.min() >= 0
+    assert pg.master_of.max() < 4
+    master_union = np.concatenate([p.masters for p in pg.parts])
+    assert np.sort(master_union).tolist() == list(range(g.num_vertices))
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_subgraph_edges_match_graph(g, strategy):
+    pg = partition(g, 3, strategy=strategy)
+    for p in pg.parts:
+        assert np.array_equal(p.src, g.src[p.edge_ids])
+        assert np.array_equal(p.dst, g.dst[p.edge_ids])
+        assert np.array_equal(p.weights, g.weights[p.edge_ids])
+
+
+@pytest.mark.parametrize("strategy", ["hash", "range", "clustering"])
+def test_edge_cut_places_edges_at_source_master(g, strategy):
+    pg = partition(g, 4, strategy=strategy)
+    for p in pg.parts:
+        assert np.all(pg.master_of[p.src] == p.node_id)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_mirrors_disjoint_from_masters(g, strategy):
+    pg = partition(g, 4, strategy=strategy)
+    for p in pg.parts:
+        assert not set(p.mirrors.tolist()) & set(p.masters.tolist())
+        assert set(p.referenced.tolist()) >= set(p.mirrors.tolist())
+
+
+def test_single_partition_trivial(g):
+    pg = hash_partition(g, 1)
+    assert pg.num_partitions == 1
+    assert pg.parts[0].num_edges == g.num_edges
+    assert pg.local_edge_fraction() == 1.0
+    assert pg.out_local_mask().all()
+
+
+def test_balanced_edge_counts_roughly_even(g):
+    pg = range_partition(g, 4)
+    counts = pg.edge_counts()
+    assert counts.sum() == g.num_edges
+    assert counts.max() <= 2.0 * counts.min() + 64
+
+
+def test_shares_skew_partition_sizes(g):
+    pg = range_partition(g, 2, shares=[0.75, 0.25])
+    counts = pg.edge_counts()
+    assert counts[0] > 2.0 * counts[1]
+
+
+def test_shares_validation(g):
+    with pytest.raises(PartitionError):
+        range_partition(g, 2, shares=[1.0])
+    with pytest.raises(PartitionError):
+        range_partition(g, 2, shares=[-1.0, 2.0])
+    with pytest.raises(PartitionError):
+        range_partition(g, 2, shares=[0.0, 0.0])
+
+
+def test_clustering_beats_hash_on_locality():
+    g = clustered_communities(8, 64, seed=3)
+    hash_pg = hash_partition(g, 8)
+    clus_pg = clustering_partition(g, 8, seed=3)
+    assert clus_pg.local_edge_fraction() > hash_pg.local_edge_fraction()
+
+
+def test_out_local_mask_definition(g):
+    pg = hash_partition(g, 4)
+    mask = pg.out_local_mask()
+    # verify against direct computation for a sample of vertices
+    for v in range(0, g.num_vertices, 37):
+        nbrs = g.out_neighbors(v)
+        expected = bool(np.all(pg.master_of[nbrs] == pg.master_of[v]))
+        assert mask[v] == expected
+
+
+def test_vertex_cut_replicates_high_degree_vertices():
+    g = rmat(256, 4096, seed=1)
+    pg = greedy_vertex_cut(g, 4)
+    assert pg.replication_factor() > 1.0
+    # highest-degree vertex should appear on multiple nodes
+    hub = int(np.argmax(g.out_degrees() + g.in_degrees()))
+    appearances = sum(hub in p.referenced for p in pg.parts)
+    assert appearances >= 2
+
+
+def test_vertex_cut_lower_replication_than_random():
+    """Greedy placement should replicate less than scattering edges."""
+    g = rmat(256, 2048, seed=2)
+    greedy = greedy_vertex_cut(g, 4)
+    # a random edge scatter baseline
+    rng = np.random.default_rng(0)
+    owner = rng.integers(0, 4, g.num_edges)
+    appearances = 0
+    for node in range(4):
+        ids = np.nonzero(owner == node)[0]
+        appearances += np.union1d(g.src[ids], g.dst[ids]).size
+    random_rep = appearances / g.num_vertices
+    assert greedy.replication_factor() < random_rep
+
+
+def test_unknown_strategy_raises(g):
+    with pytest.raises(PartitionError):
+        partition(g, 2, strategy="metis")
+
+
+def test_invalid_partition_count(g):
+    with pytest.raises(PartitionError):
+        partition(g, 0)
+
+
+def test_uniform_graph_hash_locality_matches_expectation():
+    g = uniform_random(1000, 10000, seed=4)
+    pg = hash_partition(g, 4)
+    # endpoints are independent => local fraction ~ 1/4
+    assert pg.local_edge_fraction() == pytest.approx(0.25, abs=0.05)

@@ -1,0 +1,315 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import ChannelClosedError, DeadlockError, SimulationError
+from repro.ipc import (
+    Barrier,
+    Channel,
+    Join,
+    Now,
+    Recv,
+    Scheduler,
+    Send,
+    Sleep,
+    Spawn,
+    WaitBarrier,
+    run_process,
+)
+
+
+def test_single_process_sleep_advances_clock():
+    def proc():
+        yield Sleep(10.0)
+        yield Sleep(2.5)
+        return "ok"
+
+    result, elapsed = run_process(proc())
+    assert result == "ok"
+    assert elapsed == pytest.approx(12.5)
+
+
+def test_now_reports_simulated_time():
+    def proc():
+        t0 = yield Now()
+        yield Sleep(7.0)
+        t1 = yield Now()
+        return (t0, t1)
+
+    (t0, t1), _ = run_process(proc())
+    assert t0 == 0.0
+    assert t1 == pytest.approx(7.0)
+
+
+def test_zero_sleep_does_not_advance():
+    def proc():
+        yield Sleep(0.0)
+        return (yield Now())
+
+    t, _ = run_process(proc())
+    assert t == 0.0
+
+
+def test_negative_sleep_rejected():
+    with pytest.raises(SimulationError):
+        Sleep(-1.0)
+
+
+def test_send_recv_roundtrip():
+    ch = Channel("c")
+    log = []
+
+    def producer():
+        yield Sleep(3.0)
+        yield Send(ch, "hello")
+
+    def consumer():
+        msg = yield Recv(ch)
+        log.append((msg, (yield Now())))
+
+    sched = Scheduler()
+    sched.spawn(producer(), "p")
+    sched.spawn(consumer(), "q")
+    sched.run()
+    assert log == [("hello", 3.0)]
+
+
+def test_channel_latency_delays_delivery():
+    ch = Channel("c", latency=5.0)
+
+    def producer():
+        yield Send(ch, "x")
+
+    def consumer():
+        yield Recv(ch)
+        return (yield Now())
+
+    sched = Scheduler()
+    sched.spawn(producer(), "p")
+    h = sched.spawn(consumer(), "q")
+    sched.run()
+    assert h.result == pytest.approx(5.0)
+
+
+def test_channel_per_unit_cost_uses_size_of():
+    ch = Channel("c", cost_per_unit=0.5, size_of=len)
+
+    def producer():
+        yield Send(ch, "abcd")  # 4 units -> 2.0 ms
+
+    def consumer():
+        yield Recv(ch)
+        return (yield Now())
+
+    sched = Scheduler()
+    sched.spawn(producer(), "p")
+    h = sched.spawn(consumer(), "q")
+    sched.run()
+    assert h.result == pytest.approx(2.0)
+
+
+def test_fifo_order_preserved():
+    ch = Channel("c")
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield Send(ch, i)
+
+    def consumer():
+        for _ in range(5):
+            got.append((yield Recv(ch)))
+
+    sched = Scheduler()
+    sched.spawn(producer(), "p")
+    sched.spawn(consumer(), "q")
+    sched.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_spawn_and_join_returns_child_result():
+    def child():
+        yield Sleep(4.0)
+        return 99
+
+    def parent():
+        h = yield Spawn(child(), "child")
+        value = yield Join(h)
+        return value
+
+    result, elapsed = run_process(parent())
+    assert result == 99
+    assert elapsed == pytest.approx(4.0)
+
+
+def test_join_on_already_finished_child():
+    def child():
+        yield Sleep(1.0)
+        return "early"
+
+    def parent():
+        h = yield Spawn(child(), "child")
+        yield Sleep(10.0)
+        value = yield Join(h)
+        return value
+
+    result, elapsed = run_process(parent())
+    assert result == "early"
+    assert elapsed == pytest.approx(10.0)
+
+
+def test_parallel_children_overlap_in_time():
+    def child(d):
+        yield Sleep(d)
+
+    def parent():
+        hs = []
+        for d in (10.0, 6.0, 8.0):
+            hs.append((yield Spawn(child(d), f"c{d}")))
+        for h in hs:
+            yield Join(h)
+
+    _, elapsed = run_process(parent())
+    assert elapsed == pytest.approx(10.0)  # max, not sum
+
+
+def test_barrier_synchronizes_all_parties():
+    bar = Barrier(3)
+    times = {}
+
+    def proc(name, d):
+        yield Sleep(d)
+        yield WaitBarrier(bar)
+        times[name] = yield Now()
+
+    sched = Scheduler()
+    sched.spawn(proc("a", 1.0), "a")
+    sched.spawn(proc("b", 5.0), "b")
+    sched.spawn(proc("c", 3.0), "c")
+    sched.run()
+    assert times == {"a": 5.0, "b": 5.0, "c": 5.0}
+    assert bar.generation == 1
+
+
+def test_barrier_is_reusable():
+    bar = Barrier(2)
+
+    def proc(d):
+        yield Sleep(d)
+        yield WaitBarrier(bar)
+        yield Sleep(d)
+        yield WaitBarrier(bar)
+        return (yield Now())
+
+    sched = Scheduler()
+    h1 = sched.spawn(proc(2.0), "a")
+    h2 = sched.spawn(proc(3.0), "b")
+    sched.run()
+    assert h1.result == h2.result == pytest.approx(6.0)
+    assert bar.generation == 2
+
+
+def test_deadlock_detection():
+    ch = Channel("never")
+
+    def stuck():
+        yield Recv(ch)
+
+    sched = Scheduler()
+    sched.spawn(stuck(), "stuck")
+    with pytest.raises(DeadlockError):
+        sched.run()
+
+
+def test_daemon_process_does_not_block_termination():
+    ch = Channel("never")
+
+    def daemon_loop():
+        while True:
+            yield Recv(ch)
+
+    def main():
+        yield Sleep(1.0)
+        return "done"
+
+    sched = Scheduler()
+    sched.spawn(daemon_loop(), "d", daemon=True)
+    h = sched.spawn(main(), "m")
+    sched.run()
+    assert h.result == "done"
+
+
+def test_send_to_closed_channel_raises():
+    ch = Channel("c")
+    ch.close()
+
+    def proc():
+        yield Send(ch, 1)
+
+    sched = Scheduler()
+    sched.spawn(proc(), "p")
+    with pytest.raises(ChannelClosedError):
+        sched.run()
+
+
+def test_sleep_category_accounting():
+    def proc():
+        yield Sleep(4.0, "middleware")
+        yield Sleep(6.0, "compute")
+        yield Sleep(1.0, "middleware")
+
+    sched = Scheduler()
+    sched.spawn(proc(), "p")
+    sched.run()
+    assert sched.category_time("middleware") == pytest.approx(5.0)
+    assert sched.category_time("compute") == pytest.approx(6.0)
+    assert sched.category_time("unknown") == 0.0
+
+
+def test_run_until_horizon_stops_early():
+    def proc():
+        yield Sleep(100.0)
+
+    sched = Scheduler()
+    sched.spawn(proc(), "p")
+    end = sched.run(until=30.0)
+    assert end == pytest.approx(30.0)
+    # finishing the run afterwards completes the sleep
+    end = sched.run()
+    assert end == pytest.approx(100.0)
+
+
+def test_yielding_garbage_raises():
+    def proc():
+        yield "not a command"
+
+    sched = Scheduler()
+    sched.spawn(proc(), "p")
+    with pytest.raises(SimulationError):
+        sched.run()
+
+
+def test_deterministic_interleaving():
+    """Two identical runs produce identical event orders."""
+
+    def run_once():
+        ch = Channel("c")
+        order = []
+
+        def producer(tag):
+            for i in range(3):
+                yield Sleep(1.0)
+                yield Send(ch, (tag, i))
+
+        def consumer():
+            for _ in range(6):
+                order.append((yield Recv(ch)))
+
+        sched = Scheduler()
+        sched.spawn(producer("a"), "a")
+        sched.spawn(producer("b"), "b")
+        sched.spawn(consumer(), "c")
+        sched.run()
+        return order
+
+    assert run_once() == run_once()

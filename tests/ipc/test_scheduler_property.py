@@ -1,0 +1,108 @@
+"""Property-based tests for the discrete-event scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipc import Join, Recv, Scheduler, Send, Sleep, Spawn, Channel
+
+# a fork-join tree: each node is (own_work, [children])
+work_trees = st.recursive(
+    st.tuples(st.floats(0.0, 10.0), st.just([])),
+    lambda children: st.tuples(st.floats(0.0, 10.0),
+                               st.lists(children, min_size=1, max_size=3)),
+    max_leaves=12,
+)
+
+
+def critical_path(tree) -> float:
+    """Analytic makespan: own work + the slowest child subtree."""
+    own, children = tree
+    if not children:
+        return own
+    return own + max(critical_path(c) for c in children)
+
+
+def run_tree(tree):
+    """Sleep own work, then run children concurrently and join them."""
+    own, children = tree
+    yield Sleep(own)
+    handles = []
+    for child in children:
+        handles.append((yield Spawn(run_tree(child), "child")))
+    for h in handles:
+        yield Join(h)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=work_trees)
+def test_fork_join_makespan_is_critical_path(tree):
+    sched = Scheduler()
+    sched.spawn(run_tree(tree), "root")
+    end = sched.run()
+    assert end == pytest.approx(critical_path(tree))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    batches=st.lists(
+        st.lists(st.floats(0.0, 5.0), min_size=1, max_size=5),
+        min_size=1, max_size=4),
+)
+def test_many_producers_fifo_per_producer(batches):
+    """Each producer's messages arrive in its own send order."""
+    ch = Channel("c")
+    received = []
+
+    def producer(tag, delays):
+        for i, d in enumerate(delays):
+            yield Sleep(d)
+            yield Send(ch, (tag, i))
+
+    def consumer(total):
+        for _ in range(total):
+            received.append((yield Recv(ch)))
+
+    sched = Scheduler()
+    total = sum(len(b) for b in batches)
+    for tag, delays in enumerate(batches):
+        sched.spawn(producer(tag, delays), f"p{tag}")
+    sched.spawn(consumer(total), "c")
+    sched.run()
+    assert len(received) == total
+    for tag in range(len(batches)):
+        seq = [i for (t, i) in received if t == tag]
+        assert seq == sorted(seq)
+
+
+@settings(max_examples=40, deadline=None)
+@given(delays=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=8),
+       latency=st.floats(0.0, 3.0))
+def test_channel_latency_lower_bounds_delivery(delays, latency):
+    """No message is observed before send_time + latency."""
+    ch = Channel("c", latency=latency)
+    observed = []
+
+    def producer():
+        for d in delays:
+            yield Sleep(d)
+            now = yield from _now()
+            yield Send(ch, now)
+
+    def _now():
+        from repro.ipc import Now
+        return (yield Now())
+
+    def consumer():
+        for _ in delays:
+            sent_at = yield Recv(ch)
+            from repro.ipc import Now
+            now = yield Now()
+            observed.append((sent_at, now))
+
+    sched = Scheduler()
+    sched.spawn(producer(), "p")
+    sched.spawn(consumer(), "c")
+    sched.run()
+    for sent_at, seen_at in observed:
+        assert seen_at >= sent_at + latency - 1e-9

@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ALGORITHMS, FIGURES, build_parser, main
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert "repro" in capsys.readouterr().out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_datasets_lists_all_six(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("orkut", "wiki-topcats", "livejournal", "wrn", "twitter",
+                 "uk-2007-02"):
+        assert name in out
+
+
+def test_run_default_job(capsys):
+    rc = main(["run", "--dataset", "wiki-topcats", "--nodes", "2",
+               "--max-iterations", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "powergraph/pagerank" in out
+    assert "middleware ratio" in out
+
+
+def test_run_without_middleware(capsys):
+    rc = main(["run", "--dataset", "wiki-topcats", "--nodes", "2",
+               "--no-middleware", "--max-iterations", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "middleware ratio" not in out
+
+
+def test_run_middleware_without_accelerators_errors(capsys):
+    rc = main(["run", "--dataset", "wiki-topcats", "--gpus", "0"])
+    assert rc == 2
+    assert "accelerators" in capsys.readouterr().err
+
+
+def test_run_every_algorithm(capsys):
+    for alg in sorted(ALGORITHMS):
+        rc = main(["run", "--algorithm", alg, "--dataset", "wiki-topcats",
+                   "--nodes", "2", "--max-iterations", "2",
+                   "--sources", "0"])
+        assert rc == 0, alg
+        assert alg.split("-")[0] in capsys.readouterr().out or True
+
+
+def test_run_graphx_engine(capsys):
+    rc = main(["run", "--engine", "graphx", "--dataset", "wiki-topcats",
+               "--nodes", "2", "--max-iterations", "2"])
+    assert rc == 0
+    assert "graphx/pagerank" in capsys.readouterr().out
+
+
+def test_run_ablation_flags(capsys):
+    rc = main(["run", "--dataset", "wiki-topcats", "--nodes", "2",
+               "--max-iterations", "2", "--no-pipeline", "--no-cache",
+               "--block-size", "512"])
+    assert rc == 0
+
+
+def test_figure_table1(capsys):
+    assert main(["figure", "table1"]) == 0
+    assert "orkut" in capsys.readouterr().out
+
+
+def test_figure_fig13(capsys):
+    assert main(["figure", "fig13"]) == 0
+    out = capsys.readouterr().out
+    assert "daemon-agent" in out and "direct-call" in out
+
+
+def test_figure_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["figure", "fig99"])
+
+
+def test_all_figures_registered():
+    assert set(FIGURES) == {
+        "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
+        "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
+    }
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["run"])
+    assert args.algorithm == "pagerank"
+    assert args.dataset == "orkut"
+    assert args.nodes == 4
+    assert args.gpus == 1
+
+
+def test_run_async_engine(capsys):
+    rc = main(["run", "--engine", "async", "--algorithm", "bfs",
+               "--dataset", "wiki-topcats", "--nodes", "2",
+               "--sources", "0"])
+    assert rc == 0
+    assert "async/bfs" in capsys.readouterr().out
+
+
+def test_run_async_requires_middleware(capsys):
+    rc = main(["run", "--engine", "async", "--no-middleware",
+               "--dataset", "wiki-topcats"])
+    assert rc == 2
+    assert "middleware" in capsys.readouterr().err
+
+
+def test_run_trace_export(tmp_path, capsys):
+    json_path = tmp_path / "t.json"
+    csv_path = tmp_path / "t.csv"
+    rc = main(["run", "--dataset", "wiki-topcats", "--nodes", "2",
+               "--max-iterations", "2",
+               "--trace-json", str(json_path),
+               "--trace-csv", str(csv_path)])
+    assert rc == 0
+    assert json_path.exists() and csv_path.exists()
+    import json as _json
+    doc = _json.loads(json_path.read_text())
+    assert doc["summary"]["iterations"] == 2
