@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Fault tolerance: surviving a daemon crash mid-run.
+
+A deterministic fault plan kills one daemon's device context during
+superstep 3 of a PageRank job.  The middleware detects the failure,
+backs off, respawns the daemon (fresh shared memory segment, device
+re-initialization), and the run completes with ranks identical to the
+fault-free execution.  A second, nastier plan exhausts the retry budget
+entirely: the engine rolls back to the last superstep checkpoint and
+degrades the dead node to its host (CPU) compute path.
+"""
+
+import numpy as np
+
+from repro import (
+    FULL,
+    RESILIENT,
+    FaultPlan,
+    GXPlug,
+    PageRank,
+    PowerGraphEngine,
+    load_dataset,
+    make_cluster,
+)
+from repro.fault import CRASH
+
+
+def run(graph, config):
+    cluster = make_cluster(2, gpus_per_node=1)
+    plug = GXPlug(cluster, config)
+    engine = PowerGraphEngine.build(graph, cluster, middleware=plug)
+    return engine.run(PageRank(), max_iterations=10), plug
+
+
+def main() -> None:
+    graph = load_dataset("wrn")
+    print(f"PageRank on {graph}, 2 nodes x 1 GPU\n")
+
+    # --- 1. the fault-free reference -------------------------------------
+    base, _ = run(graph, FULL)
+    print(f"fault-free:   {base.summary()}")
+
+    # --- 2. daemon crash at superstep 3, transparent recovery ------------
+    crash = FaultPlan.single(CRASH, superstep=3)
+    crashed, plug = run(graph, FULL.with_(fault_plan=crash))
+    drift = np.abs(crashed.values - base.values).max()
+    print(f"with crash:   {crashed.summary()}")
+    print(f"              {plug.fault_report(crashed).summary()}")
+    print(f"              max rank drift vs fault-free: {drift:.2e}")
+    assert drift < 1e-9, "recovery must not change the results"
+
+    # --- 3. a persistent fault: checkpoint rollback + degradation --------
+    # The crash re-arms on every respawn, so the retry budget runs out;
+    # RESILIENT checkpoints every 2 supersteps and degrades the dead
+    # node to the host path instead of failing the job.
+    persistent = FaultPlan.single(CRASH, superstep=4, repeat=10)
+    degraded, plug = run(graph, RESILIENT.with_(fault_plan=persistent))
+    drift = np.abs(degraded.values - base.values).max()
+    print(f"\npersistent:   {degraded.summary()}")
+    print(f"              {plug.fault_report(degraded).summary()}")
+    print(f"              rollbacks={degraded.rollbacks}, "
+          f"degraded nodes={degraded.degraded_nodes}, "
+          f"wasted {degraded.wasted_ms:.1f} simulated ms")
+    print(f"              max rank drift vs fault-free: {drift:.2e}")
+    assert drift < 1e-9
+    assert degraded.degraded_nodes == [0]
+    print("\nBoth faulty runs converged to the fault-free ranks.")
+
+
+if __name__ == "__main__":
+    main()

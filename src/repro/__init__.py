@@ -24,19 +24,37 @@ Quickstart::
 """
 
 from .errors import (
+    AcceleratorsExhausted,
     AlgorithmError,
     ChannelClosedError,
+    CheckpointError,
+    DaemonDead,
     DeadlockError,
     DeviceError,
     DeviceMemoryError,
     EngineError,
+    FaultError,
+    FaultPlanError,
     GraphError,
     MiddlewareError,
     PartitionError,
     ProtocolError,
     ReproError,
+    RetryExhausted,
+    ShmCorruption,
     ShmError,
     SimulationError,
+)
+from .fault import (
+    Checkpoint,
+    CheckpointStore,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultReport,
+    HeartbeatMonitor,
+    RetryPolicy,
+    fault_report,
 )
 from .graph import (
     DATASETS,
@@ -62,6 +80,7 @@ from .cluster import (
 from .core import (
     BASELINE,
     FULL,
+    RESILIENT,
     AlgorithmTemplate,
     GXPlug,
     MessageSet,
@@ -90,7 +109,13 @@ __all__ = [
     "ReproError", "SimulationError", "DeadlockError", "ChannelClosedError",
     "ShmError", "GraphError", "PartitionError", "DeviceError",
     "DeviceMemoryError", "MiddlewareError", "ProtocolError", "EngineError",
-    "AlgorithmError",
+    "AlgorithmError", "FaultError", "FaultPlanError", "DaemonDead",
+    "ShmCorruption", "RetryExhausted", "AcceleratorsExhausted",
+    "CheckpointError",
+    # fault tolerance
+    "FaultEvent", "FaultPlan", "FaultInjector", "HeartbeatMonitor",
+    "RetryPolicy", "Checkpoint", "CheckpointStore", "FaultReport",
+    "fault_report",
     # graph
     "Graph", "rmat", "uniform_random", "partition", "DATASETS",
     "dataset_names", "load_dataset", "load_synthetic_uniform",
@@ -100,7 +125,8 @@ __all__ = [
     "Cluster", "DistributedNode", "NetworkModel", "JVM_RUNTIME",
     "NATIVE_RUNTIME", "make_cluster", "make_heterogeneous_cluster",
     # middleware
-    "GXPlug", "MiddlewareConfig", "FULL", "BASELINE", "AlgorithmTemplate",
+    "GXPlug", "MiddlewareConfig", "FULL", "BASELINE", "RESILIENT",
+    "AlgorithmTemplate",
     "MessageSet", "PipelineCoefficients",
     # engines
     "GraphXEngine", "PowerGraphEngine", "AsyncEngine", "RunResult",

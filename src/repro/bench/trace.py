@@ -17,6 +17,7 @@ FIELDS = [
     "iteration", "active_edges", "compute_ms", "apply_ms", "sync_ms",
     "total_ms", "skipped", "local_iterations", "changed_vertices",
     "uploads", "cache_hits", "cache_misses",
+    "faults_injected", "retries", "recoveries", "checkpoint_ms",
 ]
 
 
@@ -37,6 +38,10 @@ def iteration_records(result: RunResult) -> List[Dict]:
             "uploads": s.uploads,
             "cache_hits": s.cache_hits,
             "cache_misses": s.cache_misses,
+            "faults_injected": s.faults_injected,
+            "retries": s.retries,
+            "recoveries": s.recoveries,
+            "checkpoint_ms": round(s.checkpoint_ms, 6),
         })
     return records
 
@@ -53,6 +58,9 @@ def run_summary(result: RunResult) -> Dict:
         "total_ms": round(result.total_ms, 6),
         "setup_ms": round(result.setup_ms, 6),
         "middleware_ratio": round(result.middleware_ratio, 6),
+        "rollbacks": result.rollbacks,
+        "wasted_ms": round(result.wasted_ms, 6),
+        "degraded_nodes": list(result.degraded_nodes),
         "breakdown": {k: round(v, 6)
                       for k, v in sorted(result.breakdown.items())},
     }

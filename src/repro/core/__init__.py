@@ -22,7 +22,7 @@ from .balance import (
     optimal_partition_sizes,
 )
 from .blocks import AreaSet, BlockArea, TripletBlock, VertexEdgeMap, build_blocks
-from .config import BASELINE, FULL, MiddlewareConfig
+from .config import BASELINE, FULL, RESILIENT, MiddlewareConfig
 from .daemon import Daemon
 from .middleware import GXPlug
 from .pipeline import (
@@ -40,6 +40,7 @@ __all__ = [
     "MiddlewareConfig",
     "FULL",
     "BASELINE",
+    "RESILIENT",
     "Agent",
     "Daemon",
     "EdgePassResult",

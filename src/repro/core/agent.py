@@ -21,8 +21,17 @@ from typing import Dict, Generator, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..cluster.node import DistributedNode
-from ..errors import DeviceFailure, MiddlewareError, ProtocolError
-from ..ipc import Join, Recv, Scheduler, Send, Sleep, Spawn
+from ..errors import (
+    AcceleratorsExhausted,
+    DaemonDead,
+    DeviceFailure,
+    FaultError,
+    MiddlewareError,
+    ProtocolError,
+)
+from ..fault.monitor import HeartbeatMonitor
+from ..fault.retry import RetryPolicy
+from ..ipc import Channel, Join, Now, Recv, Scheduler, Send, Sleep, Spawn
 from ..ipc.shm import ShmRegistry
 from .blocks import TripletBlock, build_blocks
 from .config import MiddlewareConfig
@@ -45,8 +54,9 @@ from .template import AlgorithmTemplate, MessageSet
 #: downloading it from the upper system costs this fraction of k1/k3.
 LOCAL_ACCESS_FACTOR = 0.05
 
-#: A pass survives at most this many injected device faults before the
-#: failure propagates to the caller.
+#: Default retry budget: a pass survives at most this many faults before
+#: the failure propagates (or the node degrades to its host path).
+#: Mirrors ``MiddlewareConfig.max_retry_attempts``.
 MAX_RECOVERY_ATTEMPTS = 3
 
 #: The two data-transfer steps the shared-memory design eliminates
@@ -93,10 +103,16 @@ class Agent:
         #: (cold caches ~ unique-vertex fraction, warm caches ~ 0)
         self._last_fetch_ratio = 1.0
         self.connected = False
+        # fault tolerance: retry policy, degradation state
+        self._retry = RetryPolicy.from_config(config)
+        self.degraded = False
         # lifetime instrumentation
         self.total_middleware_ms = 0.0
         self.total_entities = 0
         self.recoveries = 0
+        self.retries = 0
+        self.recovered_passes = 0
+        self.heartbeat_verdicts = 0
 
     # -- operation interfaces (§IV-A2) --------------------------------------------
 
@@ -221,11 +237,15 @@ class Agent:
                 new_values, changed, device_ms = daemon.apply_messages(
                     algorithm, values, merged)
                 break
-            except DeviceFailure:
+            except DeviceFailure as failure:
                 attempts += 1
                 self.recoveries += 1
-                if attempts > MAX_RECOVERY_ATTEMPTS:
-                    raise
+                self.retries += 1
+                if attempts > self._retry.max_attempts:
+                    self._give_up(failure)
+                cost += self._retry.backoff_ms(attempts)
+        if attempts:
+            self.recovered_passes += 1
         cost += device_ms
         cost += runtime.download_ms_per_entity * merged.size
         cost += runtime.upload_ms_per_entity * changed.size
@@ -286,9 +306,10 @@ class Agent:
         src_rows = algorithm.gather_values(values, src_ids)
 
         # Failure recovery (§II-A's transparent hardware management): a
-        # device fault aborts the pass; the agent resets the protocol,
-        # re-initializes the daemons, and re-runs.  Work fetched before
-        # the fault stays cached, so the retry is cheaper.
+        # device fault, heartbeat verdict, or shm corruption aborts the
+        # pass; the agent backs off, respawns the daemons (fresh segment,
+        # fresh channels, device re-init), and re-runs.  Work fetched
+        # before the fault stays cached, so the retry is cheaper.
         lost_ms = 0.0
         attempts = 0
         while True:
@@ -297,15 +318,20 @@ class Agent:
                  hits_misses) = self._attempt_pass(
                     src_ids, dst_ids, weights, src_rows, algorithm)
                 break
-            except DeviceFailure as failure:
+            except (DeviceFailure, FaultError) as failure:
                 attempts += 1
                 self.recoveries += 1
+                self.retries += 1
+                if isinstance(failure, DaemonDead):
+                    self.heartbeat_verdicts += 1
                 lost_ms += getattr(failure, "elapsed_ms", 0.0)
-                if attempts > MAX_RECOVERY_ATTEMPTS:
-                    raise
+                if attempts > self._retry.max_attempts:
+                    self._give_up(failure)
+                lost_ms += self._retry.backoff_ms(attempts)
                 for daemon in self.daemons:
-                    daemon.reset_protocol()
-                    daemon.accelerator.shutdown()
+                    daemon.respawn()
+        if attempts:
+            self.recovered_passes += 1
         elapsed += lost_ms
         if lost_ms:
             breakdown[CAT_INIT] = breakdown.get(CAT_INIT, 0.0) + lost_ms
@@ -332,19 +358,27 @@ class Agent:
     def _attempt_pass(self, src_ids: np.ndarray, dst_ids: np.ndarray,
                       weights: np.ndarray, src_rows: np.ndarray,
                       algorithm: AlgorithmTemplate):
-        """One attempt at the (pipelined) pass; raises DeviceFailure with
-        the simulated time burned so far attached on a device fault."""
+        """One attempt at the (pipelined) pass; raises DeviceFailure (or a
+        FaultError) with the simulated time burned so far attached."""
         d = int(src_ids.size)
         shares = self._daemon_shares()
         bounds = np.floor(np.cumsum(shares) * d).astype(np.int64)
         bounds[-1] = d
         sched = Scheduler()
+        monitor: Optional[HeartbeatMonitor] = None
+        if self.config.pipeline and self.config.monitor_heartbeats:
+            monitor = HeartbeatMonitor(self.config.heartbeat_interval_ms,
+                                       self.config.heartbeat_timeout_ms)
         collectors: List[List[MessageSet]] = []
         hits_misses = [0, 0]
         lo = 0
         total_blocks = 0
         init_ms = 0.0
         for daemon, hi in zip(self.daemons, bounds):
+            # the pass touches the daemon's segment; catch corruption
+            # before any data is consumed from it
+            daemon.verify_segment()
+            daemon.heartbeat = monitor
             hi = int(hi)
             if hi <= lo:
                 collectors.append([])
@@ -358,6 +392,8 @@ class Agent:
             collector: List[MessageSet] = []
             collectors.append(collector)
             if self.config.pipeline:
+                if monitor is not None:
+                    monitor.register(daemon.daemon_id, sched.clock.now)
                 sched.spawn(daemon.iteration_process(algorithm),
                             name=f"daemon{daemon.daemon_id}", daemon=True)
                 sched.spawn(
@@ -370,6 +406,9 @@ class Agent:
                                              collector),
                     name=f"agent{self.node.node_id}-seq")
             lo = hi
+        if monitor is not None and monitor.tracked:
+            sched.spawn(monitor.watchdog(),
+                        name=f"watchdog{self.node.node_id}", daemon=True)
         if init_ms:
             # devices (re-)initialize before the pass; concurrent daemons
             # overlap, so charge the slowest.
@@ -377,7 +416,7 @@ class Agent:
                 sched.time_by_category.get(CAT_INIT, 0.0) + init_ms)
         try:
             elapsed = sched.run() + init_ms
-        except DeviceFailure as failure:
+        except (DeviceFailure, FaultError) as failure:
             failure.elapsed_ms = sched.clock.now + init_ms
             raise
 
@@ -420,6 +459,35 @@ class Agent:
             raise ProtocolError(
                 f"agent {self.node.node_id}: call connect() first"
             )
+
+    def _give_up(self, failure: Exception) -> None:
+        """Retry budget exhausted: degrade to the host path, or re-raise.
+
+        With ``config.degrade_to_host`` the node's accelerators are
+        written off for the rest of the job and the engine is told to
+        recover (checkpoint rollback + CPU baseline path for this node)
+        via :class:`~repro.errors.AcceleratorsExhausted`.
+        """
+        if self.config.degrade_to_host:
+            self.degraded = True
+            raise AcceleratorsExhausted(
+                f"agent {self.node.node_id}: accelerators exhausted after "
+                f"{self._retry.max_attempts} retries ({failure})",
+                node_id=self.node.node_id,
+            ) from failure
+        raise failure
+
+    def flush_cache(self) -> None:
+        """Drop all cached vertex state (checkpoint rollback support).
+
+        After a rollback the values the cache was warmed with never
+        happened; the next pass re-downloads on demand.
+        """
+        if self.config.sync_cache:
+            capacity = self.config.cache_capacity or 1_000_000
+            self.cache = LRUVertexCache(capacity)
+        self._cached_mask = None
+        self._last_fetch_ratio = 1.0
 
     def _fastest_daemon(self) -> Daemon:
         return min(self.daemons,
@@ -546,6 +614,18 @@ class Agent:
 
     # -- Algorithm 2 (agent side of the pipeline) ------------------------------------------
 
+    def _beat(self, daemon: Daemon, busy_ms: float = 0.0) -> Generator:
+        """Agent-side heartbeat for the pair's monitor entry.
+
+        ``busy_ms > 0`` declares an upcoming leased wait (download /
+        upload): the pair is legitimately silent until it elapses.
+        """
+        if daemon.heartbeat is not None:
+            now = yield Now()
+            daemon.heartbeat.beat(daemon.daemon_id, now,
+                                  busy_until=(now + busy_ms) if busy_ms
+                                  else None)
+
     def _pipeline_process(self, daemon: Daemon,
                           algorithm: AlgorithmTemplate,
                           blocks: List[TripletBlock],
@@ -555,22 +635,36 @@ class Agent:
         first = next(block_iter, None)
         if first is None:
             return
+        yield from self._beat(daemon, busy_ms=self._download_ms(first))
         yield Sleep(self._download_ms(first), CAT_DOWNLOAD)
         areas.n.block = first
         yield Send(daemon.to_daemon, MSG_EXCHANGE_FINISHED)
         upload_h = download_h = None
+        expect_rotate = True
         while True:
             msg = yield Recv(daemon.to_agent)
+            yield from self._beat(daemon)
+            if (msg == MSG_ROTATE_FINISHED) != expect_rotate:
+                # protocol desync: a control message was lost in flight.
+                # Acting on the out-of-order message would silently skip
+                # blocks, so the agent parks without beating; the
+                # watchdog converts the silence into a DaemonDead
+                # verdict and the pass is retried from scratch.
+                yield Recv(Channel(
+                    f"agent{self.node.node_id}-desync{daemon.daemon_id}"))
             if msg == MSG_ROTATE_FINISHED:
+                expect_rotate = False
                 upload_h = yield Spawn(
-                    self._upload_thread(areas, algorithm, collector),
+                    self._upload_thread(daemon, algorithm, collector),
                     name="Thread.Upload", daemon=False)
                 download_h = yield Spawn(
-                    self._download_thread(areas, block_iter),
+                    self._download_thread(daemon, block_iter),
                     name="Thread.Download", daemon=False)
             elif msg == MSG_COMPUTE_FINISHED:
+                expect_rotate = True
                 yield Join(upload_h)
                 yield Join(download_h)
+                yield from self._beat(daemon)
                 yield Send(daemon.to_daemon, MSG_EXCHANGE_FINISHED)
             elif msg == MSG_COMPUTE_ALL_FINISHED:
                 yield Join(upload_h)
@@ -581,23 +675,25 @@ class Agent:
                     f"agent {self.node.node_id}: unexpected message {msg!r}"
                 )
 
-    def _upload_thread(self, areas, algorithm: AlgorithmTemplate,
+    def _upload_thread(self, daemon: Daemon, algorithm: AlgorithmTemplate,
                        collector: List[MessageSet]) -> Generator:
-        area = areas.u
+        area = daemon.areas.u
         result = area.result
         if result is None:
             return
+        yield from self._beat(daemon, busy_ms=self._upload_ms(result))
         yield Sleep(self._upload_ms(result), CAT_UPLOAD)
         collector.append(result)
         area.clear()
 
-    def _download_thread(self, areas, block_iter: Iterator[TripletBlock]
-                         ) -> Generator:
+    def _download_thread(self, daemon: Daemon,
+                         block_iter: Iterator[TripletBlock]) -> Generator:
         block = next(block_iter, None)
         if block is None:
             return
+        yield from self._beat(daemon, busy_ms=self._download_ms(block))
         yield Sleep(self._download_ms(block), CAT_DOWNLOAD)
-        areas.n.block = block
+        daemon.areas.n.block = block
 
     # -- the 5-step sequential flow (pipeline disabled) -----------------------------------------
 

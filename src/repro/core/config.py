@@ -8,6 +8,11 @@ evaluates, so each figure's bench is an ablation of exactly one knob:
 * ``sync_skip``                      — §III-B3 (Fig. 11(b))
 * ``balance``                        — §III-C  (Fig. 12)
 * ``runtime_isolation``              — §IV-C   (Fig. 13)
+
+plus the fault-tolerance subsystem's knobs (``fault_plan``,
+``monitor_heartbeats``, ``checkpoint_interval``, the retry policy and
+``degrade_to_host``) — see :mod:`repro.fault` and
+``docs/fault_tolerance.md``.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..errors import MiddlewareError
+from ..fault.inject import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -64,6 +70,46 @@ class MiddlewareConfig:
     #: Extra invariant checking inside the middleware (tests only).
     validate: bool = False
 
+    # -- fault tolerance (repro.fault) ------------------------------------
+
+    #: Deterministic fault schedule to inject, armed superstep by
+    #: superstep; ``None`` injects nothing.
+    fault_plan: Optional[FaultPlan] = None
+
+    #: Per-daemon heartbeats with a watchdog on every pipelined pass.
+    #: Required to *detect* stall faults (hangs, dropped control
+    #: messages); off by default so fault-free deployments pay nothing.
+    monitor_heartbeats: bool = False
+
+    #: Watchdog wake period on the simulated clock.
+    heartbeat_interval_ms: float = 2.0
+
+    #: Silence (past any busy lease) tolerated before a daemon is
+    #: declared dead.  Detection latency for a stalled pass is at most
+    #: ``timeout + interval`` simulated ms.
+    heartbeat_timeout_ms: float = 12.0
+
+    #: Checkpoint the vertex tables every N supersteps (0 disables).
+    #: With checkpoints, unrecoverable faults roll back to the last
+    #: consistent superstep instead of restarting from iteration 0.
+    checkpoint_interval: int = 0
+
+    #: Checkpoint cost model: per-cell and fixed simulated cost of one
+    #: vertex-table snapshot (and of reading it back on rollback).
+    checkpoint_ms_per_cell: float = 2e-5
+    checkpoint_fixed_ms: float = 0.5
+
+    #: Transient-fault retry policy (exponential backoff).
+    max_retry_attempts: int = 3
+    retry_base_delay_ms: float = 0.5
+    retry_backoff_factor: float = 2.0
+
+    #: When a node's accelerators stay broken past the retry budget,
+    #: degrade that node to the host (CPU baseline) compute path instead
+    #: of failing the job.  Off by default: exhaustion re-raises, which
+    #: is the pre-fault-subsystem behaviour.
+    degrade_to_host: bool = False
+
     def __post_init__(self) -> None:
         if self.block_size is not None and self.block_size < 1:
             raise MiddlewareError(
@@ -87,6 +133,50 @@ class MiddlewareConfig:
             raise MiddlewareError(
                 "sync_skip builds on synchronization caching (§III-B3)"
             )
+        if self.heartbeat_interval_ms <= 0:
+            raise MiddlewareError(
+                f"heartbeat_interval_ms must be > 0, got "
+                f"{self.heartbeat_interval_ms}"
+            )
+        if self.heartbeat_timeout_ms < self.heartbeat_interval_ms:
+            raise MiddlewareError(
+                f"heartbeat_timeout_ms ({self.heartbeat_timeout_ms}) must "
+                f"be >= heartbeat_interval_ms "
+                f"({self.heartbeat_interval_ms})"
+            )
+        if self.monitor_heartbeats and not self.pipeline:
+            raise MiddlewareError(
+                "monitor_heartbeats requires the pipelined protocol: "
+                "heartbeats ride on the Algorithm 1-2 message exchange"
+            )
+        if self.checkpoint_interval < 0:
+            raise MiddlewareError(
+                f"checkpoint_interval must be >= 0, got "
+                f"{self.checkpoint_interval}"
+            )
+        if min(self.checkpoint_ms_per_cell, self.checkpoint_fixed_ms) < 0:
+            raise MiddlewareError("negative checkpoint cost model")
+        if self.max_retry_attempts < 0:
+            raise MiddlewareError(
+                f"max_retry_attempts must be >= 0, got "
+                f"{self.max_retry_attempts}"
+            )
+        if self.retry_base_delay_ms < 0:
+            raise MiddlewareError(
+                f"retry_base_delay_ms must be >= 0, got "
+                f"{self.retry_base_delay_ms}"
+            )
+        if self.retry_backoff_factor < 1.0:
+            raise MiddlewareError(
+                f"retry_backoff_factor must be >= 1, got "
+                f"{self.retry_backoff_factor}"
+            )
+        if (self.fault_plan is not None and self.fault_plan.requires_monitor
+                and not self.monitor_heartbeats):
+            raise MiddlewareError(
+                "the fault plan contains stall faults (hang / message "
+                "drop); detecting them requires monitor_heartbeats=True"
+            )
 
     def with_(self, **changes) -> "MiddlewareConfig":
         """A copy with the given fields replaced."""
@@ -103,4 +193,12 @@ BASELINE = MiddlewareConfig(
     lazy_upload=False,
     sync_skip=False,
     balance=False,
+)
+
+#: FULL plus the fault-tolerance layer: heartbeat monitoring, periodic
+#: superstep checkpoints, and CPU degradation when accelerators die.
+RESILIENT = MiddlewareConfig(
+    monitor_heartbeats=True,
+    checkpoint_interval=2,
+    degrade_to_host=True,
 )

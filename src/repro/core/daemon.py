@@ -23,8 +23,8 @@ from typing import Generator, Optional, Tuple
 import numpy as np
 
 from ..accel.device import Accelerator
-from ..errors import ProtocolError
-from ..ipc import Channel, Recv, Send, Sleep
+from ..errors import ProtocolError, ShmError
+from ..ipc import Channel, Now, Recv, Send, Sleep
 from ..ipc.shm import ShmRegistry
 from .blocks import AreaSet, TripletBlock
 from .config import MiddlewareConfig
@@ -45,6 +45,9 @@ CAT_DOWNLOAD = "middleware.download"
 CAT_UPLOAD = "middleware.upload"
 CAT_INIT = "middleware.init"
 
+#: Simulated time burned by an injected daemon hang (fault subsystem).
+CAT_HANG = "fault.hang"
+
 
 class Daemon:
     """One accelerator's daemon: template holder + iteration control."""
@@ -53,6 +56,7 @@ class Daemon:
                  registry: ShmRegistry, config: MiddlewareConfig) -> None:
         self.daemon_id = daemon_id
         self.accelerator = accelerator
+        self.registry = registry
         self.config = config
         # the daemon's unique System V key and shared segment (§II-B)
         self.key = DAEMON_KEY_BASE + daemon_id
@@ -63,6 +67,13 @@ class Daemon:
         self.to_daemon = Channel(f"agent->daemon{daemon_id}")
         self.to_agent = Channel(f"daemon{daemon_id}->agent")
         self.blocks_computed = 0
+        # fault subsystem state: the pair's heartbeat monitor for the
+        # current pass, plus armed-but-unfired injected faults
+        self.heartbeat = None
+        self.pending_hang_ms: Optional[float] = None
+        self.pending_crashes = 0
+        self.crash_after_kernels = 0
+        self.respawns = 0
 
     def reset_protocol(self) -> None:
         """Recover from a mid-pass failure: drop in-flight blocks and
@@ -72,6 +83,41 @@ class Daemon:
             area.clear()
         self.to_daemon = Channel(f"agent->daemon{self.daemon_id}")
         self.to_agent = Channel(f"daemon{self.daemon_id}->agent")
+
+    def verify_segment(self) -> None:
+        """Integrity-check the daemon's shared memory before a pass.
+
+        Raises :class:`~repro.errors.ShmCorruption`; the agent's recovery
+        loop answers by respawning the daemon (segment rebuilt).
+        """
+        self.segment.verify()
+
+    def respawn(self) -> None:
+        """Full daemon restart after an unrecoverable-in-place fault.
+
+        The old process's System V segment dies with it; a fresh segment
+        is re-created and re-attached through the registry, the block
+        areas and control channels are rebuilt, and the device context is
+        released so the next pass pays re-initialization.  A recurring
+        crash plan re-arms itself here (that is what lets a fault plan
+        exhaust the retry budget deterministically).
+        """
+        self.respawns += 1
+        self.accelerator.shutdown()
+        try:
+            self.registry.shmrm(self.key)
+        except ShmError:  # pragma: no cover - segment already gone
+            pass
+        self.segment = self.registry.shmget(self.key).attach(
+            f"daemon-{self.daemon_id}")
+        self.areas = AreaSet()
+        self.segment.put("areas", self.areas)
+        self.to_daemon = Channel(f"agent->daemon{self.daemon_id}")
+        self.to_agent = Channel(f"daemon{self.daemon_id}->agent")
+        self.pending_hang_ms = None
+        if self.pending_crashes > 0:
+            self.pending_crashes -= 1
+            self.accelerator.inject_failure(self.crash_after_kernels)
 
     # -- device lifecycle --------------------------------------------------------
 
@@ -139,13 +185,26 @@ class Daemon:
         """
         while True:
             msg = yield Recv(self.to_daemon)
+            if self.heartbeat is not None:
+                now = yield Now()
+                self.heartbeat.beat(self.daemon_id, now)
             if msg == MSG_EXCHANGE_FINISHED:
                 self.areas.rotate()
                 yield Send(self.to_agent, MSG_ROTATE_FINISHED)
+                if self.pending_hang_ms is not None:
+                    # injected hang: the daemon goes silent without a
+                    # busy lease, so the watchdog sees missed heartbeats
+                    hang_ms, self.pending_hang_ms = self.pending_hang_ms, None
+                    yield Sleep(hang_ms, CAT_HANG)
                 area = self.areas.c
                 if area.block is not None:
                     block = area.block
                     result, duration = self.compute_block(algorithm, block)
+                    if self.heartbeat is not None:
+                        # legitimate silence: lease the kernel's duration
+                        now = yield Now()
+                        self.heartbeat.beat(self.daemon_id, now,
+                                            busy_until=now + duration)
                     yield Sleep(duration, CAT_COMPUTE)
                     # result replaces the block in situ (*c <- com_dev.data)
                     area.block = None

@@ -16,6 +16,8 @@ from typing import Dict, List, Optional
 
 from ..cluster.cluster import Cluster
 from ..errors import MiddlewareError
+from ..fault.inject import FaultInjector
+from ..fault.report import FaultReport, fault_report
 from ..ipc.shm import ShmRegistry
 from .agent import Agent
 from .config import MiddlewareConfig
@@ -48,6 +50,12 @@ class GXPlug:
         }
         self.queues = GlobalQueues()
         self.connected = False
+        # fault subsystem: the injector holds the deterministic schedule
+        # and arms it superstep by superstep (engines call arm_faults)
+        self.injector: Optional[FaultInjector] = None
+        if self.config.fault_plan is not None:
+            self.injector = FaultInjector(self.config.fault_plan)
+            self.injector.validate_against(self.agents)
 
     def connect_all(self) -> float:
         """Connect every agent; returns the total simulated setup cost.
@@ -72,6 +80,22 @@ class GXPlug:
         if node_id not in self.agents:
             raise MiddlewareError(f"no agent for node {node_id}")
         return self.agents[node_id]
+
+    def arm_faults(self, superstep: int) -> int:
+        """Arm the fault plan's events for ``superstep``; returns how many
+        fired.  A no-op without a plan (the common case)."""
+        if self.injector is None:
+            return 0
+        return self.injector.arm(superstep, self.agents)
+
+    def fault_report(self, result=None) -> FaultReport:
+        """Aggregate fault/recovery counters across the deployment."""
+        return fault_report(self, result)
+
+    def degraded_nodes(self) -> List[int]:
+        """Nodes that fell back to their host compute path."""
+        return sorted(node_id for node_id, agent in self.agents.items()
+                      if agent.degraded)
 
     def total_middleware_ms(self) -> float:
         return sum(a.total_middleware_ms for a in self.agents.values())

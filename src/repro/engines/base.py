@@ -37,13 +37,19 @@ from ..core.config import MiddlewareConfig
 from ..core.middleware import GXPlug
 from ..core.sync_skip import SkipDetector
 from ..core.template import AlgorithmTemplate, MessageSet
-from ..errors import EngineError
+from ..errors import AcceleratorsExhausted, EngineError
+from ..fault.checkpoint import CheckpointStore
 from ..graph.partition import PartitionedGraph
 
 #: simulated bytes per float64 payload cell crossing the network
 BYTES_PER_CELL = 8
 #: simulated bytes per vertex id in the global query queue broadcast
 BYTES_PER_ID = 8
+
+#: Rollback budget floor: every rollback permanently degrades at least one
+#: node to its host path, so a run can need at most one per node (the
+#: effective limit is ``max(MAX_ROLLBACKS, num_nodes)``).
+MAX_ROLLBACKS = 8
 
 
 @dataclass
@@ -64,10 +70,16 @@ class IterationStats:
     #: computation iterations this superstep absorbed (>1 when
     #: synchronization skipping let nodes keep iterating locally)
     local_iterations: int = 1
+    # fault-tolerance telemetry (repro.fault)
+    faults_injected: int = 0     # plan events armed for this superstep
+    retries: int = 0             # backoff retries spent recovering it
+    recoveries: int = 0          # daemon recoveries (respawn cycles)
+    checkpoint_ms: float = 0.0   # snapshot cost charged after it
 
     @property
     def total_ms(self) -> float:
-        return self.compute_ms + self.apply_ms + self.sync_ms
+        return (self.compute_ms + self.apply_ms + self.sync_ms
+                + self.checkpoint_ms)
 
 
 @dataclass
@@ -84,6 +96,12 @@ class RunResult:
     engine_name: str
     algorithm_name: str
     skipped_iterations: int = 0
+    #: checkpoint rollbacks taken after unrecoverable node faults
+    rollbacks: int = 0
+    #: simulated ms burned on supersteps discarded by rollbacks
+    wasted_ms: float = 0.0
+    #: nodes that finished the run on their host (CPU) compute path
+    degraded_nodes: List[int] = field(default_factory=list)
 
     @property
     def computation_iterations(self) -> int:
@@ -208,19 +226,67 @@ class IterativeEngine:
         converged = False
         iteration = 0
 
+        # fault tolerance: periodic vertex-table checkpoints plus the
+        # iteration-0 state, so an unrecoverable node fault rolls the run
+        # back to the last consistent superstep instead of failing it.
+        store: Optional[CheckpointStore] = None
+        origin = None
+        if mw is not None:
+            if mw.config.checkpoint_interval > 0:
+                store = CheckpointStore(
+                    mw.config.checkpoint_interval,
+                    ms_per_cell=mw.config.checkpoint_ms_per_cell,
+                    fixed_ms=mw.config.checkpoint_fixed_ms)
+            if mw.config.degrade_to_host:
+                origin = (values.copy(), active.copy())
+            if any(a.degraded for a in mw.agents.values()):
+                use_async = False  # degraded nodes force the strict path
+        rollbacks = 0
+        wasted_ms = 0.0
+
         while iteration < cap:
-            if use_async:
-                step = self._run_superstep_combined(
-                    iteration, algorithm, values, active, width,
-                    use_lazy, breakdown)
-            else:
-                step = self._run_iteration(
-                    iteration, algorithm, values, active, width,
-                    detector, use_lazy, breakdown)
+            faults = mw.arm_faults(iteration) if mw is not None else 0
+            before = self._fault_counters()
+            try:
+                if use_async:
+                    step = self._run_superstep_combined(
+                        iteration, algorithm, values, active, width,
+                        use_lazy, breakdown)
+                else:
+                    step = self._run_iteration(
+                        iteration, algorithm, values, active, width,
+                        detector, use_lazy, breakdown)
+            except AcceleratorsExhausted as failure:
+                rollbacks += 1
+                if rollbacks > max(MAX_ROLLBACKS, self.cluster.num_nodes):
+                    raise EngineError(
+                        f"{rollbacks} rollbacks without progress"
+                    ) from failure
+                failed_ms = getattr(failure, "elapsed_ms", 0.0)
+                if not failed_ms and failure.__cause__ is not None:
+                    failed_ms = getattr(failure.__cause__, "elapsed_ms",
+                                        0.0)
+                target, values, active, restore_ms = self._rollback(
+                    store, origin, failure)
+                wasted_ms += (sum(s.total_ms for s in stats[target:])
+                              + failed_ms + restore_ms)
+                del stats[target:]
+                total_ms += failed_ms + restore_ms
+                breakdown["engine"] += failed_ms + restore_ms
+                iteration = target
+                use_async = False  # the degraded node computes host-side
+                continue
             it_stats, values, active, changed_total = step
+            after = self._fault_counters()
+            it_stats.faults_injected = faults
+            it_stats.retries = after[0] - before[0]
+            it_stats.recoveries = after[1] - before[1]
             stats.append(it_stats)
-            total_ms += it_stats.total_ms
             iteration += 1
+            if store is not None and store.due(iteration):
+                it_stats.checkpoint_ms = store.save(
+                    iteration, values, active)
+            total_ms += it_stats.total_ms
             if algorithm.is_converged(changed_total, iteration):
                 converged = True
                 break
@@ -238,7 +304,46 @@ class IterativeEngine:
             skipped_iterations=(
                 sum(1 for s in stats if s.skipped)
                 + sum(s.local_iterations - 1 for s in stats)),
+            rollbacks=rollbacks,
+            wasted_ms=wasted_ms,
+            degraded_nodes=(mw.degraded_nodes() if mw is not None else []),
         )
+
+    # -- fault tolerance ---------------------------------------------------------------
+
+    def _fault_counters(self) -> Tuple[int, int]:
+        """(retries, recoveries) summed across agents, for per-superstep
+        deltas in the iteration stats."""
+        mw = self.middleware
+        if mw is None:
+            return (0, 0)
+        return (sum(a.retries for a in mw.agents.values()),
+                sum(a.recoveries for a in mw.agents.values()))
+
+    def _rollback(self, store: Optional[CheckpointStore], origin,
+                  failure: AcceleratorsExhausted):
+        """Restore the last consistent superstep after a node degraded.
+
+        Returns ``(target_iteration, values, active, restore_ms)``.  Agent
+        caches are flushed — they hold values from the discarded future.
+        """
+        if store is not None and store.latest is not None:
+            ckpt = store.restore()
+            target, vals, act = ckpt.iteration, ckpt.values, ckpt.active
+            restore_ms = ckpt.cost_ms
+        elif origin is not None:
+            target, restore_ms = 0, 0.0
+            vals, act = origin[0].copy(), origin[1].copy()
+        else:  # pragma: no cover - degrade_to_host always records origin
+            raise failure
+        for agent in self.middleware.agents.values():
+            agent.flush_cache()
+        return target, vals, act, restore_ms
+
+    def _node_accelerated(self, node_id: int) -> bool:
+        """Does this node still compute through its agent's accelerators?"""
+        mw = self.middleware
+        return mw is not None and not mw.agent_for(node_id).degraded
 
     # -- one iteration ---------------------------------------------------------------------
 
@@ -257,13 +362,14 @@ class IterativeEngine:
         active_edges = 0
         crit_mw_ms = 0.0      # middleware share on the critical node
         crit_dev_ms = 0.0     # device share on the critical node
+        crit_host_ms = 0.0    # host share (degraded nodes) on it
         crit_total = -1.0
         force_frontier = algorithm.requires_frontier_scan
         for part in self.pgraph.parts:
             src, dst, w = self._select_edges(part, active, force_frontier)
             d = int(src.size)
             active_edges += d
-            if mw is not None:
+            if self._node_accelerated(part.node_id):
                 agent = mw.agent_for(part.node_id)
                 res = agent.edge_pass(src, dst, w, values, algorithm)
                 partials[part.node_id] = res.partial
@@ -278,15 +384,23 @@ class IterativeEngine:
                         + res.breakdown.get("middleware.init", 0.0))
                     crit_mw_ms = min(mw_busy, res.elapsed_ms)
                     crit_dev_ms = res.elapsed_ms - crit_mw_ms
+                    crit_host_ms = 0.0
             else:
+                # no middleware, or the node degraded to its CPU baseline
+                # path after exhausting its accelerators
                 partial, host_ms = self._host_edge_pass(
                     part.node_id, src, dst, w, values, algorithm)
                 partials[part.node_id] = partial
                 node_ms.append(host_ms)
+                if mw is not None and host_ms > crit_total:
+                    crit_total = host_ms
+                    crit_mw_ms = crit_dev_ms = 0.0
+                    crit_host_ms = host_ms
         compute_ms = max(node_ms) if node_ms else 0.0
         if mw is not None:
             breakdown["middleware"] += max(crit_mw_ms, 0.0)
             breakdown["device"] += max(crit_dev_ms, 0.0)
+            breakdown["engine"] += crit_host_ms
         else:
             breakdown["engine"] += compute_ms
 
@@ -307,7 +421,7 @@ class IterativeEngine:
                                          combined.data[sel])
             else:
                 merged_here = algorithm.empty_messages()
-            if mw is not None:
+            if self._node_accelerated(part.node_id):
                 agent = mw.agent_for(part.node_id)
                 cand, changed, cost = agent.request_apply(
                     new_values, merged_here, algorithm)
@@ -331,8 +445,9 @@ class IterativeEngine:
             breakdown["device"] += apply_ms * 0.5
             for part in self.pgraph.parts:
                 agent = mw.agent_for(part.node_id)
-                agent.note_master_updates(
-                    values, changed_by_node[part.node_id], algorithm)
+                if not agent.degraded:
+                    agent.note_master_updates(
+                        values, changed_by_node[part.node_id], algorithm)
         else:
             breakdown["engine"] += apply_ms
 
@@ -674,6 +789,8 @@ class IterativeEngine:
             if stale.size == 0:
                 continue
             agent = mw.agent_for(part.node_id)
+            if agent.degraded:
+                continue
             needed = needed_by_node.get(part.node_id)
             if needed is not None and needed.size:
                 delivered = np.intersect1d(stale, needed)
@@ -694,5 +811,5 @@ class IterativeEngine:
             if not foreign:
                 continue
             stale = np.concatenate(foreign)
-            if stale.size:
+            if stale.size and not mw.agent_for(part.node_id).degraded:
                 mw.agent_for(part.node_id).invalidate_cache(stale)

@@ -52,7 +52,7 @@ class PowerGraphEngine(IterativeEngine):
         """
         if changed_here == 0:
             return 0.0
-        if self.middleware is not None:
+        if self._node_accelerated(node_id):
             agent = self.middleware.agent_for(node_id)
             return agent.request_scatter(changed_here)
         runtime = self.cluster.nodes[node_id].runtime

@@ -57,6 +57,58 @@ class DeviceMemoryError(DeviceError):
     """
 
 
+class FaultError(ReproError):
+    """Base class of the fault-tolerance subsystem's failures.
+
+    Everything :mod:`repro.fault` raises derives from this class, so the
+    agent's recovery loop can treat "any injected/detected fault" as one
+    family while programming errors still propagate.
+    """
+
+
+class FaultPlanError(FaultError):
+    """A fault plan is malformed or references nonexistent targets."""
+
+
+class DaemonDead(FaultError):
+    """The heartbeat monitor declared a daemon dead (missed heartbeats).
+
+    Carries ``daemon_id`` and ``silent_ms`` (how long the daemon had been
+    silent past its busy lease when the watchdog gave its verdict).
+    """
+
+    def __init__(self, message: str, daemon_id: int = -1,
+                 silent_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.daemon_id = daemon_id
+        self.silent_ms = silent_ms
+
+
+class ShmCorruption(FaultError):
+    """A shared-memory region failed its integrity check."""
+
+
+class RetryExhausted(FaultError):
+    """A retry policy ran out of attempts for a recurring fault."""
+
+
+class AcceleratorsExhausted(RetryExhausted):
+    """A node's accelerators are unusable even after retries/respawns.
+
+    With ``MiddlewareConfig.degrade_to_host`` the engine reacts by
+    rolling back to the last checkpoint and running the node on its host
+    (CPU baseline) path instead of failing the job.
+    """
+
+    def __init__(self, message: str, node_id: int = -1) -> None:
+        super().__init__(message)
+        self.node_id = node_id
+
+
+class CheckpointError(FaultError):
+    """Checkpoint store misuse (restore before any save, bad interval)."""
+
+
 class MiddlewareError(ReproError):
     """Errors in the daemon-agent protocol or middleware configuration."""
 

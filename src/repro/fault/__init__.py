@@ -1,0 +1,58 @@
+"""Fault-tolerance subsystem: injection, detection, retry, and recovery.
+
+Four layers, wired through the middleware stack:
+
+* **injection** (:mod:`~repro.fault.inject`) — deterministic, seedable
+  fault plans (daemon crash, hang, shm corruption, message drop/delay)
+  armed superstep by superstep via ``MiddlewareConfig.fault_plan``;
+* **detection** (:mod:`~repro.fault.monitor`) — per-daemon heartbeats
+  with busy leases on the simulated clock; a watchdog process turns
+  silence into :class:`~repro.errors.DaemonDead` verdicts;
+* **retry** (:mod:`~repro.fault.retry`) — exponential backoff for
+  transient faults, daemon respawn re-attaching shared memory;
+* **recovery** (:mod:`~repro.fault.checkpoint`) — periodic vertex-table
+  checkpoints so engines roll back to the last consistent superstep,
+  with graceful degradation to the host (CPU) path when a node's
+  accelerators are exhausted.
+"""
+
+from .checkpoint import Checkpoint, CheckpointStore
+from .inject import (
+    CRASH,
+    HANG,
+    KINDS,
+    MESSAGE_DELAY,
+    MESSAGE_DROP,
+    SHM_CORRUPTION,
+    STALL_KINDS,
+    TO_AGENT,
+    TO_DAEMON,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
+from .monitor import CAT_MONITOR, HeartbeatMonitor
+from .report import FaultReport, fault_report
+from .retry import RetryPolicy
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "HeartbeatMonitor",
+    "RetryPolicy",
+    "Checkpoint",
+    "CheckpointStore",
+    "FaultReport",
+    "fault_report",
+    "CRASH",
+    "HANG",
+    "SHM_CORRUPTION",
+    "MESSAGE_DROP",
+    "MESSAGE_DELAY",
+    "KINDS",
+    "STALL_KINDS",
+    "TO_AGENT",
+    "TO_DAEMON",
+    "CAT_MONITOR",
+]

@@ -1,0 +1,224 @@
+"""Deterministic fault injection: plans, events, and the injector.
+
+The subsystem's fault model covers the failure shapes a daemon-agent
+deployment actually sees (§IV-C keeps daemons alive precisely because
+accelerator contexts are fragile):
+
+* ``crash``   — the daemon's device context dies mid-kernel
+  (:class:`~repro.errors.DeviceFailure`); optionally recurring, so
+  retries can be exhausted and checkpoint recovery exercised;
+* ``hang``    — the daemon goes silent for a while without crashing; the
+  heartbeat monitor must notice the missed beats;
+* ``shm``     — the daemon's System V segment is corrupted; the agent's
+  integrity check catches it before data is consumed;
+* ``drop``    — a control message between agent and daemon is lost; the
+  protocol stalls and the watchdog converts the stall into a verdict;
+* ``delay``   — a control message is delivered late (transient; no
+  recovery needed, only latency).
+
+Plans are *data*: a tuple of :class:`FaultEvent` keyed by superstep, so
+a run with a given plan is exactly reproducible.  :meth:`FaultPlan.random`
+derives a plan from a seed deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import FaultPlanError
+
+# Fault kinds (the vocabulary of FaultEvent.kind).
+CRASH = "crash"
+HANG = "hang"
+SHM_CORRUPTION = "shm"
+MESSAGE_DROP = "drop"
+MESSAGE_DELAY = "delay"
+
+KINDS = (CRASH, HANG, SHM_CORRUPTION, MESSAGE_DROP, MESSAGE_DELAY)
+
+#: Kinds that manifest as a protocol stall and therefore need the
+#: heartbeat monitor (and the pipelined protocol) to be detected at all.
+STALL_KINDS = (HANG, MESSAGE_DROP)
+
+#: Channel directions a drop/delay event may target.
+TO_AGENT = "to_agent"
+TO_DAEMON = "to_daemon"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``superstep`` is the engine iteration at which the event is armed;
+    the fault fires during that superstep's processing.  ``repeat``
+    applies to crashes only: the total number of times the device fault
+    re-fires (it is re-armed on every daemon respawn until spent), which
+    is how a plan exhausts a retry policy deterministically.
+    """
+
+    kind: str
+    superstep: int
+    node_id: int = 0
+    daemon_index: int = 0
+    after_kernels: int = 0          # crash: fire after N successful kernels
+    repeat: int = 1                 # crash: total firings (>=1)
+    duration_ms: float = 100.0      # hang/delay length
+    direction: str = TO_AGENT       # drop/delay: which control channel
+    region: str = "areas"           # shm: region to corrupt
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.superstep < 0:
+            raise FaultPlanError(f"negative superstep {self.superstep}")
+        if self.node_id < 0 or self.daemon_index < 0:
+            raise FaultPlanError(
+                f"negative fault target node={self.node_id} "
+                f"daemon={self.daemon_index}"
+            )
+        if self.after_kernels < 0:
+            raise FaultPlanError(f"negative after_kernels {self.after_kernels}")
+        if self.repeat < 1:
+            raise FaultPlanError(f"repeat must be >= 1, got {self.repeat}")
+        if self.duration_ms < 0:
+            raise FaultPlanError(f"negative duration_ms {self.duration_ms}")
+        if self.direction not in (TO_AGENT, TO_DAEMON):
+            raise FaultPlanError(
+                f"direction must be {TO_AGENT!r}/{TO_DAEMON!r}, "
+                f"got {self.direction!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, reproducible schedule of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not all(isinstance(e, FaultEvent) for e in self.events):
+            raise FaultPlanError("FaultPlan.events must hold FaultEvent items")
+
+    @property
+    def requires_monitor(self) -> bool:
+        """True if any event can only be *detected* via heartbeats."""
+        return any(e.kind in STALL_KINDS for e in self.events)
+
+    def for_superstep(self, superstep: int) -> List[FaultEvent]:
+        return [e for e in self.events if e.superstep == superstep]
+
+    def with_events(self, *extra: FaultEvent) -> "FaultPlan":
+        return replace(self, events=self.events + tuple(extra))
+
+    # -- convenience constructors ------------------------------------------
+
+    @classmethod
+    def single(cls, kind: str, superstep: int, **kw) -> "FaultPlan":
+        """A plan with exactly one event."""
+        return cls(events=(FaultEvent(kind=kind, superstep=superstep, **kw),))
+
+    @classmethod
+    def random(cls, seed: int, *, supersteps: int, num_nodes: int,
+               daemons_per_node: int = 1, rate: float = 0.1,
+               kinds: Sequence[str] = KINDS,
+               hang_ms: float = 100.0, delay_ms: float = 5.0,
+               ) -> "FaultPlan":
+        """Derive a plan deterministically from ``seed``.
+
+        Each (superstep, node, daemon) slot independently draws a fault
+        with probability ``rate``; the kind is drawn uniformly from
+        ``kinds``.  The same seed always yields the same plan.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise FaultPlanError(f"rate must be in [0, 1], got {rate}")
+        if supersteps < 0 or num_nodes < 1 or daemons_per_node < 1:
+            raise FaultPlanError(
+                f"bad plan shape: supersteps={supersteps}, "
+                f"nodes={num_nodes}, daemons={daemons_per_node}"
+            )
+        for kind in kinds:
+            if kind not in KINDS:
+                raise FaultPlanError(f"unknown fault kind {kind!r}")
+        rng = np.random.default_rng(seed)
+        events: List[FaultEvent] = []
+        for step in range(supersteps):
+            for node in range(num_nodes):
+                for daemon in range(daemons_per_node):
+                    if rng.random() >= rate:
+                        continue
+                    kind = kinds[int(rng.integers(len(kinds)))]
+                    events.append(FaultEvent(
+                        kind=kind, superstep=step, node_id=node,
+                        daemon_index=daemon,
+                        after_kernels=int(rng.integers(4)),
+                        duration_ms=(hang_ms if kind == HANG else delay_ms),
+                        direction=(TO_AGENT if rng.random() < 0.5
+                                   else TO_DAEMON),
+                    ))
+        return cls(events=tuple(events))
+
+
+class FaultInjector:
+    """Arms a plan's events on the live middleware, superstep by superstep.
+
+    Events are one-shot: once armed for a superstep they are consumed, so
+    a superstep re-executed after a checkpoint rollback does not re-inject
+    the same fault (the run converges instead of looping).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._pending: Dict[int, List[FaultEvent]] = {}
+        for event in plan.events:
+            self._pending.setdefault(event.superstep, []).append(event)
+        self.injected = 0
+        self.injected_by_kind: Dict[str, int] = {}
+        self.log: List[FaultEvent] = []
+
+    def validate_against(self, agents: Dict[int, "object"]) -> None:
+        """Fail fast if the plan targets nodes/daemons that do not exist."""
+        for event in self.plan.events:
+            if event.node_id not in agents:
+                raise FaultPlanError(
+                    f"fault plan targets unknown node {event.node_id}"
+                )
+            agent = agents[event.node_id]
+            if event.daemon_index >= len(agent.daemons):
+                raise FaultPlanError(
+                    f"fault plan targets daemon #{event.daemon_index} on "
+                    f"node {event.node_id}, which has only "
+                    f"{len(agent.daemons)} daemon(s)"
+                )
+
+    def arm(self, superstep: int, agents: Dict[int, "object"]) -> int:
+        """Arm every event scheduled for ``superstep``; returns the count."""
+        events = self._pending.pop(superstep, [])
+        for event in events:
+            agent = agents[event.node_id]
+            daemon = agent.daemons[event.daemon_index]
+            if event.kind == CRASH:
+                daemon.accelerator.inject_failure(event.after_kernels)
+                daemon.pending_crashes = event.repeat - 1
+                daemon.crash_after_kernels = event.after_kernels
+            elif event.kind == HANG:
+                daemon.pending_hang_ms = event.duration_ms
+            elif event.kind == SHM_CORRUPTION:
+                daemon.segment.corrupt(event.region)
+            elif event.kind == MESSAGE_DROP:
+                channel = (daemon.to_agent if event.direction == TO_AGENT
+                           else daemon.to_daemon)
+                channel.arm_drop()
+            elif event.kind == MESSAGE_DELAY:
+                channel = (daemon.to_agent if event.direction == TO_AGENT
+                           else daemon.to_daemon)
+                channel.arm_delay(event.duration_ms)
+            self.injected += 1
+            self.injected_by_kind[event.kind] = (
+                self.injected_by_kind.get(event.kind, 0) + 1)
+            self.log.append(event)
+        return len(events)

@@ -1,0 +1,113 @@
+"""Heartbeat-based failure detection for daemon-agent pairs.
+
+The monitor tracks *pair liveness* on the simulated clock: both the
+daemon (Algorithm 1) and its agent-side pipeline driver (Algorithm 2)
+beat the same per-daemon entry whenever they make protocol progress, and
+every intentional wait — a device kernel, a download, an upload — is
+declared up front as a *busy lease* (``busy_until``).  A healthy pair
+therefore never goes silent: between leases, progress happens at
+message-passing instants of zero simulated duration.
+
+A watchdog process wakes every ``interval_ms``, and when ``now`` exceeds
+a pair's lease by more than ``timeout_ms`` it raises
+:class:`~repro.errors.DaemonDead`.  Because every legitimate wait is
+leased, the verdict is deterministic and false-positive-free: only an
+injected hang (an unleased sleep) or a dropped control message (both
+sides parked forever) can let a deadline expire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..errors import DaemonDead, SimulationError
+from ..ipc.scheduler import Now, Sleep
+
+#: Accounting category for watchdog bookkeeping time (kept at zero cost;
+#: heartbeats piggyback on protocol messages).
+CAT_MONITOR = "fault.monitor"
+
+
+class HeartbeatMonitor:
+    """Per-daemon liveness tracking with busy leases."""
+
+    def __init__(self, interval_ms: float, timeout_ms: float) -> None:
+        if interval_ms <= 0:
+            raise SimulationError(
+                f"heartbeat interval must be > 0, got {interval_ms}"
+            )
+        if timeout_ms < interval_ms:
+            raise SimulationError(
+                f"heartbeat timeout {timeout_ms} must be >= the "
+                f"interval {interval_ms}"
+            )
+        self.interval_ms = float(interval_ms)
+        self.timeout_ms = float(timeout_ms)
+        #: daemon_id -> latest "known alive until" time (beat or lease end)
+        self._alive_until: Dict[int, float] = {}
+        self.beats = 0
+        self.verdicts = 0
+
+    @property
+    def tracked(self) -> int:
+        """How many daemons the monitor is currently watching."""
+        return len(self._alive_until)
+
+    # -- recording ----------------------------------------------------------
+
+    def register(self, daemon_id: int, now: float) -> None:
+        """Start tracking a daemon; it is considered alive as of ``now``."""
+        self._alive_until[daemon_id] = float(now)
+
+    def forget(self, daemon_id: int) -> None:
+        self._alive_until.pop(daemon_id, None)
+
+    def beat(self, daemon_id: int, now: float,
+             busy_until: Optional[float] = None) -> None:
+        """Record a heartbeat, optionally extending a busy lease.
+
+        ``busy_until`` declares "I will be legitimately silent until t"
+        (a device kernel, a data transfer).  Beats never move a pair's
+        deadline backwards.
+        """
+        if daemon_id not in self._alive_until:
+            return  # not tracked this pass (e.g. daemon had no work)
+        alive = float(now) if busy_until is None else float(busy_until)
+        if alive > self._alive_until[daemon_id]:
+            self._alive_until[daemon_id] = alive
+        self.beats += 1
+
+    # -- verdicts ----------------------------------------------------------
+
+    def silent_ms(self, daemon_id: int, now: float) -> float:
+        """How long past its lease the daemon has been silent."""
+        alive_until = self._alive_until.get(daemon_id)
+        if alive_until is None:
+            return 0.0
+        return max(0.0, float(now) - alive_until)
+
+    def check(self, now: float) -> None:
+        """Raise :class:`DaemonDead` for the first timed-out daemon."""
+        for daemon_id in sorted(self._alive_until):
+            silent = self.silent_ms(daemon_id, now)
+            if silent > self.timeout_ms:
+                self.verdicts += 1
+                raise DaemonDead(
+                    f"daemon {daemon_id}: no heartbeat for {silent:.3f} ms "
+                    f"(timeout {self.timeout_ms} ms)",
+                    daemon_id=daemon_id, silent_ms=silent,
+                )
+
+    # -- the watchdog process ----------------------------------------------
+
+    def watchdog(self) -> Generator:
+        """A simulated daemon process that periodically checks deadlines.
+
+        Spawned with ``daemon=True`` on the pass scheduler: it never
+        blocks pass completion, and a raised verdict propagates out of
+        ``Scheduler.run`` into the agent's recovery loop.
+        """
+        while True:
+            yield Sleep(self.interval_ms)
+            now = yield Now()
+            self.check(now)

@@ -1,0 +1,69 @@
+"""Observability for the fault subsystem: one aggregated report per run.
+
+Pulls together what the injector scheduled, what the agents survived,
+and what the engine had to roll back, so a single object answers "what
+happened to this job, fault-wise".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class FaultReport:
+    """Aggregated fault/recovery counters for one middleware's lifetime."""
+
+    faults_injected: int = 0
+    injected_by_kind: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    recovered_passes: int = 0
+    daemon_respawns: int = 0
+    heartbeat_verdicts: int = 0
+    rollbacks: int = 0
+    wasted_ms: float = 0.0
+    degraded_nodes: List[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing fault-related happened at all."""
+        return (self.faults_injected == 0 and self.retries == 0
+                and self.rollbacks == 0 and not self.degraded_nodes)
+
+    def summary(self) -> str:
+        if self.clean:
+            return "fault report: clean run (no faults, no recoveries)"
+        kinds = ", ".join(f"{k}={n}" for k, n in
+                          sorted(self.injected_by_kind.items()))
+        degraded = (", degraded nodes " +
+                    str(self.degraded_nodes) if self.degraded_nodes else "")
+        return (f"fault report: {self.faults_injected} injected "
+                f"({kinds or 'none'}), {self.retries} retries, "
+                f"{self.recovered_passes} recovered passes, "
+                f"{self.daemon_respawns} respawns, "
+                f"{self.rollbacks} rollbacks "
+                f"({self.wasted_ms:.1f} ms wasted){degraded}")
+
+
+def fault_report(middleware, result=None) -> FaultReport:
+    """Build a :class:`FaultReport` from a middleware (and optionally the
+    :class:`~repro.engines.base.RunResult` that carries rollback info)."""
+    report = FaultReport()
+    injector = getattr(middleware, "injector", None)
+    if injector is not None:
+        report.faults_injected = injector.injected
+        report.injected_by_kind = dict(injector.injected_by_kind)
+    for node_id in sorted(middleware.agents):
+        agent = middleware.agents[node_id]
+        report.retries += agent.retries
+        report.recovered_passes += agent.recovered_passes
+        report.heartbeat_verdicts += agent.heartbeat_verdicts
+        for daemon in agent.daemons:
+            report.daemon_respawns += daemon.respawns
+        if agent.degraded:
+            report.degraded_nodes.append(node_id)
+    if result is not None:
+        report.rollbacks = getattr(result, "rollbacks", 0)
+        report.wasted_ms = getattr(result, "wasted_ms", 0.0)
+    return report

@@ -180,7 +180,8 @@ class Channel:
     """
 
     __slots__ = ("name", "latency", "cost_per_unit", "size_of", "_queue",
-                 "_waiters", "_closed", "messages_sent")
+                 "_waiters", "_closed", "messages_sent", "drop_pending",
+                 "delay_pending_ms", "messages_dropped", "messages_delayed")
 
     def __init__(self, name: str = "chan", latency: float = 0.0,
                  cost_per_unit: float = 0.0, size_of=None) -> None:
@@ -192,9 +193,28 @@ class Channel:
         self._waiters: deque = deque()  # blocked receiver handles
         self._closed = False
         self.messages_sent = 0
+        # fault injection: pending one-shot drops / extra delivery delay
+        self.drop_pending = 0
+        self.delay_pending_ms = 0.0
+        self.messages_dropped = 0
+        self.messages_delayed = 0
 
     def close(self) -> None:
         self._closed = True
+
+    # -- fault injection ---------------------------------------------------
+
+    def arm_drop(self, count: int = 1) -> None:
+        """The next ``count`` sends are silently lost (message-drop fault)."""
+        if count < 1:
+            raise SimulationError(f"drop count must be >= 1, got {count}")
+        self.drop_pending += int(count)
+
+    def arm_delay(self, extra_ms: float) -> None:
+        """The next send is delivered ``extra_ms`` late (delay fault)."""
+        if extra_ms < 0:
+            raise SimulationError(f"negative delay {extra_ms}")
+        self.delay_pending_ms += float(extra_ms)
 
     @property
     def closed(self) -> bool:
@@ -345,7 +365,20 @@ class Scheduler:
         if channel.closed:
             raise ChannelClosedError(f"send on closed channel {channel.name!r}")
         channel.messages_sent += 1
-        deliverable_at = self.clock.now + channel._delivery_delay(message)
+        if channel.drop_pending > 0:
+            # injected message-drop fault: the send completes but nothing
+            # is ever delivered; receivers stay parked until a watchdog
+            # (or the deadlock detector) notices the stall.
+            channel.drop_pending -= 1
+            channel.messages_dropped += 1
+            return
+        extra_ms = 0.0
+        if channel.delay_pending_ms > 0.0:
+            extra_ms = channel.delay_pending_ms
+            channel.delay_pending_ms = 0.0
+            channel.messages_delayed += 1
+        deliverable_at = (self.clock.now + channel._delivery_delay(message)
+                         + extra_ms)
         if channel._waiters:
             waiter = channel._waiters.popleft()
             self._unpark(deliverable_at, waiter, message)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional
 
-from ..errors import ShmError
+from ..errors import ShmCorruption, ShmError
 
 IPC_PRIVATE = 0
 
@@ -35,7 +35,7 @@ class SharedMemorySegment:
     """
 
     __slots__ = ("key", "size_hint", "_regions", "_attached", "_destroyed",
-                 "bytes_written", "bytes_read")
+                 "_corrupted", "bytes_written", "bytes_read")
 
     def __init__(self, key: int, size_hint: int = 0) -> None:
         self.key = key
@@ -43,6 +43,7 @@ class SharedMemorySegment:
         self._regions: Dict[str, Any] = {}
         self._attached: List[str] = []
         self._destroyed = False
+        self._corrupted: set = set()
         self.bytes_written = 0
         self.bytes_read = 0
 
@@ -66,10 +67,14 @@ class SharedMemorySegment:
     # -- region access ------------------------------------------------------
 
     def put(self, name: str, value: Any, nbytes: int = 0) -> None:
-        """Write/overwrite a named region (in place, no copy is modeled)."""
+        """Write/overwrite a named region (in place, no copy is modeled).
+
+        A full rewrite of a corrupted region restores its integrity.
+        """
         if self._destroyed:
             raise ShmError(f"write to destroyed segment key={self.key}")
         self._regions[name] = value
+        self._corrupted.discard(name)
         self.bytes_written += int(nbytes)
 
     def get(self, name: str, nbytes: int = 0) -> Any:
@@ -78,8 +83,41 @@ class SharedMemorySegment:
             raise ShmError(f"read from destroyed segment key={self.key}")
         if name not in self._regions:
             raise ShmError(f"segment key={self.key} has no region {name!r}")
+        if name in self._corrupted:
+            raise ShmCorruption(
+                f"segment key={self.key} region {name!r} failed its "
+                f"integrity check"
+            )
         self.bytes_read += int(nbytes)
         return self._regions[name]
+
+    # -- integrity (fault injection / detection) ----------------------------
+
+    def corrupt(self, name: str) -> None:
+        """Mark a region corrupted (fault injection).
+
+        Reads of the region — and :meth:`verify` — raise
+        :class:`~repro.errors.ShmCorruption` until it is rewritten or the
+        segment is rebuilt.
+        """
+        if name not in self._regions:
+            raise ShmError(
+                f"cannot corrupt missing region {name!r} of segment "
+                f"key={self.key}"
+            )
+        self._corrupted.add(name)
+
+    @property
+    def corrupted_regions(self) -> List[str]:
+        return sorted(self._corrupted)
+
+    def verify(self) -> None:
+        """Integrity-check every region; raises on the first corruption."""
+        if self._corrupted:
+            raise ShmCorruption(
+                f"segment key={self.key}: corrupted regions "
+                f"{sorted(self._corrupted)}"
+            )
 
     def __contains__(self, name: str) -> bool:
         return name in self._regions

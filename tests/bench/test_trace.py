@@ -36,8 +36,13 @@ def test_iteration_records_shape(result):
         assert record["iteration"] == i
         assert set(record) == set(FIELDS)
         assert record["total_ms"] == pytest.approx(
-            record["compute_ms"] + record["apply_ms"] + record["sync_ms"],
-            abs=1e-5)
+            record["compute_ms"] + record["apply_ms"] + record["sync_ms"]
+            + record["checkpoint_ms"], abs=1e-5)
+        # a fault-free run's fault telemetry is all-zero
+        assert record["faults_injected"] == 0
+        assert record["retries"] == 0
+        assert record["recoveries"] == 0
+        assert record["checkpoint_ms"] == 0
 
 
 def test_run_summary_contents(result):
@@ -67,3 +72,49 @@ def test_json_roundtrip(result, tmp_path):
     assert len(doc["iterations"]) == result.iterations
     # valid JSON end to end
     json.dumps(doc)
+
+
+@pytest.fixture(scope="module")
+def faulty_result():
+    from repro.core import RESILIENT
+    from repro.fault import CRASH, FaultPlan
+
+    g = rmat(128, 1024, seed=3)
+    cluster = make_cluster(2, gpus_per_node=1)
+    plug = GXPlug(cluster, RESILIENT.with_(
+        fault_plan=FaultPlan.single(CRASH, 1)))
+    engine = PowerGraphEngine.build(g, cluster, middleware=plug)
+    return engine.run(PageRank(), max_iterations=4)
+
+
+def test_fault_counters_recorded_and_roundtrip(faulty_result, tmp_path):
+    records = iteration_records(faulty_result)
+    assert sum(r["faults_injected"] for r in records) == 1
+    assert sum(r["retries"] for r in records) >= 1
+    assert sum(r["recoveries"] for r in records) >= 1
+    assert any(r["checkpoint_ms"] > 0 for r in records)
+    for record in records:
+        assert set(record) == set(FIELDS)
+        assert record["total_ms"] == pytest.approx(
+            record["compute_ms"] + record["apply_ms"] + record["sync_ms"]
+            + record["checkpoint_ms"], abs=1e-5)
+
+    summary = run_summary(faulty_result)
+    assert summary["rollbacks"] == 0
+    assert summary["degraded_nodes"] == []
+
+    # every FIELDS column survives both export formats
+    jpath = tmp_path / "run.json"
+    write_json(faulty_result, jpath)
+    doc = read_json(jpath)
+    assert doc["iterations"] == records
+    cpath = tmp_path / "run.csv"
+    write_csv(faulty_result, cpath)
+    with open(cpath, newline="") as f:
+        rows = list(csv.DictReader(f))
+    assert list(rows[0]) == FIELDS
+    for row, record in zip(rows, records):
+        for key in ("faults_injected", "retries", "recoveries"):
+            assert int(row[key]) == record[key]
+        assert float(row["checkpoint_ms"]) == pytest.approx(
+            record["checkpoint_ms"])
