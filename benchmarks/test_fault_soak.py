@@ -1,0 +1,65 @@
+"""Fault soak: seeded random campaigns at increasing rates.
+
+`FaultPlan.random` sweeps over the recoverable network kinds on the
+NETWORK_RESILIENT stack.  Three properties must hold: every campaign
+converges to the fault-free values, the recovery overhead grows
+linearly with the number of injected faults (each fault pays a bounded,
+roughly constant recovery cost — no compounding), and the overhead is
+exactly the transport's accounted recovery time (nothing leaks into
+other buckets).
+
+``node_partition`` is deliberately outside the sweep: it permanently
+degrades a node, so its cost is a step (rollback + rebalance + slower
+tail), not a per-fault slope — `tests/fault/test_network_faults.py`
+covers it.
+"""
+
+import pytest
+
+from repro.bench import print_table, run_fault_soak
+
+#: Per-fault recovery overhead may vary with the drawn kind mix (a
+#: straggler delay costs more than a deduped duplicate) but must stay in
+#: one band — a super-linear blowup would push the ratio far past this.
+LINEARITY_BAND = 4.0
+
+
+def soak_table(rows, title):
+    print_table(
+        ["rate", "injected", "sim ms", "overhead ms", "retransmits",
+         "net wasted ms", "rollbacks"],
+        [(r, n, round(t, 1), round(o, 2), x, round(w, 2), rb)
+         for r, n, t, o, x, w, rb in rows],
+        title=title)
+
+
+def test_fault_soak_overhead_grows_linearly(once):
+    rows = once(run_fault_soak)
+    soak_table(rows, "Fault soak: network-kind campaigns (seed 17)")
+    base = rows[0]
+    assert base[0] == 0.0 and base[1] == 0
+    assert base[3] == 0.0 and base[5] == 0.0   # rate 0: zero overhead
+    faulted = [r for r in rows if r[1] > 0]
+    assert len(faulted) >= 3
+    counts = [r[1] for r in faulted]
+    overheads = [r[3] for r in faulted]
+    assert counts == sorted(counts)
+    assert overheads == sorted(overheads)       # more faults, more cost
+    per_fault = [o / n for n, o in zip(counts, overheads)]
+    assert max(per_fault) / min(per_fault) < LINEARITY_BAND, (
+        f"per-fault recovery overhead is not linear: {per_fault}")
+    for _, _, _, overhead, _, net_wasted, rollbacks in faulted:
+        # all overhead is accounted transport recovery time, and the
+        # recoverable kinds never escalate to a rollback
+        assert overhead == pytest.approx(net_wasted, abs=1e-6)
+        assert rollbacks == 0
+
+
+def test_fault_soak_smoke(once):
+    """The CI smoke slice: one tiny fixed-seed sweep, same invariants."""
+    rows = once(run_fault_soak, rates=(0.0, 0.25), seed=5, max_iter=6)
+    soak_table(rows, "Fault soak smoke (seed 5)")
+    assert rows[0][3] == 0.0
+    assert rows[1][1] > 0                       # the campaign drew faults
+    assert rows[1][3] > 0                       # and recovery cost time
+    assert rows[1][3] == pytest.approx(rows[1][5], abs=1e-6)

@@ -37,6 +37,8 @@ from .errors import (
     FaultPlanError,
     GraphError,
     MiddlewareError,
+    NetworkFault,
+    NodeUnreachable,
     PartitionError,
     ProtocolError,
     ReproError,
@@ -46,13 +48,16 @@ from .errors import (
     SimulationError,
 )
 from .fault import (
+    ALL_KINDS,
     Checkpoint,
     CheckpointStore,
+    CollectiveMonitor,
     FaultEvent,
     FaultInjector,
     FaultPlan,
     FaultReport,
     HeartbeatMonitor,
+    NETWORK_KINDS,
     RetryPolicy,
     fault_report,
 )
@@ -74,12 +79,14 @@ from .cluster import (
     JVM_RUNTIME,
     NATIVE_RUNTIME,
     NetworkModel,
+    ResilientTransport,
     make_cluster,
     make_heterogeneous_cluster,
 )
 from .core import (
     BASELINE,
     FULL,
+    NETWORK_RESILIENT,
     RESILIENT,
     AlgorithmTemplate,
     GXPlug,
@@ -111,21 +118,23 @@ __all__ = [
     "DeviceMemoryError", "MiddlewareError", "ProtocolError", "EngineError",
     "AlgorithmError", "FaultError", "FaultPlanError", "DaemonDead",
     "ShmCorruption", "RetryExhausted", "AcceleratorsExhausted",
-    "CheckpointError",
+    "CheckpointError", "NetworkFault", "NodeUnreachable",
     # fault tolerance
     "FaultEvent", "FaultPlan", "FaultInjector", "HeartbeatMonitor",
-    "RetryPolicy", "Checkpoint", "CheckpointStore", "FaultReport",
-    "fault_report",
+    "CollectiveMonitor", "RetryPolicy", "Checkpoint", "CheckpointStore",
+    "FaultReport", "fault_report", "NETWORK_KINDS", "ALL_KINDS",
     # graph
     "Graph", "rmat", "uniform_random", "partition", "DATASETS",
     "dataset_names", "load_dataset", "load_synthetic_uniform",
     "load_synthetic_clustered",
     # accel / cluster
     "Accelerator", "V100", "XEON_ACCEL", "make_gpu", "make_cpu_accelerator",
-    "Cluster", "DistributedNode", "NetworkModel", "JVM_RUNTIME",
+    "Cluster", "DistributedNode", "NetworkModel", "ResilientTransport",
+    "JVM_RUNTIME",
     "NATIVE_RUNTIME", "make_cluster", "make_heterogeneous_cluster",
     # middleware
     "GXPlug", "MiddlewareConfig", "FULL", "BASELINE", "RESILIENT",
+    "NETWORK_RESILIENT",
     "AlgorithmTemplate",
     "MessageSet", "PipelineCoefficients",
     # engines

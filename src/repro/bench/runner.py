@@ -27,6 +27,7 @@ from ..cluster import (
 )
 from ..core import (
     FULL,
+    NETWORK_RESILIENT,
     RESILIENT,
     GXPlug,
     MiddlewareConfig,
@@ -37,6 +38,7 @@ from ..core import (
 from ..core.pipeline import PAPER_FIG15_COEFFICIENTS
 from ..engines import GraphXEngine, PowerGraphEngine
 from ..errors import DeviceMemoryError
+from ..fault import NET_DELAY, NET_DROP, NET_DUP, SYNC_FAIL, FaultPlan
 from ..graph import (
     DATASETS,
     clustering_partition,
@@ -255,6 +257,54 @@ def run_fault_overhead(dataset: str = "orkut",
                     if base.total_ms else 0.0)
         rows.append((alg_name, "full", base.total_ms, 0.0))
         rows.append((alg_name, "resilient", ft.total_ms, overhead))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fault soak: seeded random campaigns at increasing rates
+# ---------------------------------------------------------------------------
+
+#: The recoverable network kinds the soak sweeps over.  ``node_partition``
+#: is excluded on purpose: it permanently degrades a node, so its cost is
+#: a step function (rollback + rebalance + slower tail), not the
+#: per-fault recovery overhead whose linear growth the soak measures.
+SOAK_KINDS = (NET_DROP, NET_DELAY, NET_DUP, SYNC_FAIL)
+
+
+def run_fault_soak(dataset: str = "wrn", num_nodes: int = 2,
+                   seed: int = 17,
+                   rates: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
+                   kinds: Sequence[str] = SOAK_KINDS,
+                   max_iter: int = 10) -> List[Tuple]:
+    """Rows: (rate, injected, total_ms, overhead_ms, retransmits,
+    net_wasted_ms, rollbacks).
+
+    One :meth:`FaultPlan.random` campaign per rate, all from the same
+    seed, on the NETWORK_RESILIENT stack.  Results must match the
+    rate-0 run exactly; the recovery overhead (total beyond the rate-0
+    cost) is reported per campaign so the suite can assert it scales
+    linearly with the number of injected faults.
+    """
+    graph = load_dataset(dataset)
+    baseline = None
+    rows = []
+    for rate in rates:
+        plan = FaultPlan.random(seed, supersteps=max_iter,
+                                num_nodes=num_nodes, rate=rate,
+                                kinds=tuple(kinds))
+        cluster = make_cluster(num_nodes, gpus_per_node=1,
+                               runtime=NATIVE_RUNTIME)
+        result = _run(PowerGraphEngine, graph, cluster, PageRank(),
+                      max_iter,
+                      config=NETWORK_RESILIENT.with_(fault_plan=plan))
+        if baseline is None:
+            baseline = result
+        assert np.allclose(result.values, baseline.values, atol=1e-9)
+        injected = sum(s.faults_injected for s in result.stats)
+        rows.append((rate, injected, result.total_ms,
+                     result.total_ms - baseline.total_ms,
+                     result.retransmits, result.net_wasted_ms,
+                     result.rollbacks))
     return rows
 
 

@@ -18,6 +18,7 @@ FIELDS = [
     "total_ms", "skipped", "local_iterations", "changed_vertices",
     "uploads", "cache_hits", "cache_misses",
     "faults_injected", "retries", "recoveries", "checkpoint_ms",
+    "retransmits", "dup_drops", "net_wasted_ms",
 ]
 
 
@@ -42,6 +43,9 @@ def iteration_records(result: RunResult) -> List[Dict]:
             "retries": s.retries,
             "recoveries": s.recoveries,
             "checkpoint_ms": round(s.checkpoint_ms, 6),
+            "retransmits": s.retransmits,
+            "dup_drops": s.dup_drops,
+            "net_wasted_ms": round(s.net_wasted_ms, 6),
         })
     return records
 
@@ -61,6 +65,11 @@ def run_summary(result: RunResult) -> Dict:
         "rollbacks": result.rollbacks,
         "wasted_ms": round(result.wasted_ms, 6),
         "degraded_nodes": list(result.degraded_nodes),
+        "rebalance_events": result.rebalance_events,
+        "rebalance_ms": round(result.rebalance_ms, 6),
+        "retransmits": result.retransmits,
+        "dup_drops": result.dup_drops,
+        "net_wasted_ms": round(result.net_wasted_ms, 6),
         "breakdown": {k: round(v, 6)
                       for k, v in sorted(result.breakdown.items())},
     }
@@ -75,10 +84,17 @@ def write_csv(result: RunResult, path) -> None:
             writer.writerow(record)
 
 
-def write_json(result: RunResult, path) -> None:
-    """Write summary + per-iteration records as one JSON document."""
+def write_json(result: RunResult, path, campaign: Dict = None) -> None:
+    """Write summary + per-iteration records as one JSON document.
+
+    ``campaign`` — optional fault-campaign parameters (seed, rate,
+    kinds) recorded verbatim under a ``"fault_campaign"`` key so a
+    faulted run can be replayed exactly from its trace file.
+    """
     doc = {"summary": run_summary(result),
            "iterations": iteration_records(result)}
+    if campaign is not None:
+        doc["fault_campaign"] = campaign
     with open(path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2)
 

@@ -31,6 +31,7 @@ from .bench.trace import write_csv, write_json
 from .cluster import JVM_RUNTIME, NATIVE_RUNTIME, make_cluster
 from .core import GXPlug, MiddlewareConfig
 from .engines import AsyncEngine, GraphXEngine, PowerGraphEngine
+from .fault import ALL_KINDS, FaultPlan
 from .graph import dataset_names, load_dataset
 
 ALGORITHMS = {
@@ -94,6 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write per-iteration telemetry as JSON")
     run.add_argument("--trace-csv", metavar="PATH", default=None,
                      help="write per-iteration telemetry as CSV")
+    run.add_argument("--fault-seed", type=int, default=None,
+                     help="inject a deterministic random fault campaign "
+                          "derived from this seed (enables the resilient "
+                          "fault-tolerance stack)")
+    run.add_argument("--fault-rate", type=float, default=0.05,
+                     help="per-(superstep, node) fault probability for "
+                          "the seeded campaign (default 0.05)")
+    run.add_argument("--fault-kinds", nargs="+", metavar="KIND",
+                     choices=sorted(ALL_KINDS), default=None,
+                     help="fault kinds the campaign draws from "
+                          f"(default: all of {', '.join(sorted(ALL_KINDS))})")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("name", choices=FIGURES)
@@ -119,6 +131,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("error: the async engine requires the middleware",
               file=sys.stderr)
         return 2
+    if args.fault_seed is not None and args.no_middleware:
+        print("error: --fault-seed targets the middleware fault "
+              "subsystem; drop --no-middleware", file=sys.stderr)
+        return 2
+
+    campaign = None
     middleware = None
     if not args.no_middleware:
         if args.gpus == 0 and args.cpus == 0:
@@ -137,6 +155,38 @@ def cmd_run(args: argparse.Namespace) -> int:
             lazy_upload=not no_cache,
             sync_skip=not (no_cache or args.no_skip),
         )
+        if args.fault_seed is not None:
+            kinds = (tuple(args.fault_kinds) if args.fault_kinds
+                     else ALL_KINDS)
+            supersteps = (args.max_iterations
+                          if args.max_iterations is not None
+                          else algorithm.default_max_iterations)
+            plan = FaultPlan.random(
+                args.fault_seed, supersteps=supersteps,
+                num_nodes=args.nodes, rate=args.fault_rate, kinds=kinds)
+            if plan.requires_monitor and args.no_pipeline:
+                print("error: the campaign drew stall faults "
+                      "(hang/drop); detecting them needs the pipelined "
+                      "protocol — drop --no-pipeline or restrict "
+                      "--fault-kinds", file=sys.stderr)
+                return 2
+            config = config.with_(
+                fault_plan=plan,
+                monitor_heartbeats=not args.no_pipeline,
+                checkpoint_interval=2,
+                degrade_to_host=True,
+                rebalance_on_degrade=True,
+                network_resilient=True,
+            )
+            # everything needed to replay this exact campaign later
+            campaign = {
+                "seed": args.fault_seed,
+                "rate": args.fault_rate,
+                "kinds": sorted(kinds),
+                "supersteps": supersteps,
+                "nodes": args.nodes,
+                "events": len(plan.events),
+            }
         middleware = GXPlug(cluster, config)
     else:
         cluster = make_cluster(args.nodes, runtime=runtime)
@@ -154,8 +204,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     print_table(["component", "simulated ms"], rows, title="breakdown")
     if middleware is not None:
         print(f"middleware ratio: {result.middleware_ratio:.1%}")
+    if middleware is not None and middleware.injector is not None:
+        print(middleware.fault_report(result).summary())
     if args.trace_json:
-        write_json(result, args.trace_json)
+        write_json(result, args.trace_json, campaign=campaign)
         print(f"trace written: {args.trace_json}")
     if args.trace_csv:
         write_csv(result, args.trace_csv)

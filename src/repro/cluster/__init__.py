@@ -1,11 +1,12 @@
 """Simulated distributed cluster: nodes, host runtimes, interconnect."""
 
-from .network import DEFAULT_NETWORK, NetworkModel
+from .network import DEFAULT_NETWORK, NetworkModel, ResilientTransport
 from .node import JVM_RUNTIME, NATIVE_RUNTIME, DistributedNode, HostRuntime
 from .cluster import Cluster, make_cluster, make_heterogeneous_cluster
 
 __all__ = [
     "NetworkModel",
+    "ResilientTransport",
     "DEFAULT_NETWORK",
     "HostRuntime",
     "JVM_RUNTIME",

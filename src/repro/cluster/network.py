@@ -1,4 +1,4 @@
-"""Inter-node network cost model.
+"""Inter-node network: cost model and resilient transport.
 
 Global synchronization between iterations (§III-B) pays a network cost
 that grows with the number of distributed nodes — the effect behind the
@@ -9,14 +9,28 @@ The model is a standard alpha-beta one: a latency term that grows with the
 tree depth of the collective, a per-byte bandwidth term, and a small
 per-node coordination term (scheduler/barrier bookkeeping on the upper
 system's master).
+
+:class:`ResilientTransport` layers delivery guarantees on top of the
+cost model: every collective fragment is sequence-numbered and acked,
+a missed ack is retransmitted point-to-point after a timeout with
+exponential backoff (bounded by the retry policy's attempt budget),
+duplicates are deduped by sequence number, a failed collective round
+falls back to point-to-point retransmission, and a node that survives
+the whole retransmission budget without acking earns a
+:class:`~repro.errors.NodeUnreachable` verdict.  With no faults armed,
+every call returns exactly the bare model's cost — the fault-free path
+pays zero overhead.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..fault.monitor import CollectiveMonitor
+from ..fault.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -62,6 +76,207 @@ class NetworkModel:
         hops = math.ceil(math.log2(num_nodes)) if num_nodes > 1 else 0
         return self.latency_ms * hops + nbytes * self.ms_per_byte
 
+    def p2p_fallback_ms(self, num_nodes: int, total_bytes: int) -> float:
+        """Point-to-point fallback for a failed collective round.
+
+        Without the tree, the master exchanges with every node in turn:
+        one latency hop per node instead of ``log2`` hops, the payload
+        crossing once, plus the usual coordination — always at least as
+        expensive as the healthy collective, which is why the transport
+        only falls back when the collective round actually failed.
+        """
+        if num_nodes < 1:
+            raise SimulationError(f"need >=1 nodes, got {num_nodes}")
+        if total_bytes < 0:
+            raise SimulationError(f"negative fallback payload {total_bytes}")
+        return (self.latency_ms * num_nodes
+                + total_bytes * self.ms_per_byte
+                + self.coord_ms_per_node * num_nodes)
+
 
 #: Default cluster interconnect (10GbE-ish, scaled).
 DEFAULT_NETWORK = NetworkModel()
+
+
+class ResilientTransport:
+    """Ack/retransmit delivery layer over a :class:`NetworkModel`.
+
+    Drop-in for the bare model at the engine's call sites: it exposes
+    the same ``sync_ms`` / ``broadcast_ms`` / ``transfer_ms`` signatures
+    and returns simulated costs, but consumes armed network faults
+    (:data:`repro.fault.inject.NETWORK_KINDS`) while doing so:
+
+    * an armed **delay** extends the barrier by the straggler's lateness;
+    * an armed **dup** re-delivers a fragment whose sequence number the
+      receiver has already seen — the duplicate crosses the wire (cost)
+      and is dropped by the dedupe window (no semantic effect);
+    * an armed **drop** loses a fragment; after ``ack_timeout_ms`` the
+      sender backs off and retransmits it point-to-point;
+    * an armed **sync_fail** fails the whole collective round, which is
+      retried as point-to-point transfers (the wasted round is charged);
+    * an armed **partition** makes a node ignore every retransmission;
+      when the policy's attempt budget is spent the collective monitor
+      raises :class:`~repro.errors.NodeUnreachable`.
+
+    Faults are one-shot: armed events are consumed by the next
+    collective, so a superstep re-executed after a rollback runs clean.
+    All extra simulated time (anything beyond the bare model's cost) is
+    accumulated in ``net_wasted_ms``.
+    """
+
+    def __init__(self, model: NetworkModel,
+                 policy: Optional[RetryPolicy] = None,
+                 ack_timeout_ms: float = 1.0) -> None:
+        if ack_timeout_ms <= 0:
+            raise SimulationError(
+                f"ack timeout must be > 0, got {ack_timeout_ms}"
+            )
+        self.model = model
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.ack_timeout_ms = float(ack_timeout_ms)
+        self.monitor = CollectiveMonitor(self.ack_timeout_ms)
+        # armed one-shot faults (consumed by the next collective)
+        self._drops: List[int] = []
+        self._delays: List[Tuple[int, float]] = []
+        self._dups: List[int] = []
+        self._sync_fails = 0
+        self._partitions: List[int] = []
+        # sequence-numbered delivery: per-peer next expected sequence
+        self._next_seq: Dict[int, int] = {}
+        self._delivered: Dict[int, int] = {}
+        # lifetime counters
+        self.messages = 0
+        self.retransmits = 0
+        self.dup_drops = 0
+        self.collective_fallbacks = 0
+        self.partition_verdicts = 0
+        self.net_wasted_ms = 0.0
+
+    # -- fault arming (FaultInjector network events) -----------------------
+
+    def arm_drop(self, node_id: int) -> None:
+        self._drops.append(int(node_id))
+
+    def arm_delay(self, node_id: int, delay_ms: float) -> None:
+        self._delays.append((int(node_id), float(delay_ms)))
+
+    def arm_dup(self, node_id: int) -> None:
+        self._dups.append(int(node_id))
+
+    def arm_sync_fail(self) -> None:
+        self._sync_fails += 1
+
+    def arm_partition(self, node_id: int) -> None:
+        self._partitions.append(int(node_id))
+
+    @property
+    def faults_armed(self) -> int:
+        """Network events waiting for the next collective."""
+        return (len(self._drops) + len(self._delays) + len(self._dups)
+                + self._sync_fails + len(self._partitions))
+
+    # -- sequence-numbered delivery ----------------------------------------
+
+    def send(self, node_id: int) -> int:
+        """Stamp one logical message from ``node_id``; returns its seq."""
+        seq = self._next_seq.get(node_id, 0)
+        self._next_seq[node_id] = seq + 1
+        self.messages += 1
+        return seq
+
+    def deliver(self, node_id: int, seq: int) -> bool:
+        """Accept a fragment unless its sequence number was already seen.
+
+        Returns ``True`` on first delivery; a re-delivery (duplicate or
+        stale retransmit) returns ``False`` and counts as a dedupe drop.
+        Delivery is in-order per peer, so a high-water mark suffices —
+        the dedupe window is O(nodes), not O(messages).
+        """
+        mark = self._delivered.get(node_id, -1)
+        if seq <= mark:
+            self.dup_drops += 1
+            return False
+        self._delivered[node_id] = seq
+        return True
+
+    # -- collectives --------------------------------------------------------
+
+    def transfer_ms(self, nbytes: int) -> float:
+        """Point-to-point transfer (no fault handling: unicast fragments
+        are only sent as retransmissions, which already paid their cost)."""
+        return self.model.transfer_ms(nbytes)
+
+    def sync_ms(self, num_nodes: int, total_bytes: int) -> float:
+        """Global synchronization with delivery guarantees applied."""
+        base = self.model.sync_ms(num_nodes, total_bytes)
+        return self._collective(base, num_nodes, total_bytes)
+
+    def broadcast_ms(self, num_nodes: int, nbytes: int) -> float:
+        """Global broadcast with delivery guarantees applied."""
+        base = self.model.broadcast_ms(num_nodes, nbytes)
+        return self._collective(base, num_nodes, nbytes)
+
+    def _collective(self, base: float, num_nodes: int,
+                    total_bytes: int) -> float:
+        """One collective round: charge ``base`` plus whatever the armed
+        faults cost to survive.  Raises :class:`NodeUnreachable` when a
+        partitioned node outlives the retransmission budget."""
+        # every node contributes one sequence-numbered fragment
+        for node in range(num_nodes):
+            self.deliver(node, self.send(node))
+        if not self.faults_armed:
+            return base
+        fragment = int(math.ceil(total_bytes / max(num_nodes, 1)))
+        extra = 0.0
+
+        # stragglers: the barrier pays the latest fragment
+        delays, self._delays = self._delays, []
+        if delays:
+            extra += max(ms for _, ms in delays)
+
+        # duplicates: the copy crosses the wire, the dedupe window eats it
+        dups, self._dups = self._dups, []
+        for node in dups:
+            seq = self._delivered.get(node, 0)
+            self.deliver(node, seq)            # re-delivery: returns False
+            extra += self.model.transfer_ms(fragment)
+
+        # drops: ack timeout, backoff, point-to-point retransmit
+        drops, self._drops = self._drops, []
+        for node in drops:
+            self.monitor.expect(node, base + extra)
+            extra += self.ack_timeout_ms + self.policy.backoff_ms(1)
+            extra += self.model.transfer_ms(fragment)
+            self.deliver(node, self.send(node))
+            self.monitor.ack(node)
+            self.retransmits += 1
+
+        # whole-round failure: the collective is wasted, fall back to
+        # point-to-point retransmission of every fragment
+        if self._sync_fails:
+            rounds, self._sync_fails = self._sync_fails, 0
+            for _ in range(rounds):
+                extra += self.model.p2p_fallback_ms(num_nodes, total_bytes)
+                for node in range(num_nodes):
+                    self.deliver(node, self.send(node))
+                self.collective_fallbacks += 1
+                self.retransmits += num_nodes
+
+        # partition: every retransmission misses its ack deadline
+        if self._partitions:
+            node = self._partitions.pop(0)
+            clock = base + extra
+            self.monitor.expect(node, clock)
+            attempts = 0
+            for attempt in range(1, self.policy.max_attempts + 1):
+                clock += self.ack_timeout_ms + self.policy.backoff_ms(attempt)
+                clock += self.model.transfer_ms(fragment)
+                self.send(node)                # never delivered
+                self.retransmits += 1
+                attempts = attempt
+            self.partition_verdicts += 1
+            self.net_wasted_ms += clock
+            self.monitor.verdict(node, attempts, clock)
+
+        self.net_wasted_ms += extra
+        return base + extra

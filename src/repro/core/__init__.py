@@ -15,14 +15,17 @@ from .balance import (
     accelerators_for_load,
     balancing_factors,
     cluster_coefficients,
+    degraded_coefficients,
     makespan,
     node_coefficient,
     optimal_capacity_factors,
     optimal_makespan,
     optimal_partition_sizes,
+    rebalanced_shares,
 )
 from .blocks import AreaSet, BlockArea, TripletBlock, VertexEdgeMap, build_blocks
-from .config import BASELINE, FULL, RESILIENT, MiddlewareConfig
+from .config import (BASELINE, FULL, NETWORK_RESILIENT, RESILIENT,
+                     MiddlewareConfig)
 from .daemon import Daemon
 from .middleware import GXPlug
 from .pipeline import (
@@ -41,6 +44,7 @@ __all__ = [
     "FULL",
     "BASELINE",
     "RESILIENT",
+    "NETWORK_RESILIENT",
     "Agent",
     "Daemon",
     "EdgePassResult",
@@ -68,4 +72,6 @@ __all__ = [
     "makespan",
     "node_coefficient",
     "cluster_coefficients",
+    "degraded_coefficients",
+    "rebalanced_shares",
 ]

@@ -134,3 +134,26 @@ def node_coefficient(runtime: HostRuntime,
 def cluster_coefficients(nodes: Sequence[DistributedNode]) -> List[float]:
     """Per-node c_j estimates for a cluster (inputs to Lemma 2)."""
     return [node_coefficient(n.runtime, n.accelerators) for n in nodes]
+
+
+def degraded_coefficients(nodes: Sequence[DistributedNode],
+                          degraded: Sequence[int]) -> List[float]:
+    """Per-node c_j after some nodes fell back to their host path.
+
+    A degraded node's accelerators are written off for the rest of the
+    job, so its coefficient is the bare host-compute one; healthy nodes
+    keep their accelerated estimate.  Feeding these into
+    :func:`balancing_factors` gives the Lemma-2 shares the engine uses
+    to repartition at rollback time — the degraded node's partition
+    shrinks in proportion to the capacity it lost.
+    """
+    down = set(int(n) for n in degraded)
+    return [node_coefficient(
+                n.runtime, [] if n.node_id in down else n.accelerators)
+            for n in nodes]
+
+
+def rebalanced_shares(nodes: Sequence[DistributedNode],
+                      degraded: Sequence[int]) -> np.ndarray:
+    """Lemma-2 partition shares for a partially degraded cluster."""
+    return balancing_factors(degraded_coefficients(nodes, degraded))

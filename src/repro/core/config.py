@@ -110,6 +110,31 @@ class MiddlewareConfig:
     #: is the pre-fault-subsystem behaviour.
     degrade_to_host: bool = False
 
+    # -- network-layer fault tolerance (repro.cluster.network) -------------
+
+    #: Route sync collectives through the resilient transport (acks,
+    #: sequence-number dedupe, timeout + backoff retransmission, p2p
+    #: fallback for failed rounds).  Required to arm network fault kinds;
+    #: off by default — the fault-free path pays zero overhead either
+    #: way, but the bare model keeps the original behaviour exactly.
+    network_resilient: bool = False
+
+    #: Silence tolerated before a collective fragment is presumed lost
+    #: and retransmitted.
+    net_ack_timeout_ms: float = 1.0
+
+    #: Base backoff before the first retransmission; later attempts grow
+    #: by ``retry_backoff_factor``.  The attempt budget is shared with
+    #: daemon-pass retries (``max_retry_attempts``).
+    net_retransmit_base_ms: float = 0.5
+
+    #: Recompute Lemma-2 partition shares and repartition the graph when
+    #: a node degrades to its host path, so the degraded node stops
+    #: straggling every subsequent superstep.  Requires
+    #: ``degrade_to_host``; charged as a partition-exchange network cost
+    #: at rollback time.
+    rebalance_on_degrade: bool = False
+
     def __post_init__(self) -> None:
         if self.block_size is not None and self.block_size < 1:
             raise MiddlewareError(
@@ -177,6 +202,29 @@ class MiddlewareConfig:
                 "the fault plan contains stall faults (hang / message "
                 "drop); detecting them requires monitor_heartbeats=True"
             )
+        if self.net_ack_timeout_ms <= 0:
+            raise MiddlewareError(
+                f"net_ack_timeout_ms must be > 0, got "
+                f"{self.net_ack_timeout_ms}"
+            )
+        if self.net_retransmit_base_ms < 0:
+            raise MiddlewareError(
+                f"net_retransmit_base_ms must be >= 0, got "
+                f"{self.net_retransmit_base_ms}"
+            )
+        if (self.fault_plan is not None
+                and self.fault_plan.requires_transport
+                and not self.network_resilient):
+            raise MiddlewareError(
+                "the fault plan contains network faults (net_drop / "
+                "net_delay / net_dup / sync_fail / node_partition); "
+                "surviving them requires network_resilient=True"
+            )
+        if self.rebalance_on_degrade and not self.degrade_to_host:
+            raise MiddlewareError(
+                "rebalance_on_degrade rebalances at degradation rollback "
+                "time; it requires degrade_to_host=True"
+            )
 
     def with_(self, **changes) -> "MiddlewareConfig":
         """A copy with the given fields replaced."""
@@ -201,4 +249,15 @@ RESILIENT = MiddlewareConfig(
     monitor_heartbeats=True,
     checkpoint_interval=2,
     degrade_to_host=True,
+)
+
+#: RESILIENT plus the network layer: resilient sync collectives
+#: (acks, dedupe, retransmission, p2p fallback) and Lemma-2 partition
+#: rebalancing when a node degrades to its host path.
+NETWORK_RESILIENT = MiddlewareConfig(
+    monitor_heartbeats=True,
+    checkpoint_interval=2,
+    degrade_to_host=True,
+    network_resilient=True,
+    rebalance_on_degrade=True,
 )

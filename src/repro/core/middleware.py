@@ -50,12 +50,22 @@ class GXPlug:
         }
         self.queues = GlobalQueues()
         self.connected = False
+        # network fault tolerance: route collectives through the
+        # resilient transport so armed network faults have a place to go
+        self.transport = None
+        if self.config.network_resilient:
+            self.transport = cluster.resilient_transport(
+                max_retransmits=self.config.max_retry_attempts,
+                ack_timeout_ms=self.config.net_ack_timeout_ms,
+                retransmit_base_ms=self.config.net_retransmit_base_ms,
+                backoff_factor=self.config.retry_backoff_factor,
+            )
         # fault subsystem: the injector holds the deterministic schedule
         # and arms it superstep by superstep (engines call arm_faults)
         self.injector: Optional[FaultInjector] = None
         if self.config.fault_plan is not None:
             self.injector = FaultInjector(self.config.fault_plan)
-            self.injector.validate_against(self.agents)
+            self.injector.validate_against(self.agents, self.transport)
 
     def connect_all(self) -> float:
         """Connect every agent; returns the total simulated setup cost.
@@ -86,7 +96,7 @@ class GXPlug:
         fired.  A no-op without a plan (the common case)."""
         if self.injector is None:
             return 0
-        return self.injector.arm(superstep, self.agents)
+        return self.injector.arm(superstep, self.agents, self.transport)
 
     def fault_report(self, result=None) -> FaultReport:
         """Aggregate fault/recovery counters across the deployment."""

@@ -33,13 +33,14 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..cluster.cluster import Cluster
+from ..core.balance import rebalanced_shares
 from ..core.config import MiddlewareConfig
 from ..core.middleware import GXPlug
 from ..core.sync_skip import SkipDetector
 from ..core.template import AlgorithmTemplate, MessageSet
-from ..errors import AcceleratorsExhausted, EngineError
+from ..errors import AcceleratorsExhausted, EngineError, NodeUnreachable
 from ..fault.checkpoint import CheckpointStore
-from ..graph.partition import PartitionedGraph
+from ..graph.partition import PartitionedGraph, partition
 
 #: simulated bytes per float64 payload cell crossing the network
 BYTES_PER_CELL = 8
@@ -75,6 +76,10 @@ class IterationStats:
     retries: int = 0             # backoff retries spent recovering it
     recoveries: int = 0          # daemon recoveries (respawn cycles)
     checkpoint_ms: float = 0.0   # snapshot cost charged after it
+    # network-transport telemetry (repro.cluster.network)
+    retransmits: int = 0         # collective fragments re-sent
+    dup_drops: int = 0           # duplicate deliveries deduped by seqno
+    net_wasted_ms: float = 0.0   # recovery overhead inside sync_ms
 
     @property
     def total_ms(self) -> float:
@@ -102,6 +107,14 @@ class RunResult:
     wasted_ms: float = 0.0
     #: nodes that finished the run on their host (CPU) compute path
     degraded_nodes: List[int] = field(default_factory=list)
+    #: Lemma-2 repartitions triggered by node degradation
+    rebalance_events: int = 0
+    #: simulated ms spent exchanging partitions during rebalances
+    rebalance_ms: float = 0.0
+    #: run totals from the resilient transport (0 without it)
+    retransmits: int = 0
+    dup_drops: int = 0
+    net_wasted_ms: float = 0.0
 
     @property
     def computation_iterations(self) -> int:
@@ -149,10 +162,18 @@ class IterativeEngine:
             )
         if middleware is not None and middleware.cluster is not cluster:
             raise EngineError("middleware was built for a different cluster")
-        self.pgraph = pgraph
         self.cluster = cluster
         self.middleware = middleware
         self.graph = pgraph.graph
+        self._bind_partition(pgraph)
+
+    def _bind_partition(self, pgraph: PartitionedGraph) -> None:
+        """Adopt ``pgraph`` and rebuild the per-partition index state.
+
+        Called at construction and again when post-degradation
+        rebalancing swaps in a repartitioned graph mid-run.
+        """
+        self.pgraph = pgraph
         # per-vertex replica counts (vertex-cut mirror sync volumes)
         counts = np.zeros(self.graph.num_vertices, dtype=np.int64)
         for part in pgraph.parts:
@@ -243,10 +264,16 @@ class IterativeEngine:
                 use_async = False  # degraded nodes force the strict path
         rollbacks = 0
         wasted_ms = 0.0
+        rebalance_events = 0
+        rebalance_ms = 0.0
+        rebalanced_for: set = set()
+        # vertices touched since the last checkpoint, for delta snapshots
+        changed_accum: List[np.ndarray] = []
 
         while iteration < cap:
             faults = mw.arm_faults(iteration) if mw is not None else 0
             before = self._fault_counters()
+            net_before = self._net_counters()
             try:
                 if use_async:
                     step = self._run_superstep_combined(
@@ -256,7 +283,14 @@ class IterativeEngine:
                     step = self._run_iteration(
                         iteration, algorithm, values, active, width,
                         detector, use_lazy, breakdown)
-            except AcceleratorsExhausted as failure:
+            except (AcceleratorsExhausted, NodeUnreachable) as failure:
+                if (isinstance(failure, NodeUnreachable)
+                        and not mw.config.degrade_to_host):
+                    raise
+                if isinstance(failure, NodeUnreachable):
+                    # the watchdog's partition verdict: write the node's
+                    # accelerators off and fall back to its host path
+                    mw.agent_for(failure.node_id).degraded = True
                 rollbacks += 1
                 if rollbacks > max(MAX_ROLLBACKS, self.cluster.num_nodes):
                     raise EngineError(
@@ -275,22 +309,45 @@ class IterativeEngine:
                 breakdown["engine"] += failed_ms + restore_ms
                 iteration = target
                 use_async = False  # the degraded node computes host-side
+                changed_accum = []  # the store forces a full snapshot next
+                if mw.config.rebalance_on_degrade:
+                    newly_down = (set(mw.degraded_nodes())
+                                  - rebalanced_for)
+                    if newly_down:
+                        reb_ms = self._rebalance(width)
+                        rebalanced_for |= set(mw.degraded_nodes())
+                        rebalance_events += 1
+                        rebalance_ms += reb_ms
+                        total_ms += reb_ms
+                        breakdown["engine"] += reb_ms
+                        if detector is not None:
+                            detector = SkipDetector(self.pgraph)
                 continue
-            it_stats, values, active, changed_total = step
+            it_stats, values, active, changed_total, changed_ids = step
             after = self._fault_counters()
+            net_after = self._net_counters()
             it_stats.faults_injected = faults
             it_stats.retries = after[0] - before[0]
             it_stats.recoveries = after[1] - before[1]
+            it_stats.retransmits = net_after[0] - net_before[0]
+            it_stats.dup_drops = net_after[1] - net_before[1]
+            it_stats.net_wasted_ms = net_after[2] - net_before[2]
             stats.append(it_stats)
             iteration += 1
+            if changed_ids.size:
+                changed_accum.append(changed_ids)
             if store is not None and store.due(iteration):
+                changed = (np.concatenate(changed_accum) if changed_accum
+                           else np.empty(0, dtype=np.int64))
                 it_stats.checkpoint_ms = store.save(
-                    iteration, values, active)
+                    iteration, values, active, changed=changed)
+                changed_accum = []
             total_ms += it_stats.total_ms
             if algorithm.is_converged(changed_total, iteration):
                 converged = True
                 break
 
+        net_totals = self._net_counters()
         return RunResult(
             values=values,
             iterations=iteration,
@@ -307,6 +364,11 @@ class IterativeEngine:
             rollbacks=rollbacks,
             wasted_ms=wasted_ms,
             degraded_nodes=(mw.degraded_nodes() if mw is not None else []),
+            rebalance_events=rebalance_events,
+            rebalance_ms=rebalance_ms,
+            retransmits=net_totals[0],
+            dup_drops=net_totals[1],
+            net_wasted_ms=net_totals[2],
         )
 
     # -- fault tolerance ---------------------------------------------------------------
@@ -319,6 +381,50 @@ class IterativeEngine:
             return (0, 0)
         return (sum(a.retries for a in mw.agents.values()),
                 sum(a.recoveries for a in mw.agents.values()))
+
+    def _network(self):
+        """Where collectives run: the resilient transport when the
+        middleware carries one, else the cluster's bare cost model."""
+        mw = self.middleware
+        if mw is not None and mw.transport is not None:
+            return mw.transport
+        return self.cluster.network
+
+    def _net_counters(self) -> Tuple[int, int, float]:
+        """(retransmits, dup_drops, net_wasted_ms) transport totals, for
+        per-superstep deltas in the iteration stats."""
+        mw = self.middleware
+        if mw is None or mw.transport is None:
+            return (0, 0, 0.0)
+        t = mw.transport
+        return (t.retransmits, t.dup_drops, t.net_wasted_ms)
+
+    def _rebalance(self, width: int) -> float:
+        """Repartition for the cluster's post-degradation capacities.
+
+        Lemma 2 holds for whatever coefficients the cluster currently
+        has, so after a node falls back to its host path the optimal
+        shares shift away from it (§III-C).  Recomputes the shares with
+        the degraded node's accelerators written off, repartitions with
+        the run's own strategy, rebinds the engine's partition state and
+        returns the simulated cost of shipping the masters that moved.
+        """
+        mw = self.middleware
+        old_master_of = self.pgraph.master_of
+        shares = rebalanced_shares(self.cluster.nodes,
+                                   mw.degraded_nodes())
+        pgraph = partition(self.graph, self.cluster.num_nodes,
+                           self.pgraph.strategy, shares=shares)
+        moved = int(np.count_nonzero(pgraph.master_of != old_master_of))
+        self._bind_partition(pgraph)
+        for agent in mw.agents.values():
+            agent.flush_cache()
+        # the moved masters' rows cross the network as one collective
+        cost = self._network().sync_ms(
+            self.cluster.num_nodes, moved * width * BYTES_PER_CELL)
+        cost += max(node.runtime.sync_fixed_ms
+                    for node in self.cluster.nodes)
+        return cost
 
     def _rollback(self, store: Optional[CheckpointStore], origin,
                   failure: AcceleratorsExhausted):
@@ -466,8 +572,14 @@ class IterativeEngine:
                                                       changed_by_node):
             skipped = True
         else:
-            sync_ms, uploads, needed_by_node = self._sync_cost(
-                changed_by_node, active, width, use_lazy)
+            try:
+                sync_ms, uploads, needed_by_node = self._sync_cost(
+                    changed_by_node, active, width, use_lazy)
+            except NodeUnreachable as verdict:
+                # the whole superstep is discarded with the failed sync
+                verdict.elapsed_ms = (compute_ms + apply_ms
+                                      + verdict.wasted_ms)
+                raise
             breakdown["engine"] += sync_ms
             if mw is not None:
                 self._settle_caches(changed_by_node, needed_by_node,
@@ -485,7 +597,7 @@ class IterativeEngine:
             cache_hits=hits,
             cache_misses=misses,
             node_compute_ms=node_ms,
-        ), values, active, changed_total)
+        ), values, active, changed_total, all_changed)
 
     # -- combined local iterations (synchronization skipping, §III-B3) ---------------
 
@@ -611,8 +723,14 @@ class IterativeEngine:
                              + self._mirror_sync_cells(
                                  foreign_buffer.ids, width)
                              * BYTES_PER_CELL)
-            sync_ms = self.cluster.network.sync_ms(
-                self.cluster.num_nodes, payload_bytes)
+            try:
+                sync_ms = self._network().sync_ms(
+                    self.cluster.num_nodes, payload_bytes)
+            except NodeUnreachable as verdict:
+                # the whole superstep is discarded with the failed sync
+                verdict.elapsed_ms = (compute_ms + apply_ms
+                                      + verdict.wasted_ms)
+                raise
             sync_ms += max(node.runtime.sync_fixed_ms
                            for node in self.cluster.nodes)
             apply_sync: List[float] = []
@@ -656,6 +774,11 @@ class IterativeEngine:
             active = np.zeros(n, dtype=bool)
 
         changed_total = int(all_changed.size)
+        # every vertex whose value actually moved this superstep (the
+        # frontier above is a subset) — what a delta checkpoint must cover
+        ckpt_parts = local_changed_parts + sync_changed
+        ckpt_changed = (np.concatenate(ckpt_parts) if ckpt_parts
+                        else np.empty(0, dtype=np.int64))
         return (IterationStats(
             index=index,
             active_edges=active_edges,
@@ -669,7 +792,7 @@ class IterativeEngine:
             cache_misses=misses,
             node_compute_ms=node_ms,
             local_iterations=max(max_sub, 1),
-        ), new_values, active, changed_total)
+        ), new_values, active, changed_total, ckpt_changed)
 
     def _select_edges(self, part, active: np.ndarray,
                       force_frontier: bool = False):
@@ -719,7 +842,7 @@ class IterativeEngine:
         are reused for Algorithm 3's delivery step (cache refresh).
         """
         num_nodes = self.cluster.num_nodes
-        network = self.cluster.network
+        network = self._network()
 
         # which vertices does each node need next iteration? (query lists)
         needed_by_node: Dict[int, np.ndarray] = {}

@@ -88,6 +88,27 @@ class ShmCorruption(FaultError):
     """A shared-memory region failed its integrity check."""
 
 
+class NetworkFault(FaultError):
+    """Base class for inter-node network failures (repro.cluster.network)."""
+
+
+class NodeUnreachable(NetworkFault):
+    """A node stayed silent through an entire retransmission budget.
+
+    Raised by the resilient transport when a partitioned node acks none
+    of the retransmitted collective fragments; carries ``node_id`` and
+    ``wasted_ms`` (the simulated time the failed collective plus all its
+    retransmission rounds burned).  The engine reacts with the same
+    rollback + degradation path as :class:`AcceleratorsExhausted`.
+    """
+
+    def __init__(self, message: str, node_id: int = -1,
+                 wasted_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.node_id = node_id
+        self.wasted_ms = wasted_ms
+
+
 class RetryExhausted(FaultError):
     """A retry policy ran out of attempts for a recurring fault."""
 

@@ -11,27 +11,40 @@ Four layers, wired through the middleware stack:
 * **retry** (:mod:`~repro.fault.retry`) — exponential backoff for
   transient faults, daemon respawn re-attaching shared memory;
 * **recovery** (:mod:`~repro.fault.checkpoint`) — periodic vertex-table
-  checkpoints so engines roll back to the last consistent superstep,
-  with graceful degradation to the host (CPU) path when a node's
-  accelerators are exhausted.
+  checkpoints (full or incremental deltas) so engines roll back to the
+  last consistent superstep, with graceful degradation to the host
+  (CPU) path when a node's accelerators are exhausted;
+* **network** (:mod:`~repro.cluster.network`) — the resilient transport
+  that survives the inter-node fault kinds (``net_drop`` / ``net_delay``
+  / ``net_dup`` / ``sync_fail`` / ``node_partition``) with acks,
+  sequence-number dedupe, retransmission and p2p fallback, escalating
+  partitioned nodes through :class:`~repro.fault.monitor.CollectiveMonitor`
+  verdicts to rollback, degradation and Lemma-2 rebalancing.
 """
 
-from .checkpoint import Checkpoint, CheckpointStore
+from .checkpoint import Checkpoint, CheckpointDelta, CheckpointStore
 from .inject import (
+    ALL_KINDS,
     CRASH,
     HANG,
     KINDS,
     MESSAGE_DELAY,
     MESSAGE_DROP,
+    NET_DELAY,
+    NET_DROP,
+    NET_DUP,
+    NETWORK_KINDS,
+    NODE_PARTITION,
     SHM_CORRUPTION,
     STALL_KINDS,
+    SYNC_FAIL,
     TO_AGENT,
     TO_DAEMON,
     FaultEvent,
     FaultInjector,
     FaultPlan,
 )
-from .monitor import CAT_MONITOR, HeartbeatMonitor
+from .monitor import CAT_MONITOR, CollectiveMonitor, HeartbeatMonitor
 from .report import FaultReport, fault_report
 from .retry import RetryPolicy
 
@@ -40,8 +53,10 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "HeartbeatMonitor",
+    "CollectiveMonitor",
     "RetryPolicy",
     "Checkpoint",
+    "CheckpointDelta",
     "CheckpointStore",
     "FaultReport",
     "fault_report",
@@ -50,7 +65,14 @@ __all__ = [
     "SHM_CORRUPTION",
     "MESSAGE_DROP",
     "MESSAGE_DELAY",
+    "NET_DROP",
+    "NET_DELAY",
+    "NET_DUP",
+    "SYNC_FAIL",
+    "NODE_PARTITION",
     "KINDS",
+    "NETWORK_KINDS",
+    "ALL_KINDS",
     "STALL_KINDS",
     "TO_AGENT",
     "TO_DAEMON",

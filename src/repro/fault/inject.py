@@ -16,6 +16,22 @@ accelerator contexts are fragile):
 * ``delay``   — a control message is delivered late (transient; no
   recovery needed, only latency).
 
+A second family targets the *cluster network* — the sync collectives
+behind synchronization caching/skipping (§III-B) and the partition
+exchanges behind workload balancing (§III-C):
+
+* ``net_drop``       — one node's collective fragment is lost; the
+  resilient transport retransmits it point-to-point after an ack
+  timeout;
+* ``net_delay``      — a fragment arrives late; the barrier pays the
+  straggler (latency only);
+* ``net_dup``        — a fragment is delivered twice; sequence numbers
+  dedupe it (idempotent delivery);
+* ``sync_fail``      — a whole collective round fails and falls back to
+  point-to-point retransmission;
+* ``node_partition`` — a node is unreachable; the retransmission budget
+  is exhausted and the engine takes the rollback + degradation path.
+
 Plans are *data*: a tuple of :class:`FaultEvent` keyed by superstep, so
 a run with a given plan is exactly reproducible.  :meth:`FaultPlan.random`
 derives a plan from a seed deterministically.
@@ -37,7 +53,21 @@ SHM_CORRUPTION = "shm"
 MESSAGE_DROP = "drop"
 MESSAGE_DELAY = "delay"
 
+#: Daemon-agent edge kinds (the original fault model).
 KINDS = (CRASH, HANG, SHM_CORRUPTION, MESSAGE_DROP, MESSAGE_DELAY)
+
+# Inter-node network kinds (repro.cluster.network.ResilientTransport).
+NET_DROP = "net_drop"              # a collective fragment is lost
+NET_DELAY = "net_delay"            # a fragment arrives late (straggler)
+NET_DUP = "net_dup"                # a fragment is delivered twice
+SYNC_FAIL = "sync_fail"            # a whole collective round fails
+NODE_PARTITION = "node_partition"  # a node is unreachable for the round
+
+#: Kinds that target the cluster interconnect instead of a daemon pair;
+#: they arm on the resilient transport, not on an agent.
+NETWORK_KINDS = (NET_DROP, NET_DELAY, NET_DUP, SYNC_FAIL, NODE_PARTITION)
+
+ALL_KINDS = KINDS + NETWORK_KINDS
 
 #: Kinds that manifest as a protocol stall and therefore need the
 #: heartbeat monitor (and the pipelined protocol) to be detected at all.
@@ -70,9 +100,10 @@ class FaultEvent:
     region: str = "areas"           # shm: region to corrupt
 
     def __post_init__(self) -> None:
-        if self.kind not in KINDS:
+        if self.kind not in ALL_KINDS:
             raise FaultPlanError(
-                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{ALL_KINDS}"
             )
         if self.superstep < 0:
             raise FaultPlanError(f"negative superstep {self.superstep}")
@@ -109,6 +140,12 @@ class FaultPlan:
         """True if any event can only be *detected* via heartbeats."""
         return any(e.kind in STALL_KINDS for e in self.events)
 
+    @property
+    def requires_transport(self) -> bool:
+        """True if any event targets the inter-node network; arming it
+        needs the resilient transport (``network_resilient=True``)."""
+        return any(e.kind in NETWORK_KINDS for e in self.events)
+
     def for_superstep(self, superstep: int) -> List[FaultEvent]:
         return [e for e in self.events if e.superstep == superstep]
 
@@ -132,7 +169,9 @@ class FaultPlan:
 
         Each (superstep, node, daemon) slot independently draws a fault
         with probability ``rate``; the kind is drawn uniformly from
-        ``kinds``.  The same seed always yields the same plan.
+        ``kinds`` — which may mix daemon-edge kinds (:data:`KINDS`) and
+        network kinds (:data:`NETWORK_KINDS`).  The same seed always
+        yields the same plan.
         """
         if not 0.0 <= rate <= 1.0:
             raise FaultPlanError(f"rate must be in [0, 1], got {rate}")
@@ -142,7 +181,7 @@ class FaultPlan:
                 f"nodes={num_nodes}, daemons={daemons_per_node}"
             )
         for kind in kinds:
-            if kind not in KINDS:
+            if kind not in ALL_KINDS:
                 raise FaultPlanError(f"unknown fault kind {kind!r}")
         rng = np.random.default_rng(seed)
         events: List[FaultEvent] = []
@@ -154,7 +193,8 @@ class FaultPlan:
                     kind = kinds[int(rng.integers(len(kinds)))]
                     events.append(FaultEvent(
                         kind=kind, superstep=step, node_id=node,
-                        daemon_index=daemon,
+                        daemon_index=(0 if kind in NETWORK_KINDS
+                                      else daemon),
                         after_kernels=int(rng.integers(4)),
                         duration_ms=(hang_ms if kind == HANG else delay_ms),
                         direction=(TO_AGENT if rng.random() < 0.5
@@ -180,13 +220,22 @@ class FaultInjector:
         self.injected_by_kind: Dict[str, int] = {}
         self.log: List[FaultEvent] = []
 
-    def validate_against(self, agents: Dict[int, "object"]) -> None:
+    def validate_against(self, agents: Dict[int, "object"],
+                         transport: "object" = None) -> None:
         """Fail fast if the plan targets nodes/daemons that do not exist."""
         for event in self.plan.events:
             if event.node_id not in agents:
                 raise FaultPlanError(
                     f"fault plan targets unknown node {event.node_id}"
                 )
+            if event.kind in NETWORK_KINDS:
+                if transport is None:
+                    raise FaultPlanError(
+                        f"fault plan contains network event {event.kind!r} "
+                        f"but no resilient transport is attached "
+                        f"(network_resilient=True)"
+                    )
+                continue
             agent = agents[event.node_id]
             if event.daemon_index >= len(agent.daemons):
                 raise FaultPlanError(
@@ -195,10 +244,23 @@ class FaultInjector:
                     f"{len(agent.daemons)} daemon(s)"
                 )
 
-    def arm(self, superstep: int, agents: Dict[int, "object"]) -> int:
+    def arm(self, superstep: int, agents: Dict[int, "object"],
+            transport: "object" = None) -> int:
         """Arm every event scheduled for ``superstep``; returns the count."""
         events = self._pending.pop(superstep, [])
         for event in events:
+            if event.kind in NETWORK_KINDS:
+                if transport is None:
+                    raise FaultPlanError(
+                        f"cannot arm {event.kind!r} without a resilient "
+                        f"transport (network_resilient=True)"
+                    )
+                self._arm_network(event, transport)
+                self.injected += 1
+                self.injected_by_kind[event.kind] = (
+                    self.injected_by_kind.get(event.kind, 0) + 1)
+                self.log.append(event)
+                continue
             agent = agents[event.node_id]
             daemon = agent.daemons[event.daemon_index]
             if event.kind == CRASH:
@@ -222,3 +284,17 @@ class FaultInjector:
                 self.injected_by_kind.get(event.kind, 0) + 1)
             self.log.append(event)
         return len(events)
+
+    @staticmethod
+    def _arm_network(event: FaultEvent, transport: "object") -> None:
+        """Arm one network event on the resilient transport."""
+        if event.kind == NET_DROP:
+            transport.arm_drop(event.node_id)
+        elif event.kind == NET_DELAY:
+            transport.arm_delay(event.node_id, event.duration_ms)
+        elif event.kind == NET_DUP:
+            transport.arm_dup(event.node_id)
+        elif event.kind == SYNC_FAIL:
+            transport.arm_sync_fail()
+        elif event.kind == NODE_PARTITION:
+            transport.arm_partition(event.node_id)

@@ -24,12 +24,23 @@ class FaultReport:
     rollbacks: int = 0
     wasted_ms: float = 0.0
     degraded_nodes: List[int] = field(default_factory=list)
+    # network-transport layer (repro.cluster.network)
+    retransmits: int = 0
+    dup_drops: int = 0
+    collective_fallbacks: int = 0
+    partition_verdicts: int = 0
+    net_wasted_ms: float = 0.0
+    rebalance_events: int = 0
+    rebalance_ms: float = 0.0
 
     @property
     def clean(self) -> bool:
         """True when nothing fault-related happened at all."""
         return (self.faults_injected == 0 and self.retries == 0
-                and self.rollbacks == 0 and not self.degraded_nodes)
+                and self.rollbacks == 0 and not self.degraded_nodes
+                and self.retransmits == 0 and self.dup_drops == 0
+                and self.collective_fallbacks == 0
+                and self.partition_verdicts == 0)
 
     def summary(self) -> str:
         if self.clean:
@@ -38,12 +49,24 @@ class FaultReport:
                           sorted(self.injected_by_kind.items()))
         degraded = (", degraded nodes " +
                     str(self.degraded_nodes) if self.degraded_nodes else "")
+        net = ""
+        if (self.retransmits or self.dup_drops
+                or self.collective_fallbacks or self.partition_verdicts):
+            net = (f", net: {self.retransmits} retransmits, "
+                   f"{self.dup_drops} dup drops, "
+                   f"{self.collective_fallbacks} collective fallbacks, "
+                   f"{self.partition_verdicts} partition verdicts "
+                   f"({self.net_wasted_ms:.1f} ms wasted)")
+        rebalance = (f", {self.rebalance_events} rebalances "
+                     f"({self.rebalance_ms:.1f} ms)"
+                     if self.rebalance_events else "")
         return (f"fault report: {self.faults_injected} injected "
                 f"({kinds or 'none'}), {self.retries} retries, "
                 f"{self.recovered_passes} recovered passes, "
                 f"{self.daemon_respawns} respawns, "
                 f"{self.rollbacks} rollbacks "
-                f"({self.wasted_ms:.1f} ms wasted){degraded}")
+                f"({self.wasted_ms:.1f} ms wasted){net}{rebalance}"
+                f"{degraded}")
 
 
 def fault_report(middleware, result=None) -> FaultReport:
@@ -63,7 +86,16 @@ def fault_report(middleware, result=None) -> FaultReport:
             report.daemon_respawns += daemon.respawns
         if agent.degraded:
             report.degraded_nodes.append(node_id)
+    transport = getattr(middleware, "transport", None)
+    if transport is not None:
+        report.retransmits = transport.retransmits
+        report.dup_drops = transport.dup_drops
+        report.collective_fallbacks = transport.collective_fallbacks
+        report.partition_verdicts = transport.partition_verdicts
+        report.net_wasted_ms = transport.net_wasted_ms
     if result is not None:
         report.rollbacks = getattr(result, "rollbacks", 0)
         report.wasted_ms = getattr(result, "wasted_ms", 0.0)
+        report.rebalance_events = getattr(result, "rebalance_events", 0)
+        report.rebalance_ms = getattr(result, "rebalance_ms", 0.0)
     return report

@@ -1,0 +1,423 @@
+"""Network-layer fault tolerance: resilient collectives end to end.
+
+The acceptance bar mirrors the daemon-edge one: every network fault
+kind, injected under deterministic seeds, must leave PageRank and SSSP
+converging to the fault-free results (within 1e-9), with the transport's
+recovery visible in the counters — and the fault-free resilient path
+must cost exactly zero extra.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FULL,
+    NETWORK_RESILIENT,
+    RESILIENT,
+    GXPlug,
+    MultiSourceSSSP,
+    PageRank,
+    PowerGraphEngine,
+    ResilientTransport,
+    load_dataset,
+    make_cluster,
+)
+from repro.cluster.network import NetworkModel
+from repro.core.balance import rebalanced_shares
+from repro.errors import (
+    MiddlewareError,
+    NetworkFault,
+    NodeUnreachable,
+    SimulationError,
+)
+from repro.fault import (
+    NET_DELAY,
+    NET_DROP,
+    NET_DUP,
+    NETWORK_KINDS,
+    NODE_PARTITION,
+    SYNC_FAIL,
+    CheckpointStore,
+    CollectiveMonitor,
+    FaultPlan,
+    RetryPolicy,
+)
+
+NUM_NODES = 2
+MAX_ITER = 10
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("wrn")
+
+
+def run_algorithm(graph, config, algorithm=None):
+    cluster = make_cluster(NUM_NODES, gpus_per_node=1)
+    plug = GXPlug(cluster, config)
+    engine = PowerGraphEngine.build(graph, cluster, middleware=plug)
+    algorithm = algorithm if algorithm is not None else PageRank()
+    result = engine.run(algorithm, max_iterations=MAX_ITER)
+    return result, plug
+
+
+@pytest.fixture(scope="module")
+def fault_free(graph):
+    result, _ = run_algorithm(graph, FULL)
+    return result
+
+
+@pytest.fixture(scope="module")
+def fault_free_sssp(graph):
+    result, _ = run_algorithm(graph, FULL,
+                              algorithm=MultiSourceSSSP(sources=(0, 1)))
+    return result
+
+
+# -- transport unit behaviour ----------------------------------------------
+
+
+def make_transport(**kw):
+    policy = RetryPolicy(max_attempts=kw.pop("max_attempts", 3),
+                         base_delay_ms=kw.pop("base_delay_ms", 0.5),
+                         backoff_factor=kw.pop("backoff_factor", 2.0))
+    return ResilientTransport(NetworkModel(), policy,
+                              ack_timeout_ms=kw.pop("ack_timeout_ms", 1.0))
+
+
+def test_fault_free_transport_is_bit_exact():
+    model = NetworkModel()
+    t = make_transport()
+    for nodes, nbytes in [(1, 0), (2, 64), (4, 4096), (16, 10_000)]:
+        assert t.sync_ms(nodes, nbytes) == model.sync_ms(nodes, nbytes)
+        assert t.broadcast_ms(nodes, nbytes) == \
+            model.broadcast_ms(nodes, nbytes)
+    assert t.net_wasted_ms == 0.0
+    assert t.retransmits == 0 and t.dup_drops == 0
+
+
+def test_sequence_numbers_dedupe_duplicates():
+    t = make_transport()
+    seq = t.send(0)
+    assert t.deliver(0, seq) is True
+    assert t.deliver(0, seq) is False            # replay: dropped
+    assert t.dup_drops == 1
+    assert t.deliver(0, t.send(0)) is True       # next seq passes
+
+
+def test_armed_delay_charges_the_straggler():
+    model = NetworkModel()
+    t = make_transport()
+    t.arm_delay(1, 7.5)
+    cost = t.sync_ms(4, 1000)
+    assert cost == pytest.approx(model.sync_ms(4, 1000) + 7.5)
+    assert t.net_wasted_ms == pytest.approx(7.5)
+    # one-shot: the next collective is clean again
+    assert t.sync_ms(4, 1000) == model.sync_ms(4, 1000)
+
+
+def test_armed_dup_pays_the_wire_and_gets_deduped():
+    model = NetworkModel()
+    t = make_transport()
+    t.arm_dup(0)
+    cost = t.sync_ms(4, 1000)
+    fragment = 250
+    assert cost == pytest.approx(model.sync_ms(4, 1000)
+                                 + model.transfer_ms(fragment))
+    assert t.dup_drops == 1
+    assert t.retransmits == 0                    # a dup is not a resend
+
+
+def test_armed_drop_retransmits_after_timeout_and_backoff():
+    model = NetworkModel()
+    t = make_transport(ack_timeout_ms=2.0, base_delay_ms=0.5)
+    t.arm_drop(1)
+    cost = t.sync_ms(4, 1000)
+    expected_extra = 2.0 + 0.5 + model.transfer_ms(250)
+    assert cost == pytest.approx(model.sync_ms(4, 1000) + expected_extra)
+    assert t.retransmits == 1
+    assert t.monitor.acks == 1
+    assert t.monitor.pending == 0
+
+
+def test_armed_sync_fail_falls_back_to_p2p():
+    model = NetworkModel()
+    t = make_transport()
+    t.arm_sync_fail()
+    cost = t.sync_ms(4, 1000)
+    assert cost == pytest.approx(model.sync_ms(4, 1000)
+                                 + model.p2p_fallback_ms(4, 1000))
+    assert t.collective_fallbacks == 1
+    assert t.retransmits == 4                    # one resend per node
+
+
+def test_partition_exhausts_budget_and_raises():
+    t = make_transport(max_attempts=3)
+    t.arm_partition(2)
+    with pytest.raises(NodeUnreachable) as err:
+        t.sync_ms(4, 1000)
+    assert err.value.node_id == 2
+    assert err.value.wasted_ms > 0
+    assert t.retransmits == 3                    # the whole budget
+    assert t.partition_verdicts == 1
+    assert t.monitor.verdicts == 1
+    # the verdict consumed the armed fault; the transport is clean again
+    assert t.faults_armed == 0
+    assert t.sync_ms(4, 1000) == NetworkModel().sync_ms(4, 1000)
+
+
+def test_collective_monitor_validates_and_tracks():
+    with pytest.raises(SimulationError):
+        CollectiveMonitor(0.0)
+    m = CollectiveMonitor(2.0)
+    m.expect(3, now=10.0)
+    assert m.pending == 1
+    assert not m.overdue(3, now=11.0)
+    assert m.overdue(3, now=12.5)
+    m.ack(3)
+    assert m.pending == 0 and m.acks == 1
+    assert issubclass(NodeUnreachable, NetworkFault)
+
+
+# -- end-to-end: every kind converges to fault-free results ---------------
+
+
+@pytest.mark.parametrize("kind,kwargs", [
+    (NET_DROP, dict(node_id=1)),
+    (NET_DELAY, dict(node_id=0, duration_ms=5.0)),
+    (NET_DUP, dict(node_id=1)),
+    (SYNC_FAIL, dict()),
+])
+@pytest.mark.parametrize("superstep", [0, 3])
+def test_recoverable_network_fault_converges(graph, fault_free, kind,
+                                             kwargs, superstep):
+    plan = FaultPlan.single(kind, superstep, **kwargs)
+    result, plug = run_algorithm(
+        graph, NETWORK_RESILIENT.with_(fault_plan=plan))
+    assert result.converged == fault_free.converged
+    assert np.abs(result.values - fault_free.values).max() < 1e-9
+    report = plug.fault_report(result)
+    assert report.faults_injected == 1
+    assert report.injected_by_kind == {kind: 1}
+    assert report.net_wasted_ms > 0
+    assert result.net_wasted_ms == pytest.approx(report.net_wasted_ms)
+    if kind == NET_DROP:
+        assert report.retransmits >= 1
+    if kind == NET_DUP:
+        assert report.dup_drops >= 1
+    if kind == SYNC_FAIL:
+        assert report.collective_fallbacks >= 1
+    assert result.rollbacks == 0
+    assert not report.degraded_nodes
+
+
+@pytest.mark.parametrize("kind,kwargs", [
+    (NET_DROP, dict(node_id=0)),
+    (NET_DELAY, dict(node_id=1, duration_ms=5.0)),
+    (SYNC_FAIL, dict()),
+])
+def test_network_faults_keep_sssp_exact(graph, fault_free_sssp, kind,
+                                        kwargs):
+    plan = FaultPlan.single(kind, 1, **kwargs)
+    result, _ = run_algorithm(
+        graph, NETWORK_RESILIENT.with_(fault_plan=plan),
+        algorithm=MultiSourceSSSP(sources=(0, 1)))
+    np.testing.assert_allclose(result.values, fault_free_sssp.values,
+                               atol=1e-9)
+
+
+def test_network_faults_slow_the_run_but_keep_it_correct(graph,
+                                                         fault_free):
+    plan = FaultPlan.single(NET_DROP, 2, node_id=1)
+    clean, _ = run_algorithm(graph, NETWORK_RESILIENT)
+    faulted, _ = run_algorithm(
+        graph, NETWORK_RESILIENT.with_(fault_plan=plan))
+    assert faulted.total_ms > clean.total_ms
+    hit = [s for s in faulted.stats if s.retransmits]
+    assert hit and all(s.net_wasted_ms > 0 for s in hit)
+
+
+def test_node_partition_rolls_back_degrades_and_rebalances(graph,
+                                                           fault_free):
+    plan = FaultPlan.single(NODE_PARTITION, 3, node_id=1)
+    result, plug = run_algorithm(
+        graph, NETWORK_RESILIENT.with_(fault_plan=plan))
+    assert np.abs(result.values - fault_free.values).max() < 1e-9
+    assert result.rollbacks == 1
+    assert result.degraded_nodes == [1]
+    assert result.rebalance_events == 1
+    assert result.rebalance_ms > 0
+    assert result.wasted_ms > 0
+    # stats stay contiguous after the rollback truncation
+    assert [s.index for s in result.stats] == list(range(result.iterations))
+    report = plug.fault_report(result)
+    assert report.partition_verdicts == 1
+    assert report.rebalance_events == 1
+    assert not report.clean
+    assert "rebalance" in report.summary()
+
+
+def test_partition_without_degrade_reraises(graph):
+    plan = FaultPlan.single(NODE_PARTITION, 1, node_id=0)
+    config = NETWORK_RESILIENT.with_(fault_plan=plan,
+                                     degrade_to_host=False,
+                                     rebalance_on_degrade=False)
+    cluster = make_cluster(NUM_NODES, gpus_per_node=1)
+    plug = GXPlug(cluster, config)
+    engine = PowerGraphEngine.build(graph, cluster, middleware=plug)
+    with pytest.raises(NodeUnreachable):
+        engine.run(PageRank(), max_iterations=MAX_ITER)
+    assert not plug.agent_for(0).degraded
+
+
+def test_seeded_network_campaign_is_reproducible(graph):
+    plan = FaultPlan.random(23, supersteps=MAX_ITER, num_nodes=NUM_NODES,
+                            rate=0.3, kinds=NETWORK_KINDS)
+    assert plan.events, "seed 23 must schedule at least one event"
+    assert plan.requires_transport
+    assert all(e.daemon_index == 0 for e in plan.events)
+    config = NETWORK_RESILIENT.with_(fault_plan=plan)
+    first, _ = run_algorithm(graph, config)
+    second, _ = run_algorithm(graph, config)
+    assert first.total_ms == second.total_ms          # bit-for-bit timing
+    np.testing.assert_array_equal(first.values, second.values)
+
+
+def test_network_plan_requires_resilient_transport(graph):
+    plan = FaultPlan.single(NET_DROP, 0)
+    with pytest.raises(MiddlewareError):
+        RESILIENT.with_(fault_plan=plan)          # no transport configured
+
+
+def test_fault_free_network_resilient_costs_nothing_extra(graph):
+    """The transport's zero-overhead invariant, engine-level: with no
+    network faults armed the NETWORK_RESILIENT stack is bit-identical in
+    cost and values to the plain RESILIENT one."""
+    plain, _ = run_algorithm(graph, RESILIENT)
+    resilient, plug = run_algorithm(graph, NETWORK_RESILIENT)
+    np.testing.assert_array_equal(resilient.values, plain.values)
+    assert resilient.total_ms == plain.total_ms
+    assert resilient.retransmits == 0
+    assert resilient.net_wasted_ms == 0.0
+    assert plug.fault_report(resilient).clean
+
+
+def test_rebalanced_shares_shift_load_off_degraded_nodes():
+    cluster = make_cluster(4, gpus_per_node=1)
+    healthy = rebalanced_shares(cluster.nodes, [])
+    degraded = rebalanced_shares(cluster.nodes, [2])
+    assert healthy == pytest.approx([0.25] * 4)
+    assert degraded[2] < 0.25                     # lost its accelerator
+    assert degraded.sum() == pytest.approx(1.0)
+    assert degraded[0] == degraded[1] == degraded[3]
+
+
+# -- incremental (delta) checkpoints ---------------------------------------
+
+
+def seeded_states(n=64, width=1, steps=6, seed=7):
+    """A deterministic sequence of (values, active, changed) updates."""
+    rng = np.random.default_rng(seed)
+    values = rng.random((n, width)) if width > 1 else rng.random(n)
+    active = rng.random(n) < 0.5
+    out = []
+    for _ in range(steps):
+        changed = np.unique(rng.integers(0, n, size=5))
+        values = values.copy()
+        values[changed] += 1.0
+        active = active.copy()
+        flips = np.unique(rng.integers(0, n, size=3))
+        active[flips] = ~active[flips]
+        out.append((values, active, changed))
+    return out
+
+
+@pytest.mark.parametrize("width", [1, 3])
+@pytest.mark.parametrize("prefix", [1, 3, 6])
+def test_delta_restore_matches_full_restore_bit_for_bit(width, prefix):
+    delta_store = CheckpointStore(interval=1, full_every=8)
+    full_store = CheckpointStore(interval=1)
+    states = seeded_states(width=width)[:prefix]
+    for i, (values, active, changed) in enumerate(states):
+        delta_store.save(i, values, active, changed=changed)
+        full_store.save(i, values, active)
+    assert delta_store.delta_saves == prefix - 1  # first save is full
+    assert full_store.delta_saves == 0
+    d, f = delta_store.restore(), full_store.restore()
+    assert d.iteration == f.iteration == prefix - 1
+    np.testing.assert_array_equal(d.values, f.values)
+    np.testing.assert_array_equal(d.active, f.active)
+
+
+def test_delta_checkpoints_charge_only_cells_written():
+    store = CheckpointStore(interval=1, ms_per_cell=1.0, fixed_ms=0.0)
+    n = 100
+    values = np.zeros(n)
+    active = np.ones(n, dtype=bool)
+    assert store.save(0, values, active, changed=np.arange(n)) == n
+    values = values.copy()
+    values[:4] = 1.0
+    cost = store.save(1, values, active, changed=np.arange(4))
+    assert cost == 4.0                            # 4 cells, not 100
+
+
+def test_full_every_bounds_the_delta_chain():
+    store = CheckpointStore(interval=1, full_every=2)
+    n = 16
+    values, active = np.zeros(n), np.ones(n, dtype=bool)
+    for i in range(6):
+        values = values.copy()
+        values[i] = float(i + 1)
+        store.save(i, values, active, changed=np.array([i]))
+    # saves: full, delta, delta, full, delta, delta
+    assert store.saves == 6
+    assert store.delta_saves == 4
+    assert len(store._checkpoints) == 2
+    restored = store.restore()
+    np.testing.assert_array_equal(restored.values, values)
+
+
+def test_restore_after_rollback_forces_full_snapshot():
+    store = CheckpointStore(interval=1)
+    n = 8
+    values, active = np.zeros(n), np.ones(n, dtype=bool)
+    store.save(0, values, active, changed=np.arange(n))
+    values = values.copy()
+    values[0] = 1.0
+    store.save(1, values, active, changed=np.array([0]))
+    assert store.delta_saves == 1
+    store.restore()
+    store.save(2, values, active, changed=np.array([0]))
+    assert store.delta_saves == 1                 # forced full, not delta
+    assert store._checkpoints[-1].iteration == 2
+
+
+def test_changed_none_keeps_the_full_snapshot_api():
+    store = CheckpointStore(interval=2, keep=2)
+    n = 8
+    values, active = np.zeros(n), np.ones(n, dtype=bool)
+    for i in (2, 4, 6):
+        store.save(i, values, active)
+    assert store.delta_saves == 0
+    assert [c.iteration for c in store._checkpoints] == [4, 6]
+    assert store.latest.iteration == store.latest_iteration == 6
+
+
+def test_frontier_runs_actually_take_delta_checkpoints(graph,
+                                                       fault_free_sssp):
+    """SSSP's sparse frontiers are where incremental checkpoints pay:
+    the checkpointed run must cost less than one paying full snapshots
+    at every boundary, while restoring identically under a fault."""
+    n = graph.num_vertices
+    full = CheckpointStore(interval=1)
+    delta = CheckpointStore(interval=1)
+    rng = np.random.default_rng(3)
+    values = rng.random(n)
+    active = np.ones(n, dtype=bool)
+    full_cost = full.save(1, values, active)
+    sparse = np.unique(rng.integers(0, n, size=max(2, n // 50)))
+    delta.save(0, values, active, changed=np.arange(n))
+    values = values.copy()
+    values[sparse] += 1.0
+    delta_cost = delta.save(1, values, active, changed=sparse)
+    assert delta_cost < full_cost
