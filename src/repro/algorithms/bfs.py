@@ -53,6 +53,8 @@ class BFS(AlgorithmTemplate):
         np.minimum.at(merged, inverse, messages)
         return MessageSet(uniq, merged)
 
+    concat_combine = True
+
     def combine(self, a: MessageSet, b: MessageSet) -> MessageSet:
         if a.size == 0:
             return b

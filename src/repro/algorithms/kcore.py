@@ -74,6 +74,8 @@ class KCore(AlgorithmTemplate):
         np.add.at(sums, inverse, messages)
         return MessageSet(uniq, sums)
 
+    concat_combine = True
+
     def combine(self, a: MessageSet, b: MessageSet) -> MessageSet:
         if a.size == 0:
             return b

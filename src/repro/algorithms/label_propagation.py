@@ -64,6 +64,8 @@ class LabelPropagation(AlgorithmTemplate):
         out_data = np.column_stack([uniq[:, 1], summed])
         return MessageSet(out_ids, out_data)
 
+    concat_combine = True
+
     def combine(self, a: MessageSet, b: MessageSet) -> MessageSet:
         if a.size == 0:
             return b

@@ -75,6 +75,8 @@ class PageRank(AlgorithmTemplate):
         np.add.at(sums, inverse, messages)
         return MessageSet(uniq, sums)
 
+    concat_combine = True
+
     def combine(self, a: MessageSet, b: MessageSet) -> MessageSet:
         if a.size == 0:
             return b

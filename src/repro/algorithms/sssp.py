@@ -65,6 +65,8 @@ class MultiSourceSSSP(AlgorithmTemplate):
         np.minimum.at(merged, inverse, messages)
         return MessageSet(uniq, merged)
 
+    concat_combine = True
+
     def combine(self, a: MessageSet, b: MessageSet) -> MessageSet:
         if a.size == 0:
             return b

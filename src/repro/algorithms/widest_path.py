@@ -56,6 +56,8 @@ class WidestPath(AlgorithmTemplate):
         np.maximum.at(best, inverse, messages)
         return MessageSet(uniq, best)
 
+    concat_combine = True
+
     def combine(self, a: MessageSet, b: MessageSet) -> MessageSet:
         if a.size == 0:
             return b

@@ -27,6 +27,9 @@ from .algorithms import (
     WidestPath,
 )
 from .bench import print_table
+from .bench.hotpath import (DEFAULT_ALGORITHMS, PROFILES, check_regression,
+                            format_report, load_bench_json, merge_entry,
+                            run_hotpath_bench, write_bench_json)
 from .bench.trace import write_csv, write_json
 from .cluster import JVM_RUNTIME, NATIVE_RUNTIME, make_cluster
 from .core import GXPlug, MiddlewareConfig
@@ -54,6 +57,7 @@ ENGINES = {
 FIGURES = (
     "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
     "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
+    "fault_soak",
 )
 
 
@@ -109,6 +113,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("name", choices=FIGURES)
+
+    bench = sub.add_parser(
+        "bench", help="wall-clock hot-path throughput benchmark")
+    bench.add_argument("--profile", choices=sorted(PROFILES),
+                       default="default",
+                       help="named R-MAT shape (default/smoke)")
+    bench.add_argument("--vertices", type=int, default=None,
+                       help="override the profile's |V|")
+    bench.add_argument("--edges", type=int, default=None,
+                       help="override the profile's |E|")
+    bench.add_argument("--algorithms", nargs="+", metavar="ALG",
+                       choices=DEFAULT_ALGORITHMS,
+                       default=list(DEFAULT_ALGORITHMS))
+    bench.add_argument("--nodes", type=int, default=2)
+    bench.add_argument("--gpus", type=int, default=1)
+    bench.add_argument("--cache-fraction", type=float, default=0.1,
+                       help="vertex-cache capacity as a fraction of |V| "
+                            "(default 0.1)")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--repeats", type=int, default=1,
+                       help="runs per workload; the fastest is kept")
+    bench.add_argument("--json", metavar="PATH", default=None,
+                       help="merge this run into a BENCH_hotpath.json "
+                            "document (entry named after --entry)")
+    bench.add_argument("--entry", default=None,
+                       help="entry name inside the JSON document "
+                            "(default: the profile name)")
+    bench.add_argument("--check", metavar="PATH", default=None,
+                       help="gate against the committed entry in this "
+                            "BENCH_hotpath.json instead of writing")
+    bench.add_argument("--max-regression", type=float, default=0.3,
+                       help="allowed fractional throughput drop for "
+                            "--check (default 0.3 = 30%%)")
     return parser
 
 
@@ -235,6 +272,8 @@ def cmd_figure(name: str) -> int:
         "fig12b": ["split", "variant", "gpus", "sim ms"],
         "fig13": ["variant", "sim ms", "inits"],
         "fig14": ["engine", "algorithm", "nodes", "ratio"],
+        "fault_soak": ["rate", "injected", "total ms", "overhead ms",
+                       "retransmits", "net wasted ms", "rollbacks"],
     }
     if name == "fig15":
         out = runner.run_fig15()
@@ -250,6 +289,49 @@ def cmd_figure(name: str) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .errors import BenchmarkError
+
+    profile = PROFILES[args.profile]
+    vertices = args.vertices if args.vertices is not None \
+        else profile["vertices"]
+    edges = args.edges if args.edges is not None else profile["edges"]
+    try:
+        payload = run_hotpath_bench(
+            vertices=vertices, edges=edges,
+            algorithms=tuple(args.algorithms),
+            nodes=args.nodes, gpus=args.gpus,
+            cache_fraction=args.cache_fraction,
+            seed=args.seed, repeats=args.repeats)
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in format_report(payload):
+        print(line)
+    entry = args.entry or args.profile
+    if args.check:
+        try:
+            doc = load_bench_json(args.check)
+            print(check_regression(doc, entry, payload,
+                                   args.max_regression))
+        except (OSError, BenchmarkError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if args.json:
+        try:
+            doc = load_bench_json(args.json)
+        except OSError:
+            doc = None  # first write creates the document
+        except BenchmarkError as exc:
+            print(f"error: refusing to overwrite {args.json}: {exc}",
+                  file=sys.stderr)
+            return 1
+        doc = merge_entry(doc, entry, payload)
+        write_bench_json(doc, args.json)
+        print(f"bench entry {entry!r} written: {args.json}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -258,6 +340,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "figure":
         return cmd_figure(args.name)
+    if args.command == "bench":
+        return cmd_bench(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -98,7 +98,6 @@ class Agent:
             Agent._next_daemon_id += 1
             self.daemons.append(daemon)
         self.cache: Optional[LRUVertexCache] = None
-        self._cached_mask: Optional[np.ndarray] = None  # fast membership
         #: fraction of a pass's triplets requiring a fresh vertex fetch
         #: (cold caches ~ unique-vertex fraction, warm caches ~ 0)
         self._last_fetch_ratio = 1.0
@@ -130,8 +129,7 @@ class Agent:
                 cost += daemon.init_cost_ms()
         if self.config.sync_cache:
             capacity = self.config.cache_capacity or 1_000_000
-            self.cache = LRUVertexCache(capacity)
-            self._cached_mask = None
+            self.cache = LRUVertexCache(capacity, writeback=True)
         self.total_middleware_ms += cost
         return cost
 
@@ -164,13 +162,8 @@ class Agent:
         if direction == "download":
             cost = runtime.download_ms_per_entity * ids.size
             if self.cache is not None and ids.size:
-                self._ensure_mask(values.shape[0])
                 rows = algorithm.gather_values(values, ids)
-                for v, row in zip(ids, rows):
-                    evicted = self.cache.insert(int(v), row)
-                    self._cached_mask[int(v)] = True
-                    if evicted is not None:
-                        self._cached_mask[evicted] = False
+                self.cache.insert_many(ids, rows)
         else:
             cost = runtime.upload_ms_per_entity * ids.size
             if self.cache is not None:
@@ -210,9 +203,7 @@ class Agent:
                       ) -> Tuple[MessageSet, float]:
         """MSGMerge across partials (block/daemon-level combine)."""
         self._require_connected()
-        merged = algorithm.empty_messages()
-        for p in partials:
-            merged = algorithm.combine(merged, p)
+        merged = algorithm.combine_many(partials)
         cost = self.node.runtime.apply_ms_per_entity * merged.size
         self.total_middleware_ms += cost
         return merged, cost
@@ -262,13 +253,8 @@ class Agent:
         """
         if self.cache is None or changed.size == 0:
             return
-        self._ensure_mask(values.shape[0])
         rows = algorithm.gather_values(values, changed)
-        for v, row in zip(changed, rows):
-            evicted = self.cache.update(int(v), row, dirty=True)
-            self._cached_mask[int(v)] = True
-            if evicted is not None:
-                self._cached_mask[evicted] = False
+        self.cache.insert_many(changed, rows, dirty=True)
 
     def request_scatter(self, affected_edges: int) -> float:
         """GAS scatter pass: activate neighbours of changed vertices.
@@ -302,7 +288,6 @@ class Agent:
 
         if self.cache is not None:
             self.cache.tick()
-            self._ensure_mask(values.shape[0])
         src_rows = algorithm.gather_values(values, src_ids)
 
         # Failure recovery (§II-A's transparent hardware management): a
@@ -420,10 +405,9 @@ class Agent:
             failure.elapsed_ms = sched.clock.now + init_ms
             raise
 
-        partial = algorithm.empty_messages()
-        for collector in collectors:
-            for block_partial in collector:
-                partial = algorithm.combine(partial, block_partial)
+        partial = algorithm.combine_many(
+            [block_partial for collector in collectors
+             for block_partial in collector])
         for daemon in self.daemons:
             daemon.release_after_request()
 
@@ -442,12 +426,22 @@ class Agent:
         msgs = algorithm.msg_gen(src_ids, dst_ids, weights, values)
         expected = algorithm.msg_merge(dst_ids, msgs)
 
-        def canonical(ms: MessageSet):
-            return sorted(
-                (int(i),) + tuple(np.round(np.atleast_1d(row), 9))
-                for i, row in zip(ms.ids, np.atleast_2d(ms.data)))
+        def canonical(ms: MessageSet) -> Tuple[np.ndarray, np.ndarray]:
+            if ms.ids.size == 0:
+                return ms.ids, np.empty((0, 1))
+            data = np.round(np.atleast_2d(ms.data), 9)
+            if data.shape[0] != ms.ids.size:  # width-1 row vector
+                data = data.reshape(ms.ids.size, -1)
+            order = np.lexsort(tuple(data.T[::-1]) + (ms.ids,))
+            return ms.ids[order], data[order]
 
-        if canonical(partial) != canonical(expected):
+        got_ids, got_data = canonical(partial)
+        want_ids, want_data = canonical(expected)
+        same = (got_ids.shape == want_ids.shape
+                and got_data.shape == want_data.shape
+                and bool(np.array_equal(got_ids, want_ids))
+                and bool(np.array_equal(got_data, want_data)))
+        if not same:
             raise MiddlewareError(
                 f"agent {self.node.node_id}: pipelined partial diverges "
                 f"from the monolithic result ({partial.size} vs "
@@ -485,8 +479,7 @@ class Agent:
         """
         if self.config.sync_cache:
             capacity = self.config.cache_capacity or 1_000_000
-            self.cache = LRUVertexCache(capacity)
-        self._cached_mask = None
+            self.cache = LRUVertexCache(capacity, writeback=True)
         self._last_fetch_ratio = 1.0
 
     def _fastest_daemon(self) -> Daemon:
@@ -525,13 +518,6 @@ class Agent:
             return self.config.block_size
         return self.coefficients_for(daemon).choose_block_size(d)
 
-    def _ensure_mask(self, num_vertices: int) -> None:
-        if self._cached_mask is None or self._cached_mask.size < num_vertices:
-            mask = np.zeros(num_vertices, dtype=bool)
-            if self._cached_mask is not None:
-                mask[: self._cached_mask.size] = self._cached_mask
-            self._cached_mask = mask
-
     def _build_blocks(self, daemon: Daemon, algorithm: AlgorithmTemplate,
                       src_ids: np.ndarray, dst_ids: np.ndarray,
                       weights: np.ndarray, src_rows: np.ndarray,
@@ -549,7 +535,7 @@ class Agent:
                 hits_misses[1] += uniques
             return blocks
         for block in blocks:
-            in_cache = self._cached_mask[block.src_ids]
+            in_cache = self.cache.contains_many(block.src_ids)
             self.cache.touch(np.unique(block.src_ids[in_cache]))
             miss_ids, first_idx = np.unique(block.src_ids[~in_cache],
                                             return_index=True)
@@ -557,11 +543,7 @@ class Agent:
             hits_misses[0] += int(in_cache.sum())
             hits_misses[1] += int(miss_ids.size)
             miss_rows = block.src_values[~in_cache][first_idx]
-            for v, row in zip(miss_ids, miss_rows):
-                evicted = self.cache.insert(int(v), row)
-                self._cached_mask[int(v)] = True
-                if evicted is not None:
-                    self._cached_mask[evicted] = False
+            self.cache.insert_many(miss_ids, miss_rows)
         return blocks
 
     def refresh_cache(self, vertex_ids: np.ndarray, values: np.ndarray,
@@ -573,28 +555,33 @@ class Agent:
         values, so they are warm in the cache for the next iteration —
         no re-download needed.  Only already-cached vertices refresh.
         """
-        if self.cache is None or self._cached_mask is None:
+        if self.cache is None:
             return
         ids = np.asarray(vertex_ids, dtype=np.int64).ravel()
         if ids.size == 0:
             return
-        ids = ids[ids < self._cached_mask.size]
-        ids = ids[self._cached_mask[ids]]
+        ids = ids[self.cache.contains_many(ids)]
         if ids.size == 0:
             return
         rows = algorithm.gather_values(values, ids)
-        for v, row in zip(ids, rows):
-            self.cache.update(int(v), row, dirty=False)
+        self.cache.insert_many(ids, rows, dirty=False)
+
+    def settle_dirty(self) -> None:
+        """Clean the lazy-upload buffer after a global synchronization.
+
+        The sync collective reconciles every changed master with the
+        upper system's tables (the engine charges its cost), so the rows
+        the cache held for lazy upload are no longer pending; they stay
+        cached, clean.
+        """
+        if self.cache is not None:
+            self.cache.clear_dirty()
 
     def invalidate_cache(self, vertex_ids: np.ndarray) -> None:
         """Drop cache entries made stale by foreign updates."""
-        if self.cache is None or self._cached_mask is None:
+        if self.cache is None:
             return
-        for v in np.asarray(vertex_ids).ravel():
-            v = int(v)
-            if v < self._cached_mask.size and self._cached_mask[v]:
-                self._cached_mask[v] = False
-                self.cache.invalidate(v)
+        self.cache.invalidate_many(np.asarray(vertex_ids).ravel())
 
     def _download_ms(self, block: TripletBlock) -> float:
         """Download stage cost: one fetch per distinct missing source

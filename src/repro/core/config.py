@@ -99,6 +99,14 @@ class MiddlewareConfig:
     checkpoint_ms_per_cell: float = 2e-5
     checkpoint_fixed_ms: float = 0.5
 
+    #: Speculative checkpointing: *delta* snapshot writes are issued
+    #: behind the superstep barrier and overlap the next superstep's
+    #: compute window, so only their overflow (a write longer than the
+    #: window) shows up as overhead.  Full snapshots still charge
+    #: synchronously — they gate the consistency point.  Off by default:
+    #: every committed figure keeps the synchronous accounting.
+    speculative_checkpoint: bool = False
+
     #: Transient-fault retry policy (exponential backoff).
     max_retry_attempts: int = 3
     retry_base_delay_ms: float = 0.5
@@ -195,6 +203,11 @@ class MiddlewareConfig:
             raise MiddlewareError(
                 f"retry_backoff_factor must be >= 1, got "
                 f"{self.retry_backoff_factor}"
+            )
+        if self.speculative_checkpoint and self.checkpoint_interval < 1:
+            raise MiddlewareError(
+                "speculative_checkpoint overlaps delta snapshot writes "
+                "with compute; it requires checkpoint_interval >= 1"
             )
         if (self.fault_plan is not None and self.fault_plan.requires_monitor
                 and not self.monitor_heartbeats):

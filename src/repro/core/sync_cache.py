@@ -14,6 +14,13 @@ weight, i.e. least recently used) entry is evicted.
    We implement the only internally consistent reading — evict the lowest
    weight — and note the discrepancy in DESIGN.md.
 
+The cache is slot-based: a preallocated ``(capacity, width)`` value
+matrix, flat per-slot id/weight/dirty arrays, and a dense ``id -> slot``
+lookup array.  Whole id arrays move through :meth:`lookup_many` /
+:meth:`insert_many` / :meth:`touch` / :meth:`take_dirty` with fancy
+indexing — the per-vertex methods (``lookup``/``insert``/``update``)
+remain and keep their exact historical semantics.
+
 Lazy uploading (Algorithm 3) is driven by two queues: each agent pushes
 the vertex ids it will need next iteration to the **global query queue**;
 the union is broadcast, and each agent uploads to the **global data
@@ -23,11 +30,15 @@ queue** only its updated vertices that some other agent queried.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import MiddlewareError
+
+#: Starting size of the dense ``id -> slot`` index; grows geometrically
+#: to cover the largest vertex id seen.
+_INDEX_SEED = 1024
 
 
 class LRUVertexCache:
@@ -36,21 +47,34 @@ class LRUVertexCache:
     Weights follow the paper's scheme: new/used entries get the current
     generation stamp (so weight effectively "decreases with the passage of
     iterations" relative to fresh entries and "increases if being used").
+    Eviction takes the lowest ``(weight, vertex_id)`` among *clean*
+    entries; dirty entries are pinned by the lazy-upload contract.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, writeback: bool = False) -> None:
         if capacity < 1:
             raise MiddlewareError(f"cache capacity must be >= 1, got "
                                   f"{capacity}")
         self.capacity = capacity
-        self._values: Dict[int, np.ndarray] = {}
-        self._weights: Dict[int, float] = {}
-        self._dirty: Set[int] = set()
+        #: with write-back, a cache full of dirty entries evicts the
+        #: stalest dirty row (its update counts as eagerly uploaded)
+        #: instead of raising; clean entries always evict first.
+        self.writeback = writeback
+        # slot-major state; the value matrix is allocated lazily once the
+        # first row reveals the attribute width and dtype.
+        self._values: Optional[np.ndarray] = None  # (capacity, width)
+        self._ids = np.full(capacity, -1, dtype=np.int64)  # slot -> id
+        self._weights = np.zeros(capacity, dtype=np.float64)
+        self._dirty = np.zeros(capacity, dtype=bool)
+        self._index = np.full(_INDEX_SEED, -1, dtype=np.int64)  # id -> slot
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        self._size = 0
         self._generation = 0.0
         # instrumentation
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.writebacks = 0
 
     # -- iteration lifecycle ---------------------------------------------------
 
@@ -61,20 +85,50 @@ class LRUVertexCache:
     # -- lookups ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._values)
+        return self._size
 
     def __contains__(self, vertex: int) -> bool:
-        return vertex in self._values
+        return self._slot(int(vertex)) >= 0
+
+    def _slot(self, vertex: int) -> int:
+        if 0 <= vertex < self._index.size:
+            return int(self._index[vertex])
+        return -1
 
     def lookup(self, vertex: int) -> Optional[np.ndarray]:
         """Value for ``vertex`` or None on miss; a hit bumps its weight."""
-        value = self._values.get(vertex)
-        if value is None:
+        slot = self._slot(int(vertex))
+        if slot < 0:
             self.misses += 1
             return None
         self.hits += 1
-        self._weights[vertex] = self._generation
-        return value
+        self._weights[slot] = self._generation
+        return self._values[slot].copy()
+
+    def contains_many(self, ids: np.ndarray) -> np.ndarray:
+        """Boolean residency mask for an id array (no weight bumps)."""
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        mask = np.zeros(ids.size, dtype=bool)
+        in_range = (ids >= 0) & (ids < self._index.size)
+        mask[in_range] = self._index[ids[in_range]] >= 0
+        return mask
+
+    def lookup_many(self, ids: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Bulk lookup: ``(hit_mask, rows)`` for an id array.
+
+        ``rows`` holds one value row per hit (aligned with
+        ``ids[hit_mask]``); hits bump weights, misses count as misses.
+        """
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        mask = self.contains_many(ids)
+        slots = self._index[ids[mask]]
+        self._weights[slots] = self._generation
+        self.hits += int(slots.size)
+        self.misses += int(ids.size - slots.size)
+        if self._values is None:
+            return mask, np.empty((0, 0))
+        return mask, self._values[slots]
 
     def partition_ids(self, ids: np.ndarray
                       ) -> Tuple[np.ndarray, np.ndarray]:
@@ -83,17 +137,20 @@ class LRUVertexCache:
         Used by the agent when costing a download batch; call
         :meth:`touch` afterwards for the ids actually used.
         """
-        mask = np.fromiter((int(v) in self._values for v in ids),
-                           dtype=bool, count=ids.size)
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        mask = self.contains_many(ids)
         return ids[mask], ids[~mask]
 
     def touch(self, ids: np.ndarray) -> None:
         """Bump weights of cached ids (counted as hits)."""
-        for v in ids:
-            v = int(v)
-            if v in self._values:
-                self._weights[v] = self._generation
-                self.hits += 1
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            return
+        in_range = (ids >= 0) & (ids < self._index.size)
+        slots = self._index[ids[in_range]]
+        slots = slots[slots >= 0]
+        self._weights[slots] = self._generation
+        self.hits += int(slots.size)
 
     # -- inserts / updates ------------------------------------------------------------
 
@@ -103,13 +160,7 @@ class LRUVertexCache:
         Returns the evicted vertex id if the insert displaced an entry,
         else None.
         """
-        vertex = int(vertex)
-        evicted = None
-        if vertex not in self._values and len(self._values) >= self.capacity:
-            evicted = self._evict_one()
-        self._values[vertex] = value
-        self._weights[vertex] = self._generation
-        return evicted
+        return self._put_one(int(vertex), value, mark_dirty=False)
 
     def update(self, vertex: int, value: np.ndarray,
                dirty: bool = True) -> Optional[int]:
@@ -117,35 +168,185 @@ class LRUVertexCache:
 
         Returns the evicted vertex id if the update displaced an entry.
         """
-        vertex = int(vertex)
-        evicted = None
-        if vertex not in self._values and len(self._values) >= self.capacity:
-            evicted = self._evict_one()
-        self._values[vertex] = value
-        self._weights[vertex] = self._generation
+        return self._put_one(int(vertex), value, mark_dirty=bool(dirty))
+
+    def insert_many(self, ids: np.ndarray, rows: np.ndarray,
+                    dirty: bool = False) -> np.ndarray:
+        """Bulk insert/update: scatter ``rows`` to ``ids`` in one shot.
+
+        Returns the evicted vertex ids.  Entries already resident are
+        updated in place; new entries claim free slots, evicting the
+        stalest clean pre-batch entries when the cache is full (batch
+        members never evict each other — when a batch outsizes what the
+        pre-batch state can absorb, the exact sequential semantics run
+        instead).  ``dirty=True`` marks every written row dirty;
+        ``dirty=False`` leaves existing dirty flags alone (refresh
+        semantics, matching ``update(..., dirty=False)``).
+        """
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        rows = self._ensure_store(rows)
+        if rows.shape[0] != ids.size:
+            raise MiddlewareError(
+                f"insert_many: {ids.size} ids vs {rows.shape[0]} rows")
+        if ids.size > 1:
+            uniq, rev_first = np.unique(ids[::-1], return_index=True)
+            if uniq.size != ids.size:
+                # duplicate ids: keep the last occurrence (the sequential
+                # overwrite result)
+                keep = ids.size - 1 - rev_first
+                ids, rows = ids[keep], rows[keep]
+        if bool((ids < 0).any()):
+            raise MiddlewareError("vertex ids must be >= 0")
+        self._ensure_index(int(ids.max()))
+        slots = self._index[ids]
+        present = slots >= 0
+        n_new = int(ids.size - int(present.sum()))
+        evicted = np.empty(0, dtype=np.int64)
+        if n_new > len(self._free):
+            need = n_new - len(self._free)
+            occ = self._ids >= 0
+            excl = np.zeros(self.capacity, dtype=bool)
+            excl[slots[present]] = True  # in-place targets are off-limits
+            clean = np.flatnonzero(occ & ~self._dirty & ~excl)
+            pinned = np.flatnonzero(occ & self._dirty & ~excl)
+            avail = clean.size + (pinned.size if self.writeback else 0)
+            if avail < need:
+                # batch outsizes the evictable pre-batch state: replay
+                # the exact one-at-a-time semantics (thrash, or the
+                # historical full-of-dirty error).
+                return self._insert_seq(ids, rows, dirty)
+            victims = self._pick_stalest(clean, min(need, clean.size))
+            if victims.size < need:
+                extra = self._pick_stalest(pinned, need - victims.size)
+                self.writebacks += int(extra.size)
+                victims = np.concatenate([victims, extra])
+            evicted = self._ids[victims].copy()
+            self._drop_slots(victims)
+            self.evictions += int(victims.size)
+        pslots = slots[present]
+        self._values[pslots] = rows[present]
+        self._weights[pslots] = self._generation
         if dirty:
-            self._dirty.add(vertex)
+            self._dirty[pslots] = True
+        if n_new:
+            nslots = np.asarray(self._free[-n_new:][::-1], dtype=np.int64)
+            del self._free[-n_new:]
+            new_ids = ids[~present]
+            self._index[new_ids] = nslots
+            self._ids[nslots] = new_ids
+            self._values[nslots] = rows[~present]
+            self._weights[nslots] = self._generation
+            self._dirty[nslots] = bool(dirty)
+            self._size += n_new
         return evicted
 
     def invalidate(self, vertex: int) -> None:
         """Drop an entry made stale by a foreign update (no eviction stat)."""
-        vertex = int(vertex)
-        self._values.pop(vertex, None)
-        self._weights.pop(vertex, None)
-        self._dirty.discard(vertex)
+        slot = self._slot(int(vertex))
+        if slot >= 0:
+            self._drop_slots(np.array([slot], dtype=np.int64))
+
+    def invalidate_many(self, ids: np.ndarray) -> int:
+        """Bulk :meth:`invalidate`; returns how many entries dropped."""
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        in_range = (ids >= 0) & (ids < self._index.size)
+        slots = self._index[ids[in_range]]
+        slots = np.unique(slots[slots >= 0])
+        if slots.size:
+            self._drop_slots(slots)
+        return int(slots.size)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _ensure_index(self, max_id: int) -> None:
+        if max_id < self._index.size:
+            return
+        size = self._index.size
+        while size <= max_id:
+            size *= 2
+        grown = np.full(size, -1, dtype=np.int64)
+        grown[: self._index.size] = self._index
+        self._index = grown
+
+    def _ensure_store(self, rows: np.ndarray) -> np.ndarray:
+        """(Re)allocate the value matrix for ``rows``; returns rows 2-D."""
+        rows = np.atleast_2d(np.asarray(rows))
+        if self._values is None:
+            self._values = np.zeros((self.capacity, rows.shape[1]),
+                                    dtype=rows.dtype)
+        elif rows.shape[1] != self._values.shape[1]:
+            raise MiddlewareError(
+                f"cache row width changed: {self._values.shape[1]} -> "
+                f"{rows.shape[1]}")
+        else:
+            dtype = np.result_type(self._values.dtype, rows.dtype)
+            if dtype != self._values.dtype:
+                self._values = self._values.astype(dtype)
+        return rows
+
+    def _put_one(self, vertex: int, value: np.ndarray,
+                 mark_dirty: bool) -> Optional[int]:
+        if vertex < 0:
+            raise MiddlewareError(f"vertex ids must be >= 0, got {vertex}")
+        rows = self._ensure_store(value)
+        self._ensure_index(vertex)
+        slot = int(self._index[vertex])
+        evicted = None
+        if slot < 0:
+            if self._size >= self.capacity:
+                evicted = self._evict_one()
+            slot = self._free.pop()
+            self._index[vertex] = slot
+            self._ids[slot] = vertex
+            self._size += 1
+        self._values[slot] = rows[0]
+        self._weights[slot] = self._generation
+        if mark_dirty:
+            self._dirty[slot] = True
+        return evicted
+
+    def _insert_seq(self, ids: np.ndarray, rows: np.ndarray,
+                    dirty: bool) -> np.ndarray:
+        evicted = [self._put_one(int(v), row, mark_dirty=bool(dirty))
+                   for v, row in zip(ids, rows)]
+        return np.asarray([e for e in evicted if e is not None],
+                          dtype=np.int64)
+
+    def _pick_stalest(self, slots: np.ndarray, k: int) -> np.ndarray:
+        """The ``k`` slots with the smallest ``(weight, id)`` among
+        ``slots`` (the batch form of the eviction order)."""
+        if k <= 0 or slots.size == 0:
+            return np.empty(0, dtype=np.int64)
+        order = np.lexsort((self._ids[slots], self._weights[slots]))
+        return slots[order[:k]]
+
+    def _drop_slots(self, slots: np.ndarray) -> None:
+        self._index[self._ids[slots]] = -1
+        self._ids[slots] = -1
+        self._dirty[slots] = False
+        self._free.extend(int(s) for s in slots)
+        self._size -= int(slots.size)
 
     def _evict_one(self) -> int:
-        # never evict dirty entries (their updates would be lost);
-        # choose the lowest-weight clean entry.
-        candidates = [(w, v) for v, w in self._weights.items()
-                      if v not in self._dirty]
-        if not candidates:
-            raise MiddlewareError(
-                "cache full of dirty entries; flush with take_dirty() first"
-            )
-        _w, victim = min(candidates)
-        del self._values[victim]
-        del self._weights[victim]
+        # prefer evicting clean entries (dirty updates would be lost);
+        # choose the lowest-weight (stalest) one, lowest id on ties.
+        occ = self._ids >= 0
+        candidates = np.flatnonzero(occ & ~self._dirty)
+        if candidates.size == 0:
+            if not self.writeback:
+                raise MiddlewareError(
+                    "cache full of dirty entries; flush with take_dirty() "
+                    "first"
+                )
+            # write-back: the stalest dirty entry's update is considered
+            # eagerly uploaded, freeing its slot.
+            candidates = np.flatnonzero(occ)
+            self.writebacks += 1
+        slot = int(self._pick_stalest(candidates, 1)[0])
+        victim = int(self._ids[slot])
+        self._drop_slots(np.array([slot], dtype=np.int64))
         self.evictions += 1
         return victim
 
@@ -153,10 +354,10 @@ class LRUVertexCache:
 
     @property
     def dirty_count(self) -> int:
-        return len(self._dirty)
+        return int(self._dirty.sum())
 
     def dirty_ids(self) -> List[int]:
-        return sorted(self._dirty)
+        return sorted(int(v) for v in self._ids[self._dirty])
 
     def take_dirty(self, ids: Optional[np.ndarray] = None
                    ) -> Dict[int, np.ndarray]:
@@ -166,13 +367,25 @@ class LRUVertexCache:
         queue; the entries stay cached but are clean afterwards.
         """
         if ids is None:
-            chosen = list(self._dirty)
+            slots = np.flatnonzero(self._dirty)
         else:
-            wanted = {int(v) for v in ids}
-            chosen = [v for v in self._dirty if v in wanted]
-        out = {v: self._values[v] for v in chosen}
-        self._dirty.difference_update(chosen)
+            wanted = np.asarray(ids, dtype=np.int64).ravel()
+            in_range = (wanted >= 0) & (wanted < self._index.size)
+            cand = self._index[wanted[in_range]]
+            cand = cand[cand >= 0]
+            slots = np.unique(cand[self._dirty[cand]])
+        out = {int(v): self._values[s].copy()
+               for v, s in zip(self._ids[slots], slots)}
+        self._dirty[slots] = False
         return out
+
+    def clear_dirty(self) -> int:
+        """Mark every dirty entry clean without materializing the rows
+        (the settle-after-sync fast path); returns how many were dirty."""
+        n = int(self._dirty.sum())
+        if n:
+            self._dirty[:] = False
+        return n
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -184,7 +397,8 @@ class GlobalQueues:
     """The global query queue and global data queue of Algorithm 3."""
 
     query_lists: Dict[int, np.ndarray] = field(default_factory=dict)
-    data_entries: Dict[int, Dict[int, np.ndarray]] = field(
+    #: per-node uploads as aligned (ids, rows) arrays
+    data_arrays: Dict[int, Tuple[np.ndarray, np.ndarray]] = field(
         default_factory=dict)
 
     def push_query(self, node_id: int, vertex_ids: np.ndarray) -> None:
@@ -206,18 +420,50 @@ class GlobalQueues:
     def push_data(self, node_id: int,
                   entries: Dict[int, np.ndarray]) -> None:
         """An agent uploads the queried subset of its updated vertices."""
-        self.data_entries[node_id] = entries
+        ids = np.fromiter(entries.keys(), dtype=np.int64,
+                          count=len(entries))
+        rows = (np.stack([np.atleast_1d(v) for v in entries.values()])
+                if entries else np.empty((0, 0)))
+        self.push_data_arrays(node_id, ids, rows)
+
+    def push_data_arrays(self, node_id: int, ids: np.ndarray,
+                         rows: np.ndarray) -> None:
+        """Array form of :meth:`push_data`: aligned ids + value rows."""
+        self.data_arrays[node_id] = (
+            np.asarray(ids, dtype=np.int64).ravel(),
+            np.atleast_2d(np.asarray(rows)))
+
+    def fetch_arrays(self, vertex_ids: np.ndarray
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fetch requested vertices as aligned (ids, rows) arrays.
+
+        Later uploads win for an id pushed by several nodes (mirroring
+        the historical per-node overwrite order of the mapping form).
+        """
+        wanted = np.unique(np.asarray(vertex_ids, dtype=np.int64).ravel())
+        got_ids: List[np.ndarray] = []
+        got_rows: List[np.ndarray] = []
+        for ids, rows in self.data_arrays.values():
+            if ids.size == 0 or wanted.size == 0:
+                continue
+            mask = np.isin(ids, wanted)
+            if mask.any():
+                got_ids.append(ids[mask])
+                got_rows.append(rows[mask])
+        if not got_ids:
+            return (np.empty(0, dtype=np.int64), np.empty((0, 0)))
+        all_ids = np.concatenate(got_ids)
+        all_rows = np.concatenate(got_rows)
+        # keep the last occurrence of each id
+        uniq, rev_first = np.unique(all_ids[::-1], return_index=True)
+        keep = all_ids.size - 1 - rev_first
+        return uniq, all_rows[keep]
 
     def fetch(self, vertex_ids: np.ndarray) -> Dict[int, np.ndarray]:
         """Fetch requested vertices from the global data queue."""
-        wanted = {int(v) for v in vertex_ids}
-        out: Dict[int, np.ndarray] = {}
-        for entries in self.data_entries.values():
-            for v, value in entries.items():
-                if v in wanted:
-                    out[v] = value
-        return out
+        ids, rows = self.fetch_arrays(vertex_ids)
+        return {int(v): row for v, row in zip(ids, rows)}
 
     def clear(self) -> None:
         self.query_lists.clear()
-        self.data_entries.clear()
+        self.data_arrays.clear()

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -128,6 +128,47 @@ class AlgorithmTemplate(ABC):
     @abstractmethod
     def combine(self, a: MessageSet, b: MessageSet) -> MessageSet:
         """Associatively merge two message sets (cross-block/cross-node)."""
+
+    #: Classes whose :meth:`combine` is exactly "empty is identity;
+    #: otherwise concatenate ids/data and msg_merge" set this True *in
+    #: the same class body* — :meth:`combine_many` then merges any number
+    #: of parts in a single msg_merge call.  Because msg_merge
+    #: accumulates messages in element order, the one-shot merge is
+    #: bit-identical to the pairwise left-to-right fold (each partial
+    #: result is a prefix of the concatenated element sequence).
+    concat_combine: bool = False
+
+    def _combine_is_concat(self) -> bool:
+        # the fast path is only safe when the *same* class that declared
+        # concat_combine provides combine — a subclass overriding
+        # combine (however strangely) must get the faithful fold.
+        for klass in type(self).__mro__:
+            if "combine" in vars(klass):
+                return bool(vars(klass).get("concat_combine", False))
+        return False
+
+    def combine_many(self, parts: Sequence[MessageSet]) -> MessageSet:
+        """Merge many message sets at once (segment-reduction point).
+
+        Bit-identical to folding :meth:`combine` left to right over
+        ``parts`` — the contract every caller relies on.  Algorithms
+        declaring :attr:`concat_combine` merge all parts in one
+        msg_merge over the concatenated messages; anything else runs
+        the fold.
+        """
+        if self._combine_is_concat():
+            live = [p for p in parts if p.size]
+            if not live:
+                return self.empty_messages()
+            if len(live) == 1:
+                return live[0]
+            return self.msg_merge(
+                np.concatenate([p.ids for p in live]),
+                np.concatenate([p.data for p in live]))
+        merged = self.empty_messages()
+        for p in parts:
+            merged = self.combine(merged, p)
+        return merged
 
     @abstractmethod
     def msg_apply(self, values: np.ndarray, merged: MessageSet

@@ -28,6 +28,7 @@ for every engine/config combination.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -51,6 +52,10 @@ BYTES_PER_ID = 8
 #: node to its host path, so a run can need at most one per node (the
 #: effective limit is ``max(MAX_ROLLBACKS, num_nodes)``).
 MAX_ROLLBACKS = 8
+
+#: The hot-path phases whose wall-clock time the engine accounts
+#: (``time.perf_counter`` deltas; see ``repro.bench.hotpath``).
+WALL_PHASES = ("gen", "merge", "apply", "sync", "cache")
 
 
 @dataclass
@@ -115,6 +120,15 @@ class RunResult:
     retransmits: int = 0
     dup_drops: int = 0
     net_wasted_ms: float = 0.0
+    #: delta-snapshot cost hidden inside compute windows by speculative
+    #: checkpointing (0 unless ``speculative_checkpoint`` is on)
+    checkpoint_hidden_ms: float = 0.0
+    #: *wall-clock* seconds this run burned, total and split by phase
+    #: (gen / merge / apply / sync / cache).  Orthogonal to every
+    #: simulated-ms figure: simulated time models the hardware, wall
+    #: time measures this Python implementation's hot path.
+    wall_total_s: float = 0.0
+    wall_s: Dict[str, float] = field(default_factory=dict)
 
     @property
     def computation_iterations(self) -> int:
@@ -165,6 +179,8 @@ class IterativeEngine:
         self.cluster = cluster
         self.middleware = middleware
         self.graph = pgraph.graph
+        #: wall-clock seconds by hot-path phase, reset at every run()
+        self.wall_s: Dict[str, float] = dict.fromkeys(WALL_PHASES, 0.0)
         self._bind_partition(pgraph)
 
     def _bind_partition(self, pgraph: PartitionedGraph) -> None:
@@ -215,6 +231,8 @@ class IterativeEngine:
     def run(self, algorithm: AlgorithmTemplate,
             max_iterations: Optional[int] = None) -> RunResult:
         """Run ``algorithm`` to convergence (or the iteration cap)."""
+        wall_start = perf_counter()
+        self.wall_s = dict.fromkeys(WALL_PHASES, 0.0)
         g = self.graph
         n = g.num_vertices
         state = algorithm.init_state(g)
@@ -269,6 +287,13 @@ class IterativeEngine:
         rebalanced_for: set = set()
         # vertices touched since the last checkpoint, for delta snapshots
         changed_accum: List[np.ndarray] = []
+        # speculative checkpointing: delta writes issued behind the
+        # barrier ride the next superstep's compute window; only their
+        # overflow is charged (full snapshots stay synchronous).
+        speculative = bool(mw is not None and store is not None
+                           and mw.config.speculative_checkpoint)
+        pending_ckpt_ms = 0.0
+        hidden_ckpt_ms = 0.0
 
         while iteration < cap:
             faults = mw.arm_faults(iteration) if mw is not None else 0
@@ -296,6 +321,13 @@ class IterativeEngine:
                     raise EngineError(
                         f"{rollbacks} rollbacks without progress"
                     ) from failure
+                if pending_ckpt_ms:
+                    # the in-flight speculative delta must land before the
+                    # restore can replay it; its window is gone, so the
+                    # write charges in full.
+                    total_ms += pending_ckpt_ms
+                    breakdown["engine"] += pending_ckpt_ms
+                    pending_ckpt_ms = 0.0
                 failed_ms = getattr(failure, "elapsed_ms", 0.0)
                 if not failed_ms and failure.__cause__ is not None:
                     failed_ms = getattr(failure.__cause__, "elapsed_ms",
@@ -334,19 +366,36 @@ class IterativeEngine:
             it_stats.net_wasted_ms = net_after[2] - net_before[2]
             stats.append(it_stats)
             iteration += 1
+            if pending_ckpt_ms:
+                # drain the previous superstep's speculative delta
+                # against this superstep's compute window
+                hidden = min(pending_ckpt_ms, it_stats.compute_ms)
+                hidden_ckpt_ms += hidden
+                it_stats.checkpoint_ms += pending_ckpt_ms - hidden
+                pending_ckpt_ms = 0.0
             if changed_ids.size:
                 changed_accum.append(changed_ids)
             if store is not None and store.due(iteration):
                 changed = (np.concatenate(changed_accum) if changed_accum
                            else np.empty(0, dtype=np.int64))
-                it_stats.checkpoint_ms = store.save(
+                save_ms = store.save(
                     iteration, values, active, changed=changed)
+                if speculative and store.last_save_was_delta:
+                    pending_ckpt_ms += save_ms
+                else:
+                    it_stats.checkpoint_ms += save_ms
                 changed_accum = []
             total_ms += it_stats.total_ms
             if algorithm.is_converged(changed_total, iteration):
                 converged = True
                 break
 
+        if pending_ckpt_ms:
+            # the job is over: the last speculative write has no compute
+            # window left to hide behind and charges in full.
+            if stats:
+                stats[-1].checkpoint_ms += pending_ckpt_ms
+            total_ms += pending_ckpt_ms
         net_totals = self._net_counters()
         return RunResult(
             values=values,
@@ -369,6 +418,9 @@ class IterativeEngine:
             retransmits=net_totals[0],
             dup_drops=net_totals[1],
             net_wasted_ms=net_totals[2],
+            checkpoint_hidden_ms=hidden_ckpt_ms,
+            wall_total_s=perf_counter() - wall_start,
+            wall_s=dict(self.wall_s),
         )
 
     # -- fault tolerance ---------------------------------------------------------------
@@ -471,6 +523,7 @@ class IterativeEngine:
         crit_host_ms = 0.0    # host share (degraded nodes) on it
         crit_total = -1.0
         force_frontier = algorithm.requires_frontier_scan
+        wall0 = perf_counter()
         for part in self.pgraph.parts:
             src, dst, w = self._select_edges(part, active, force_frontier)
             d = int(src.size)
@@ -502,6 +555,7 @@ class IterativeEngine:
                     crit_total = host_ms
                     crit_mw_ms = crit_dev_ms = 0.0
                     crit_host_ms = host_ms
+        self.wall_s["gen"] += perf_counter() - wall0
         compute_ms = max(node_ms) if node_ms else 0.0
         if mw is not None:
             breakdown["middleware"] += max(crit_mw_ms, 0.0)
@@ -511,11 +565,13 @@ class IterativeEngine:
             breakdown["engine"] += compute_ms
 
         # -- 2. global merge ---------------------------------------------------
-        combined = algorithm.empty_messages()
-        for node_id in sorted(partials):
-            combined = algorithm.combine(combined, partials[node_id])
+        wall0 = perf_counter()
+        combined = algorithm.combine_many(
+            [partials[node_id] for node_id in sorted(partials)])
+        self.wall_s["merge"] += perf_counter() - wall0
 
         # -- 3. apply at masters (parallel) --------------------------------------
+        wall0 = perf_counter()
         apply_times: List[float] = []
         changed_by_node: Dict[int, np.ndarray] = {}
         new_values = values
@@ -545,15 +601,18 @@ class IterativeEngine:
             apply_times.append(cost)
         apply_ms = max(apply_times) if apply_times else 0.0
         values = new_values
+        self.wall_s["apply"] += perf_counter() - wall0
         if mw is not None:
             # apply is dominated by transfer bookkeeping; split half/half
             breakdown["middleware"] += apply_ms * 0.5
             breakdown["device"] += apply_ms * 0.5
+            wall0 = perf_counter()
             for part in self.pgraph.parts:
                 agent = mw.agent_for(part.node_id)
                 if not agent.degraded:
                     agent.note_master_updates(
                         values, changed_by_node[part.node_id], algorithm)
+            self.wall_s["cache"] += perf_counter() - wall0
         else:
             breakdown["engine"] += apply_ms
 
@@ -572,6 +631,7 @@ class IterativeEngine:
                                                       changed_by_node):
             skipped = True
         else:
+            wall0 = perf_counter()
             try:
                 sync_ms, uploads, needed_by_node = self._sync_cost(
                     changed_by_node, active, width, use_lazy)
@@ -580,10 +640,14 @@ class IterativeEngine:
                 verdict.elapsed_ms = (compute_ms + apply_ms
                                       + verdict.wasted_ms)
                 raise
+            finally:
+                self.wall_s["sync"] += perf_counter() - wall0
             breakdown["engine"] += sync_ms
             if mw is not None:
+                wall0 = perf_counter()
                 self._settle_caches(changed_by_node, needed_by_node,
                                     values, algorithm)
+                self.wall_s["cache"] += perf_counter() - wall0
 
         return (IterationStats(
             index=index,
@@ -625,7 +689,7 @@ class IterativeEngine:
         max_sub = 0
         crit_mw_ms = crit_dev_ms = 0.0
         crit_total = -1.0
-        foreign_buffer = algorithm.empty_messages()
+        foreign_parts: List[MessageSet] = []
         local_changed_parts: List[np.ndarray] = []
         pending_parts: List[np.ndarray] = []
         new_values = values.copy()
@@ -654,7 +718,9 @@ class IterativeEngine:
                 w = part.weights[sel]
                 if sub == 0:
                     active_edges += int(src.size)
+                wall0 = perf_counter()
                 res = agent.edge_pass(src, dst, w, new_values, algorithm)
+                self.wall_s["gen"] += perf_counter() - wall0
                 t_compute += res.elapsed_ms
                 hits += res.cache_hits
                 misses += res.cache_misses
@@ -674,18 +740,21 @@ class IterativeEngine:
                 foreign_part = MessageSet(partial.ids[~own_sel],
                                           partial.data[~own_sel])
                 if foreign_part.size:
-                    foreign_buffer = algorithm.combine(foreign_buffer,
-                                                       foreign_part)
+                    foreign_parts.append(foreign_part)
                 if local_part.size == 0:
                     break
+                wall0 = perf_counter()
                 cand, changed, cost = agent.request_apply(
                     new_values, local_part, algorithm)
+                self.wall_s["apply"] += perf_counter() - wall0
                 t_apply += cost
                 changed = changed[own[changed]] if changed.size else changed
                 if changed.size == 0:
                     break
                 new_values[changed] = cand[changed]
+                wall0 = perf_counter()
                 agent.note_master_updates(new_values, changed, algorithm)
+                self.wall_s["cache"] += perf_counter() - wall0
                 changed_accum.append(changed)
                 if sub >= depth_cap:
                     # depth bound reached: hand the unfinished frontier to
@@ -716,8 +785,12 @@ class IterativeEngine:
         changed_by_node: Dict[int, np.ndarray] = {}
         sync_ms = 0.0
         uploads = 0
+        wall0 = perf_counter()
+        foreign_buffer = algorithm.combine_many(foreign_parts)
+        self.wall_s["merge"] += perf_counter() - wall0
         skipped = foreign_buffer.size == 0
         if not skipped:
+            wall1 = perf_counter()
             uploads = foreign_buffer.size
             payload_bytes = (uploads * width * BYTES_PER_CELL
                              + self._mirror_sync_cells(
@@ -757,7 +830,14 @@ class IterativeEngine:
             if apply_sync:
                 sync_ms += max(apply_sync)
             breakdown["engine"] += sync_ms
+            self.wall_s["sync"] += perf_counter() - wall1
+            wall1 = perf_counter()
             self._invalidate_foreign(changed_by_node)
+            for part in self.pgraph.parts:
+                agent = mw.agent_for(part.node_id)
+                if not agent.degraded:
+                    agent.settle_dirty()
+            self.wall_s["cache"] += perf_counter() - wall1
 
         # frontier: vertices changed by the sync, frontiers left
         # unfinished by the depth bound, plus local changes whose
@@ -904,15 +984,16 @@ class IterativeEngine:
         """
         mw = self.middleware
         for part in self.pgraph.parts:
+            agent = mw.agent_for(part.node_id)
+            if agent.degraded:
+                continue
+            agent.settle_dirty()
             foreign = [ids for node, ids in changed_by_node.items()
                        if node != part.node_id]
             if not foreign:
                 continue
             stale = np.concatenate(foreign)
             if stale.size == 0:
-                continue
-            agent = mw.agent_for(part.node_id)
-            if agent.degraded:
                 continue
             needed = needed_by_node.get(part.node_id)
             if needed is not None and needed.size:

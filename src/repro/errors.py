@@ -144,3 +144,7 @@ class EngineError(ReproError):
 
 class AlgorithmError(ReproError):
     """An algorithm template implementation broke its contract."""
+
+
+class BenchmarkError(ReproError):
+    """Bad benchmark parameters or a failed benchmark regression gate."""

@@ -95,6 +95,10 @@ class CheckpointStore:
         self.delta_saves = 0
         self.restores = 0
         self.total_checkpoint_ms = 0.0
+        #: whether the most recent :meth:`save` stored a delta (vs a full
+        #: snapshot) — what speculative checkpointing keys off, since
+        #: only delta writes may ride the next superstep's compute window
+        self.last_save_was_delta = False
 
     # -- schedule ----------------------------------------------------------
 
@@ -151,6 +155,7 @@ class CheckpointStore:
             self._deltas = []
             self._force_full = False
         self._last_active = np.array(active, copy=True)
+        self.last_save_was_delta = bool(use_delta)
         self.saves += 1
         self.total_checkpoint_ms += cost
         return cost

@@ -1,0 +1,99 @@
+"""Fault injection on the asynchronous engine.
+
+The fault-tolerance machinery (retry, respawn, heartbeat watchdog,
+checkpoint rollback) lives below the computation model, so the
+AsyncEngine's combined supersteps must recover exactly like the BSP
+engines: an injected fault changes timing, never values.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FULL,
+    RESILIENT,
+    GXPlug,
+    MultiSourceSSSP,
+    make_cluster,
+)
+from repro.engines import AsyncEngine
+from repro.errors import DeviceFailure
+from repro.fault import (
+    CRASH,
+    HANG,
+    MESSAGE_DELAY,
+    MESSAGE_DROP,
+    SHM_CORRUPTION,
+    FaultPlan,
+)
+from repro.graph import rmat
+
+GRAPH = rmat(256, 2048, seed=23)
+NUM_NODES = 2
+
+
+def run_sssp(config):
+    cluster = make_cluster(NUM_NODES, gpus_per_node=1)
+    plug = GXPlug(cluster, config)
+    engine = AsyncEngine.build(GRAPH, cluster, middleware=plug)
+    result = engine.run(MultiSourceSSSP(sources=(0, 1)))
+    return result, plug
+
+
+@pytest.fixture(scope="module")
+def fault_free():
+    result, _ = run_sssp(FULL)
+    return result
+
+
+@pytest.mark.parametrize("kind,kwargs,config", [
+    (CRASH, dict(after_kernels=1), FULL),
+    (SHM_CORRUPTION, dict(), FULL),
+    (MESSAGE_DELAY, dict(duration_ms=5.0), FULL),
+    (HANG, dict(duration_ms=100.0), RESILIENT),
+    (MESSAGE_DROP, dict(direction="to_agent"), RESILIENT),
+])
+def test_async_single_fault_matches_fault_free(fault_free, kind, kwargs,
+                                               config):
+    plan = FaultPlan.single(kind, 1, **kwargs)
+    result, plug = run_sssp(config.with_(fault_plan=plan))
+    assert np.allclose(result.values, fault_free.values, equal_nan=True)
+    assert result.iterations == fault_free.iterations
+    report = plug.fault_report(result)
+    assert report.faults_injected == 1
+    if kind != MESSAGE_DELAY:
+        assert report.retries >= 1
+        assert report.recovered_passes >= 1
+
+
+def test_async_fault_slows_run_but_converges(fault_free):
+    plan = FaultPlan.single(CRASH, 0)
+    result, _ = run_sssp(FULL.with_(fault_plan=plan))
+    assert result.total_ms > fault_free.total_ms
+    assert np.allclose(result.values, fault_free.values, equal_nan=True)
+
+
+def test_async_exhausted_retries_degrade_and_roll_back(fault_free):
+    plan = FaultPlan.single(CRASH, 2, repeat=10)  # outlives retry budget
+    result, plug = run_sssp(RESILIENT.with_(fault_plan=plan))
+    assert result.rollbacks == 1
+    assert result.degraded_nodes == [0]
+    assert np.allclose(result.values, fault_free.values, equal_nan=True)
+    assert plug.fault_report(result).degraded_nodes == [0]
+
+
+def test_async_exhaustion_without_degrade_reraises():
+    plan = FaultPlan.single(CRASH, 1, repeat=10)
+    with pytest.raises(DeviceFailure):
+        run_sssp(FULL.with_(fault_plan=plan))
+
+
+def test_async_seeded_random_plan_is_reproducible():
+    plan = FaultPlan.random(7, supersteps=8, num_nodes=NUM_NODES,
+                            rate=0.2, hang_ms=60.0)
+    assert plan.events, "seed 7 must schedule at least one event"
+    config = RESILIENT.with_(fault_plan=plan)
+    first, _ = run_sssp(config)
+    second, _ = run_sssp(config)
+    assert first.total_ms == second.total_ms
+    np.testing.assert_array_equal(first.values, second.values)
