@@ -1,0 +1,60 @@
+"""Gray-failure soak: the straggler responses recover lost makespan.
+
+One daemon of four is slowed 4x for six passes (heartbeating the whole
+time — a textbook gray failure).  Four variants of the same PageRank
+job measure the stack:
+
+* detection alone is *free*: the clean detect-on/off pair is
+  bit-identical in values and simulated time (asserted inside the
+  runner, re-checked here on the totals);
+* without the gray layer the BSP barriers eat the full slowdown;
+* with detection + speculative re-execution + online Lemma-2
+  re-estimation, at least half of the lost makespan — in practice far
+  more — is recovered, with the recovery visible in the counters
+  (verdicts, speculative wins, coefficient updates, repartitions).
+"""
+
+from repro.bench import print_table, run_straggler_soak
+
+#: The gray responses must recover at least this multiple of the
+#: detect-on loss: lost(detect-off) >= RECOVERY_FACTOR * lost(detect-on).
+RECOVERY_FACTOR = 2.0
+
+
+def soak_table(rows):
+    print_table(
+        ["variant", "sim ms", "lost ms", "verdicts", "speculation",
+         "coeff updates", "online rebalances"],
+        [(v, round(t, 1), round(l, 2), n, s, c, r)
+         for v, t, l, n, s, c, r in rows],
+        title="Straggler soak: 1 of 4 daemons slowed 4x for 6 passes")
+
+
+def test_straggler_soak_recovers_lost_makespan(once):
+    rows = once(run_straggler_soak)
+    soak_table(rows)
+    by = {row[0]: row[1:] for row in rows}
+    clean_off = by["clean/detect-off"]
+    clean_on = by["clean/detect-on"]
+    slow_off = by["slowdown/detect-off"]
+    slow_on = by["slowdown/detect-on"]
+
+    # detection alone changes nothing on a healthy run
+    assert clean_on[0] == clean_off[0]
+    assert clean_on[2] == 0 and clean_on[3] == "0W/0L"
+
+    # the slowdown hurts, and the responses claw most of it back
+    lost_off, lost_on = slow_off[1], slow_on[1]
+    assert lost_off > 0
+    assert lost_on >= 0
+    assert lost_off >= RECOVERY_FACTOR * lost_on, (
+        f"gray responses recovered only {lost_off - lost_on:.1f} of "
+        f"{lost_off:.1f} lost ms")
+
+    # every response left its fingerprint
+    assert slow_off[2] == 0                       # detection was off
+    assert slow_on[2] >= 1                        # straggler verdicts
+    wins = int(slow_on[3].split("W")[0])
+    assert wins >= 1                              # speculation won
+    assert slow_on[4] > 0                         # coefficient updates
+    assert slow_on[5] >= 1                        # online repartitions

@@ -56,9 +56,11 @@ from .fault import (
     FaultInjector,
     FaultPlan,
     FaultReport,
+    GRAY_KINDS,
     HeartbeatMonitor,
     NETWORK_KINDS,
     RetryPolicy,
+    StragglerDetector,
     fault_report,
 )
 from .graph import (
@@ -93,6 +95,7 @@ from .core import (
     MessageSet,
     MiddlewareConfig,
     PipelineCoefficients,
+    StragglerConfig,
 )
 from .engines import (AsyncEngine, GraphXEngine,
                       PowerGraphEngine, RunResult)
@@ -122,7 +125,8 @@ __all__ = [
     # fault tolerance
     "FaultEvent", "FaultPlan", "FaultInjector", "HeartbeatMonitor",
     "CollectiveMonitor", "RetryPolicy", "Checkpoint", "CheckpointStore",
-    "FaultReport", "fault_report", "NETWORK_KINDS", "ALL_KINDS",
+    "FaultReport", "fault_report", "NETWORK_KINDS", "GRAY_KINDS",
+    "ALL_KINDS", "StragglerDetector",
     # graph
     "Graph", "rmat", "uniform_random", "partition", "DATASETS",
     "dataset_names", "load_dataset", "load_synthetic_uniform",
@@ -133,8 +137,8 @@ __all__ = [
     "JVM_RUNTIME",
     "NATIVE_RUNTIME", "make_cluster", "make_heterogeneous_cluster",
     # middleware
-    "GXPlug", "MiddlewareConfig", "FULL", "BASELINE", "RESILIENT",
-    "NETWORK_RESILIENT",
+    "GXPlug", "MiddlewareConfig", "StragglerConfig", "FULL", "BASELINE",
+    "RESILIENT", "NETWORK_RESILIENT",
     "AlgorithmTemplate",
     "MessageSet", "PipelineCoefficients",
     # engines

@@ -31,6 +31,7 @@ from ..core import (
     RESILIENT,
     GXPlug,
     MiddlewareConfig,
+    StragglerConfig,
     balancing_factors,
     cluster_coefficients,
     optimal_makespan,
@@ -38,7 +39,8 @@ from ..core import (
 from ..core.pipeline import PAPER_FIG15_COEFFICIENTS
 from ..engines import GraphXEngine, PowerGraphEngine
 from ..errors import DeviceMemoryError
-from ..fault import NET_DELAY, NET_DROP, NET_DUP, SYNC_FAIL, FaultPlan
+from ..fault import (NET_DELAY, NET_DROP, NET_DUP, SLOWDOWN, SYNC_FAIL,
+                     FaultPlan)
 from ..graph import (
     DATASETS,
     clustering_partition,
@@ -305,6 +307,63 @@ def run_fault_soak(dataset: str = "wrn", num_nodes: int = 2,
                      result.total_ms - baseline.total_ms,
                      result.retransmits, result.net_wasted_ms,
                      result.rollbacks))
+    return rows
+
+
+def run_straggler_soak(dataset: str = "wrn", num_nodes: int = 2,
+                       gpus_per_node: int = 2, factor: float = 4.0,
+                       passes: int = 6,
+                       max_iter: int = 8) -> List[Tuple]:
+    """Rows: (variant, total_ms, lost_ms, verdicts, speculation,
+    coeff_updates, online_rebalances).
+
+    Gray-failure soak: PageRank on the RESILIENT stack, clean and with
+    one daemon slowed ``factor``x for ``passes`` passes, each with the
+    gray responses off (no detection) and on (detection + speculative
+    re-execution + online Lemma-2 re-estimation).  Invariants asserted
+    here, shape asserted by the suite:
+
+    * detection alone is free — the clean on/off pair is bit-identical
+      in values *and* simulated time;
+    * the slowdown never corrupts values — detect-off matches clean
+      bit-for-bit, detect-on to 1e-9 (the online repartition regroups
+      floating-point merges, exactly like degradation rebalancing).
+    """
+    graph = load_dataset(dataset)
+    plan = FaultPlan.single(SLOWDOWN, 1, node_id=0, daemon_index=0,
+                            factor=factor, passes=passes)
+
+    def one(fault_plan, scfg):
+        cluster = make_cluster(num_nodes, gpus_per_node=gpus_per_node,
+                               runtime=NATIVE_RUNTIME)
+        config = RESILIENT.with_(fault_plan=fault_plan, straggler=scfg)
+        return _run(PowerGraphEngine, graph, cluster, PageRank(),
+                    max_iter, config=config)
+
+    detect_off = StragglerConfig()
+    detect_on = StragglerConfig(enabled=True, speculate=True,
+                                reestimate=True)
+    clean_off = one(None, detect_off)
+    clean_on = one(None, detect_on)
+    slow_off = one(plan, detect_off)
+    slow_on = one(plan, detect_on)
+
+    assert np.array_equal(clean_on.values, clean_off.values)
+    assert clean_on.total_ms == clean_off.total_ms
+    assert np.array_equal(slow_off.values, clean_off.values)
+    assert np.allclose(slow_on.values, clean_off.values, atol=1e-9)
+
+    base = clean_off.total_ms
+    rows = []
+    for label, res in (("clean/detect-off", clean_off),
+                       ("clean/detect-on", clean_on),
+                       ("slowdown/detect-off", slow_off),
+                       ("slowdown/detect-on", slow_on)):
+        rows.append((label, res.total_ms, res.total_ms - base,
+                     res.straggler_verdicts,
+                     f"{res.speculative_wins}W/"
+                     f"{res.speculative_losses}L",
+                     res.coeff_updates, res.online_rebalances))
     return rows
 
 

@@ -70,6 +70,13 @@ def run_summary(result: RunResult) -> Dict:
         "retransmits": result.retransmits,
         "dup_drops": result.dup_drops,
         "net_wasted_ms": round(result.net_wasted_ms, 6),
+        "straggler_verdicts": result.straggler_verdicts,
+        "speculative_wins": result.speculative_wins,
+        "speculative_losses": result.speculative_losses,
+        "speculative_wasted_ms": round(result.speculative_wasted_ms, 6),
+        "budget_overruns": result.budget_overruns,
+        "coeff_updates": result.coeff_updates,
+        "online_rebalances": result.online_rebalances,
         "breakdown": {k: round(v, 6)
                       for k, v in sorted(result.breakdown.items())},
     }

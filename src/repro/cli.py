@@ -32,7 +32,7 @@ from .bench.hotpath import (DEFAULT_ALGORITHMS, PROFILES, check_regression,
                             run_hotpath_bench, write_bench_json)
 from .bench.trace import write_csv, write_json
 from .cluster import JVM_RUNTIME, NATIVE_RUNTIME, make_cluster
-from .core import GXPlug, MiddlewareConfig
+from .core import GXPlug, MiddlewareConfig, StragglerConfig
 from .engines import AsyncEngine, GraphXEngine, PowerGraphEngine
 from .fault import ALL_KINDS, FaultPlan
 from .graph import dataset_names, load_dataset
@@ -57,7 +57,7 @@ ENGINES = {
 FIGURES = (
     "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
     "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
-    "fault_soak",
+    "fault_soak", "straggler_soak",
 )
 
 
@@ -107,9 +107,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-(superstep, node) fault probability for "
                           "the seeded campaign (default 0.05)")
     run.add_argument("--fault-kinds", nargs="+", metavar="KIND",
-                     choices=sorted(ALL_KINDS), default=None,
+                     default=None,
                      help="fault kinds the campaign draws from "
                           f"(default: all of {', '.join(sorted(ALL_KINDS))})")
+    run.add_argument("--straggler-ratio", type=float, default=None,
+                     metavar="R",
+                     help="EWMA inflation multiple over the cross-daemon "
+                          "median that flags a daemon-agent pair as a "
+                          "straggler (default 3.0; needs --fault-seed)")
+    run.add_argument("--speculate", action="store_true",
+                     help="re-issue a flagged straggler's pending block "
+                          "to the fastest idle daemon, first finisher "
+                          "wins (needs --fault-seed and the pipelined "
+                          "protocol)")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("name", choices=FIGURES)
@@ -160,6 +170,35 @@ def cmd_datasets() -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    # fault-flag validation happens eagerly, before any graph loading or
+    # cluster construction, so a typo fails in milliseconds.
+    if args.fault_kinds is not None:
+        unknown = sorted(set(args.fault_kinds) - set(ALL_KINDS))
+        if unknown:
+            print("error: unknown fault kind(s): "
+                  + ", ".join(unknown) + "; valid kinds: "
+                  + ", ".join(sorted(ALL_KINDS)), file=sys.stderr)
+            return 2
+        if args.fault_seed is None:
+            print("error: --fault-kinds selects kinds for the seeded "
+                  "campaign; it needs --fault-seed", file=sys.stderr)
+            return 2
+    if (args.straggler_ratio is not None or args.speculate) \
+            and args.fault_seed is None:
+        print("error: --straggler-ratio/--speculate tune the "
+              "gray-failure stack of a seeded campaign; they need "
+              "--fault-seed", file=sys.stderr)
+        return 2
+    if args.straggler_ratio is not None and args.straggler_ratio <= 1.0:
+        print(f"error: --straggler-ratio must be > 1 (a pair is flagged "
+              f"when it runs RATIO times slower than the median), got "
+              f"{args.straggler_ratio}", file=sys.stderr)
+        return 2
+    if args.speculate and args.no_pipeline:
+        print("error: speculative re-execution rides the pipelined "
+              "protocol; drop --no-pipeline", file=sys.stderr)
+        return 2
+
     graph = load_dataset(args.dataset)
     engine_cls, runtime = ENGINES[args.engine]
     algorithm = ALGORITHMS[args.algorithm](args)
@@ -207,6 +246,13 @@ def cmd_run(args: argparse.Namespace) -> int:
                       "protocol — drop --no-pipeline or restrict "
                       "--fault-kinds", file=sys.stderr)
                 return 2
+            straggler = StragglerConfig(
+                enabled=True,
+                ratio=(args.straggler_ratio
+                       if args.straggler_ratio is not None else 3.0),
+                speculate=args.speculate,
+                reestimate=True,
+            )
             config = config.with_(
                 fault_plan=plan,
                 monitor_heartbeats=not args.no_pipeline,
@@ -214,6 +260,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 degrade_to_host=True,
                 rebalance_on_degrade=True,
                 network_resilient=True,
+                straggler=straggler,
             )
             # everything needed to replay this exact campaign later
             campaign = {
@@ -223,6 +270,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "supersteps": supersteps,
                 "nodes": args.nodes,
                 "events": len(plan.events),
+                "straggler_ratio": straggler.ratio,
+                "speculate": straggler.speculate,
             }
         middleware = GXPlug(cluster, config)
     else:
@@ -274,6 +323,9 @@ def cmd_figure(name: str) -> int:
         "fig14": ["engine", "algorithm", "nodes", "ratio"],
         "fault_soak": ["rate", "injected", "total ms", "overhead ms",
                        "retransmits", "net wasted ms", "rollbacks"],
+        "straggler_soak": ["variant", "total ms", "lost ms", "verdicts",
+                           "speculation", "coeff updates",
+                           "online rebalances"],
     }
     if name == "fig15":
         out = runner.run_fig15()

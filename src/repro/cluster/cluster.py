@@ -59,6 +59,21 @@ class Cluster:
         return ResilientTransport(self.network, policy,
                                   ack_timeout_ms=ack_timeout_ms)
 
+    def repartition_cost_ms(self, nbytes: int, network=None) -> float:
+        """Simulated cost of shipping ``nbytes`` of re-homed master rows
+        after a mid-run Lemma-2 repartition (degradation rebalancing or
+        online re-estimation): one tree collective across every node,
+        plus the slowest host runtime's fixed synchronization overhead —
+        every node re-enters the barrier around the new layout.
+
+        ``network`` — the collective substrate to charge; defaults to
+        the cluster's bare cost model, engines pass their resilient
+        transport when one is wired in.
+        """
+        net = network if network is not None else self.network
+        cost = net.sync_ms(self.num_nodes, nbytes)
+        return cost + max(n.runtime.sync_fixed_ms for n in self.nodes)
+
     def total_gpu_count(self) -> int:
         return sum(
             1 for n in self.nodes for a in n.accelerators

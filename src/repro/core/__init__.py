@@ -16,6 +16,7 @@ from .balance import (
     balancing_factors,
     cluster_coefficients,
     degraded_coefficients,
+    estimate_coefficients,
     makespan,
     node_coefficient,
     optimal_capacity_factors,
@@ -25,7 +26,7 @@ from .balance import (
 )
 from .blocks import AreaSet, BlockArea, TripletBlock, VertexEdgeMap, build_blocks
 from .config import (BASELINE, FULL, NETWORK_RESILIENT, RESILIENT,
-                     MiddlewareConfig)
+                     MiddlewareConfig, StragglerConfig)
 from .daemon import Daemon
 from .middleware import GXPlug
 from .pipeline import (
@@ -41,6 +42,7 @@ from .template import AlgorithmState, AlgorithmTemplate, MessageSet
 __all__ = [
     "GXPlug",
     "MiddlewareConfig",
+    "StragglerConfig",
     "FULL",
     "BASELINE",
     "RESILIENT",
@@ -73,5 +75,6 @@ __all__ = [
     "node_coefficient",
     "cluster_coefficients",
     "degraded_coefficients",
+    "estimate_coefficients",
     "rebalanced_shares",
 ]

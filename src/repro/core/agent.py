@@ -31,6 +31,7 @@ from ..errors import (
 )
 from ..fault.monitor import HeartbeatMonitor
 from ..fault.retry import RetryPolicy
+from ..fault.straggler import StragglerDetector
 from ..ipc import Channel, Join, Now, Recv, Scheduler, Send, Sleep, Spawn
 from ..ipc.shm import ShmRegistry
 from .blocks import TripletBlock, build_blocks
@@ -63,6 +64,13 @@ MAX_RECOVERY_ATTEMPTS = 3
 #: (agent->daemon and daemon->agent copies of the 5-step flow, §III-A1),
 #: as a fraction of the download/upload per-entity costs.
 NAIVE_COPY_FACTOR = 0.35
+
+#: Agent-internal control message: a speculative backup finished a
+#: straggler's block first.  Injected into the straggler's ``to_agent``
+#: channel so the agent's single Recv races it against the primary's
+#: ComputeFinished — scheduler (time, seq) order is the deterministic
+#: tie-break (the earlier *send* wins an exact tie).
+MSG_SPECULATED = "SpeculativeResult"
 
 
 @dataclass
@@ -105,6 +113,18 @@ class Agent:
         # fault tolerance: retry policy, degradation state
         self._retry = RetryPolicy.from_config(config)
         self.degraded = False
+        # gray-failure tolerance: the straggler detector (replaced by the
+        # middleware's shared, cluster-wide instance when one exists)
+        self.straggler: Optional[StragglerDetector] = None
+        if config.straggler.enabled:
+            self.straggler = StragglerDetector(
+                ratio=config.straggler.ratio,
+                patience=config.straggler.patience,
+                alpha=config.straggler.ewma_alpha)
+        self._bind_detector()
+        # speculative re-execution bookkeeping for the current pass
+        self._spec_pending: List[dict] = []
+        self._abandoned: List[Daemon] = []
         # lifetime instrumentation
         self.total_middleware_ms = 0.0
         self.total_entities = 0
@@ -112,6 +132,18 @@ class Agent:
         self.retries = 0
         self.recovered_passes = 0
         self.heartbeat_verdicts = 0
+
+    def _bind_detector(self) -> None:
+        """Point every daemon at the agent's current detector (daemons
+        observe their own compute durations into it)."""
+        for daemon in self.daemons:
+            daemon.straggler = self.straggler
+
+    def set_straggler_detector(self, detector: StragglerDetector) -> None:
+        """Adopt a shared (cluster-wide) detector — the middleware calls
+        this so the cross-daemon median spans every node's daemons."""
+        self.straggler = detector
+        self._bind_detector()
 
     # -- operation interfaces (§IV-A2) --------------------------------------------
 
@@ -317,6 +349,8 @@ class Agent:
                     daemon.respawn()
         if attempts:
             self.recovered_passes += 1
+        for daemon in self.daemons:
+            daemon.note_pass_end()
         elapsed += lost_ms
         if lost_ms:
             breakdown[CAT_INIT] = breakdown.get(CAT_INIT, 0.0) + lost_ms
@@ -353,7 +387,10 @@ class Agent:
         monitor: Optional[HeartbeatMonitor] = None
         if self.config.pipeline and self.config.monitor_heartbeats:
             monitor = HeartbeatMonitor(self.config.heartbeat_interval_ms,
-                                       self.config.heartbeat_timeout_ms)
+                                       self.config.heartbeat_timeout_ms,
+                                       detector=self.straggler)
+        self._spec_pending = []
+        self._abandoned = []
         collectors: List[List[MessageSet]] = []
         hits_misses = [0, 0]
         lo = 0
@@ -364,8 +401,10 @@ class Agent:
             # before any data is consumed from it
             daemon.verify_segment()
             daemon.heartbeat = monitor
+            daemon.pass_idle = False
             hi = int(hi)
             if hi <= lo:
+                daemon.pass_idle = True
                 collectors.append([])
                 continue
             init_ms = max(init_ms, daemon.init_cost_ms())
@@ -374,6 +413,22 @@ class Agent:
                 src_ids[lo:hi], dst_ids[lo:hi], weights[lo:hi],
                 src_rows[lo:hi], hits_misses)
             total_blocks += len(blocks)
+            if monitor is not None and self.config.straggler.enabled \
+                    and blocks:
+                # per-phase deadline budgets from the Eq. 2 cost model:
+                # the worst block's expected stage time with speculative
+                # headroom, floored at the flat timeout so budgets can
+                # only widen the allowed silence, never cause a false
+                # DaemonDead
+                coeffs = self.coefficients_for(daemon)
+                b = max(bl.num_entities for bl in blocks)
+                h = self.config.straggler.speculation_headroom
+                t = self.config.heartbeat_timeout_ms
+                monitor.set_budgets(daemon.daemon_id, {
+                    "download": max(t, coeffs.t_n(b) * h),
+                    "compute": max(t, coeffs.t_c(b) * h),
+                    "upload": max(t, coeffs.t_u(b) * h),
+                })
             collector: List[MessageSet] = []
             collectors.append(collector)
             if self.config.pipeline:
@@ -404,6 +459,8 @@ class Agent:
         except (DeviceFailure, FaultError) as failure:
             failure.elapsed_ms = sched.clock.now + init_ms
             raise
+        finally:
+            self._settle_speculation(sched.clock.now)
 
         partial = algorithm.combine_many(
             [block_partial for collector in collectors
@@ -483,12 +540,41 @@ class Agent:
         self._last_fetch_ratio = 1.0
 
     def _fastest_daemon(self) -> Daemon:
-        return min(self.daemons,
-                   key=lambda d: d.accelerator.model.per_entity_ms)
+        """The daemon single-device requests (apply, scatter) run on.
+
+        Nominally the lowest per-entity model time; with online
+        re-estimation the model time is discounted by the observed
+        compute inflation, steering requests off a gray-failed device
+        (healthy daemons observe exactly 1.0, so fault-free selection
+        is unchanged — ties keep breaking toward the lowest id).
+        """
+        def effective(d: Daemon):
+            per = d.accelerator.model.per_entity_ms
+            if (self.straggler is not None
+                    and self.config.straggler.reestimate):
+                per *= max(1.0, self.straggler.inflation(d.daemon_id,
+                                                         "compute"))
+            return (per, d.daemon_id)
+        return min(self.daemons, key=effective)
 
     def _daemon_shares(self) -> np.ndarray:
+        """Per-daemon work split, Lemma 2 applied inside the node.
+
+        Nominally proportional to capacity factors.  With online
+        re-estimation, each daemon's capacity is discounted by its
+        observed compute inflation (EWMA of observed/expected) — a
+        gray-failed daemon running 4x slow gets ~1/4 of its nominal
+        share next pass.  Healthy daemons observe inflation exactly
+        1.0, so the fault-free split is untouched.
+        """
         caps = np.array([d.accelerator.model.capacity_factor()
                          for d in self.daemons])
+        if (self.straggler is not None
+                and self.config.straggler.reestimate):
+            infl = np.array([
+                max(1.0, self.straggler.inflation(d.daemon_id, "compute"))
+                for d in self.daemons])
+            caps = caps / infl
         return caps / caps.sum()
 
     def coefficients_for(self, daemon: Daemon) -> PipelineCoefficients:
@@ -583,35 +669,54 @@ class Agent:
             return
         self.cache.invalidate_many(np.asarray(vertex_ids).ravel())
 
-    def _download_ms(self, block: TripletBlock) -> float:
+    def _download_ms(self, block: TripletBlock,
+                     daemon: Optional[Daemon] = None) -> float:
         """Download stage cost: one fetch per distinct missing source
         vertex (the paper's vertex block) plus a cheap local join per
-        triplet."""
+        triplet.  With ``daemon`` given, an armed ``shm_slow`` gray
+        fault inflates the pair's transfer cost."""
         k1 = self.node.runtime.download_ms_per_entity
-        return (k1 * block.fetched_entities
+        cost = (k1 * block.fetched_entities
                 + k1 * LOCAL_ACCESS_FACTOR * block.num_entities)
+        if daemon is not None:
+            cost *= daemon.transfer_inflation
+        return cost
 
-    def _upload_ms(self, result: MessageSet) -> float:
+    def _upload_ms(self, result: MessageSet,
+                   daemon: Optional[Daemon] = None) -> float:
         k3 = self.node.runtime.upload_ms_per_entity
         if self.cache is not None and self.config.lazy_upload:
             # results land in the agent cache; the real upload happens
             # lazily at synchronization time for queried vertices only.
-            return k3 * LOCAL_ACCESS_FACTOR * result.size
-        return k3 * result.size
+            cost = k3 * LOCAL_ACCESS_FACTOR * result.size
+        else:
+            cost = k3 * result.size
+        if daemon is not None:
+            cost *= daemon.transfer_inflation
+        return cost
+
+    def _observe_transfer(self, daemon: Daemon, entities: int,
+                          observed_ms: float, expected_ms: float) -> None:
+        """Feed one transfer duration into the straggler detector."""
+        if self.straggler is not None and entities > 0:
+            self.straggler.observe(daemon.daemon_id, "transfer",
+                                   entities, observed_ms, expected_ms)
 
     # -- Algorithm 2 (agent side of the pipeline) ------------------------------------------
 
-    def _beat(self, daemon: Daemon, busy_ms: float = 0.0) -> Generator:
+    def _beat(self, daemon: Daemon, busy_ms: float = 0.0,
+              phase: Optional[str] = None) -> Generator:
         """Agent-side heartbeat for the pair's monitor entry.
 
         ``busy_ms > 0`` declares an upcoming leased wait (download /
-        upload): the pair is legitimately silent until it elapses.
+        upload); ``phase`` names the deadline budget it charges against.
         """
         if daemon.heartbeat is not None:
             now = yield Now()
             daemon.heartbeat.beat(daemon.daemon_id, now,
                                   busy_until=(now + busy_ms) if busy_ms
-                                  else None)
+                                  else None,
+                                  phase=phase)
 
     def _pipeline_process(self, daemon: Daemon,
                           algorithm: AlgorithmTemplate,
@@ -621,17 +726,25 @@ class Agent:
         block_iter = iter(blocks)
         first = next(block_iter, None)
         if first is None:
+            daemon.pass_idle = True
             return
-        yield from self._beat(daemon, busy_ms=self._download_ms(first))
-        yield Sleep(self._download_ms(first), CAT_DOWNLOAD)
+        cost = self._download_ms(first, daemon)
+        yield from self._beat(daemon, busy_ms=cost, phase="download")
+        yield Sleep(cost, CAT_DOWNLOAD)
+        self._observe_transfer(daemon, first.num_entities, cost,
+                               self._download_ms(first))
         areas.n.block = first
         yield Send(daemon.to_daemon, MSG_EXCHANGE_FINISHED)
         upload_h = download_h = None
         expect_rotate = True
+        outcome: Optional[dict] = None
+        compute_start = 0.0
         while True:
             msg = yield Recv(daemon.to_agent)
             yield from self._beat(daemon)
-            if (msg == MSG_ROTATE_FINISHED) != expect_rotate:
+            speculated = isinstance(msg, tuple) and msg[0] == MSG_SPECULATED
+            if not speculated and (msg == MSG_ROTATE_FINISHED) != \
+                    expect_rotate:
                 # protocol desync: a control message was lost in flight.
                 # Acting on the out-of-order message would silently skip
                 # blocks, so the agent parks without beating; the
@@ -639,8 +752,23 @@ class Agent:
                 # verdict and the pass is retried from scratch.
                 yield Recv(Channel(
                     f"agent{self.node.node_id}-desync{daemon.daemon_id}"))
+            if speculated:
+                yield from self._adopt_speculation(
+                    daemon, algorithm, msg, compute_start, block_iter,
+                    collector, upload_h, download_h)
+                return
             if msg == MSG_ROTATE_FINISHED:
                 expect_rotate = False
+                compute_start = yield Now()
+                if self._speculation_armed(daemon):
+                    # the pair is a flagged straggler with a block on the
+                    # device: hedge it on a watcher that re-issues the
+                    # same block to an idle daemon if the budget expires
+                    outcome = {"done": False}
+                    yield Spawn(
+                        self._speculation_watcher(
+                            daemon, algorithm, areas.c.block, outcome),
+                        name=f"Speculate.d{daemon.daemon_id}", daemon=True)
                 upload_h = yield Spawn(
                     self._upload_thread(daemon, algorithm, collector),
                     name="Thread.Upload", daemon=False)
@@ -649,6 +777,9 @@ class Agent:
                     name="Thread.Download", daemon=False)
             elif msg == MSG_COMPUTE_FINISHED:
                 expect_rotate = True
+                if outcome is not None:
+                    outcome["done"] = True  # the primary won this block
+                    outcome = None
                 yield Join(upload_h)
                 yield Join(download_h)
                 yield from self._beat(daemon)
@@ -656,6 +787,12 @@ class Agent:
             elif msg == MSG_COMPUTE_ALL_FINISHED:
                 yield Join(upload_h)
                 yield Join(download_h)
+                # the pair finished cleanly: release it from liveness
+                # tracking (other pairs may legitimately run much
+                # longer) and offer it as a speculation backup
+                if daemon.heartbeat is not None:
+                    daemon.heartbeat.forget(daemon.daemon_id)
+                daemon.pass_idle = True
                 return
             else:
                 raise ProtocolError(
@@ -668,8 +805,11 @@ class Agent:
         result = area.result
         if result is None:
             return
-        yield from self._beat(daemon, busy_ms=self._upload_ms(result))
-        yield Sleep(self._upload_ms(result), CAT_UPLOAD)
+        cost = self._upload_ms(result, daemon)
+        yield from self._beat(daemon, busy_ms=cost, phase="upload")
+        yield Sleep(cost, CAT_UPLOAD)
+        self._observe_transfer(daemon, result.size, cost,
+                               self._upload_ms(result))
         collector.append(result)
         area.clear()
 
@@ -678,9 +818,160 @@ class Agent:
         block = next(block_iter, None)
         if block is None:
             return
-        yield from self._beat(daemon, busy_ms=self._download_ms(block))
-        yield Sleep(self._download_ms(block), CAT_DOWNLOAD)
+        cost = self._download_ms(block, daemon)
+        yield from self._beat(daemon, busy_ms=cost, phase="download")
+        yield Sleep(cost, CAT_DOWNLOAD)
+        self._observe_transfer(daemon, block.num_entities, cost,
+                               self._download_ms(block))
         daemon.areas.n.block = block
+
+    # -- speculative block re-execution (gray-failure response) ---------------------------------
+
+    def _speculation_armed(self, daemon: Daemon) -> bool:
+        """Hedge this pair's next block?  Only when the detector has
+        flagged it and a potential backup exists on this agent."""
+        scfg = self.config.straggler
+        return (scfg.enabled and scfg.speculate
+                and self.straggler is not None
+                and self.straggler.is_straggler(daemon.daemon_id)
+                and any(d is not daemon for d in self.daemons))
+
+    def _fastest_idle_daemon(self, exclude: Daemon) -> Optional[Daemon]:
+        """The backup candidate: fastest unflagged daemon that already
+        finished (or never had) work this pass.  Deterministic tie-break
+        by daemon id."""
+        candidates = [
+            d for d in self.daemons
+            if d is not exclude and d.pass_idle
+            and not (self.straggler is not None
+                     and self.straggler.is_straggler(d.daemon_id))]
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda d: (d.accelerator.model.per_entity_ms,
+                                  d.daemon_id))
+
+    def _speculation_watcher(self, daemon: Daemon,
+                             algorithm: AlgorithmTemplate,
+                             block: Optional[TripletBlock],
+                             outcome: dict) -> Generator:
+        """Hedge one block of a flagged straggler (Spark-style
+        speculative re-execution, first finisher wins).
+
+        Sleeps out the block's cost-model budget; if the primary has not
+        reported by then, the same block is re-issued to the fastest
+        idle daemon.  Whichever copy finishes first wins — the loser's
+        device time is charged to ``speculative_wasted_ms``.  Runs as a
+        scheduler daemon: an in-flight backup never extends the pass.
+        """
+        if block is None:
+            return
+        coeffs = self.coefficients_for(daemon)
+        budget = (coeffs.t_c(block.num_entities)
+                  * self.config.straggler.speculation_headroom)
+        yield Sleep(budget)
+        backup = None
+        while True:
+            if outcome["done"]:
+                return  # the primary made it within budget
+            backup = self._fastest_idle_daemon(exclude=daemon)
+            if backup is not None:
+                break
+            yield Sleep(self.config.heartbeat_interval_ms)
+        backup.pass_idle = False
+        result, duration = backup.compute_block(algorithm, block)
+        start = yield Now()
+        entry = {"resolved": False, "duration": duration, "start": start}
+        self._spec_pending.append(entry)
+        yield Sleep(duration, CAT_COMPUTE)
+        entry["resolved"] = True
+        if outcome["done"]:
+            # the primary finished while the backup was mid-kernel: the
+            # backup's whole device time was wasted
+            if self.straggler is not None:
+                self.straggler.record_loss(duration)
+            backup.pass_idle = True
+            return
+        outcome["done"] = True
+        yield Send(daemon.to_agent, (MSG_SPECULATED, result, backup,
+                                     duration))
+
+    def _adopt_speculation(self, daemon: Daemon,
+                           algorithm: AlgorithmTemplate, msg: tuple,
+                           compute_start: float,
+                           block_iter: Iterator[TripletBlock],
+                           collector: List[MessageSet],
+                           upload_h, download_h) -> Generator:
+        """A backup beat the straggler to its block: adopt the backup's
+        result, abandon the primary, and drain the remaining blocks on
+        the backup."""
+        _, result, backup, _duration = msg
+        now = yield Now()
+        if self.straggler is not None:
+            # what the abandoned primary burned before being overtaken
+            self.straggler.record_win(now - compute_start)
+        if daemon.heartbeat is not None:
+            daemon.heartbeat.forget(daemon.daemon_id)
+        # the primary's in-flight compute is void; its stale
+        # ComputeFinished is flushed by reset_protocol() at pass end
+        self._abandoned.append(daemon)
+        if upload_h is not None:
+            yield Join(upload_h)
+        if download_h is not None:
+            yield Join(download_h)
+        cost = self._upload_ms(result, backup)
+        yield Sleep(cost, CAT_UPLOAD)
+        self._observe_transfer(backup, result.size, cost,
+                               self._upload_ms(result))
+        collector.append(result)
+        # the download thread already paid for the n-area block (if any);
+        # the backup picks it up from shared memory for free
+        yield from self._drain_blocks(backup, algorithm,
+                                      daemon.areas.n.block, block_iter,
+                                      collector)
+
+    def _drain_blocks(self, backup: Daemon, algorithm: AlgorithmTemplate,
+                      first_block: Optional[TripletBlock],
+                      block_iter: Iterator[TripletBlock],
+                      collector: List[MessageSet]) -> Generator:
+        """Finish the abandoned pair's remaining blocks on the backup.
+
+        Sequential (the backup's own pipeline already ran), but a healthy
+        device beats a gray-failed one's inflated pace.  The first block
+        skips the download charge when the straggler's download thread
+        already staged it.
+        """
+        block = first_block
+        paid_download = first_block is not None
+        while block is not None:
+            if not paid_download:
+                cost = self._download_ms(block, backup)
+                yield Sleep(cost, CAT_DOWNLOAD)
+                self._observe_transfer(backup, block.num_entities, cost,
+                                       self._download_ms(block))
+            result, duration = backup.compute_block(algorithm, block)
+            yield Sleep(duration, CAT_COMPUTE)
+            cost = self._upload_ms(result, backup)
+            yield Sleep(cost, CAT_UPLOAD)
+            self._observe_transfer(backup, result.size, cost,
+                                   self._upload_ms(result))
+            collector.append(result)
+            block = next(block_iter, None)
+            paid_download = False
+        backup.pass_idle = True
+
+    def _settle_speculation(self, now: float) -> None:
+        """End-of-pass sweep: backups still mid-kernel when the pass
+        ended are charged as losses; abandoned primaries get a clean
+        protocol state for the next pass."""
+        for entry in self._spec_pending:
+            if not entry["resolved"] and self.straggler is not None:
+                self.straggler.record_loss(
+                    min(entry["duration"], now - entry["start"]))
+        self._spec_pending = []
+        for daemon in self._abandoned:
+            daemon.reset_protocol()
+        self._abandoned = []
 
     # -- the 5-step sequential flow (pipeline disabled) -----------------------------------------
 
@@ -697,10 +988,16 @@ class Agent:
         copy_in = runtime.download_ms_per_entity * NAIVE_COPY_FACTOR
         copy_out = runtime.upload_ms_per_entity * NAIVE_COPY_FACTOR
         for block in blocks:
-            yield Sleep(self._download_ms(block), CAT_DOWNLOAD)
+            down = self._download_ms(block, daemon)
+            yield Sleep(down, CAT_DOWNLOAD)
+            self._observe_transfer(daemon, block.num_entities, down,
+                                   self._download_ms(block))
             yield Sleep(copy_in * block.num_entities, CAT_DOWNLOAD)
             result, duration = daemon.compute_block(algorithm, block)
             yield Sleep(duration, CAT_COMPUTE)
             yield Sleep(copy_out * result.size, CAT_UPLOAD)
-            yield Sleep(self._upload_ms(result), CAT_UPLOAD)
+            up = self._upload_ms(result, daemon)
+            yield Sleep(up, CAT_UPLOAD)
+            self._observe_transfer(daemon, result.size, up,
+                                   self._upload_ms(result))
             collector.append(result)

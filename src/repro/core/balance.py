@@ -157,3 +157,38 @@ def rebalanced_shares(nodes: Sequence[DistributedNode],
                       degraded: Sequence[int]) -> np.ndarray:
     """Lemma-2 partition shares for a partially degraded cluster."""
     return balancing_factors(degraded_coefficients(nodes, degraded))
+
+
+def estimate_coefficients(observations, prior: Sequence[float],
+                          alpha: float = 0.5) -> np.ndarray:
+    """Online re-estimation of the Lemma-2 inputs from observed times.
+
+    The §III-C model assumes the ``c_j`` are known and stationary; a
+    gray failure violates exactly that.  ``observations`` maps node
+    index -> ``(entities, elapsed_ms)`` for one superstep's edge pass,
+    ``prior`` is the current per-node estimate (start it from
+    :func:`cluster_coefficients`).  Each observed node moves its
+    estimate an EWMA step toward the empirical ``elapsed/entities``;
+    unobserved nodes keep the prior.  Returns a fresh array — feed it
+    into :func:`balancing_factors` to see where the optimal shares have
+    drifted.
+    """
+    est = np.asarray(prior, dtype=np.float64).copy()
+    if est.size == 0:
+        raise MiddlewareError("need at least one node")
+    if (est <= 0).any():
+        raise MiddlewareError("coefficients must be positive")
+    if not 0.0 < alpha <= 1.0:
+        raise MiddlewareError(f"alpha must be in (0, 1], got {alpha}")
+    for node, (entities, elapsed_ms) in observations.items():
+        node = int(node)
+        if not 0 <= node < est.size:
+            raise MiddlewareError(
+                f"observation for unknown node {node} "
+                f"({est.size} node(s))"
+            )
+        if entities <= 0 or elapsed_ms <= 0:
+            continue  # an idle pass says nothing about the coefficient
+        c_obs = float(elapsed_ms) / float(entities)
+        est[node] = (1.0 - alpha) * est[node] + alpha * c_obs
+    return est

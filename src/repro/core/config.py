@@ -25,6 +25,91 @@ from ..fault.inject import FaultPlan
 
 
 @dataclass(frozen=True)
+class StragglerConfig:
+    """Gray-failure tolerance knobs (:mod:`repro.fault.straggler`).
+
+    Off by default — detection is zero-simulated-cost bookkeeping, but
+    the responses (speculation, online re-estimation) change how a run
+    spends its time under gray faults, so they are an explicit opt-in
+    (on in the ``RESILIENT`` presets).
+    """
+
+    #: Track per-daemon EWMA inflation and issue StragglerVerdicts.
+    enabled: bool = False
+
+    #: A pair whose EWMA inflation exceeds the cross-daemon median by
+    #: this multiple is slow enough to flag.
+    ratio: float = 3.0
+
+    #: Consecutive over-ratio observations before the verdict (and
+    #: consecutive healthy ones before the flag clears).
+    patience: int = 3
+
+    #: EWMA smoothing of the per-block inflation observations.
+    ewma_alpha: float = 0.5
+
+    #: Re-issue a flagged straggler's pending block to the fastest idle
+    #: daemon; first finisher wins (deterministic tie-break), the
+    #: loser's result is discarded and its time charged as waste.
+    speculate: bool = False
+
+    #: How many expected-durations a flagged pair's block may run before
+    #: the speculative copy launches (also scales the monitor's
+    #: per-phase deadline budgets).
+    speculation_headroom: float = 2.0
+
+    #: Feed observed per-node times back into the Lemma-2 coefficient
+    #: estimates and repartition when the estimated shares drift.
+    reestimate: bool = False
+
+    #: Total-variation distance between estimated and current partition
+    #: shares that triggers an online repartition.
+    share_divergence: float = 0.10
+
+    #: Supersteps to wait between online repartitions.
+    rebalance_cooldown: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ratio <= 1.0:
+            raise MiddlewareError(
+                f"straggler ratio must be > 1, got {self.ratio}"
+            )
+        if self.patience < 1:
+            raise MiddlewareError(
+                f"straggler patience must be >= 1, got {self.patience}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise MiddlewareError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.speculation_headroom < 1.0:
+            raise MiddlewareError(
+                f"speculation_headroom must be >= 1, got "
+                f"{self.speculation_headroom}"
+            )
+        if not 0.0 < self.share_divergence < 1.0:
+            raise MiddlewareError(
+                f"share_divergence must be in (0, 1), got "
+                f"{self.share_divergence}"
+            )
+        if self.rebalance_cooldown < 1:
+            raise MiddlewareError(
+                f"rebalance_cooldown must be >= 1, got "
+                f"{self.rebalance_cooldown}"
+            )
+        if (self.speculate or self.reestimate) and not self.enabled:
+            raise MiddlewareError(
+                "straggler responses (speculate / reestimate) require "
+                "enabled=True — there is nothing to respond to without "
+                "detection"
+            )
+
+    def with_(self, **changes) -> "StragglerConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class MiddlewareConfig:
     """Feature toggles and tunables for a GX-Plug deployment."""
 
@@ -143,6 +228,11 @@ class MiddlewareConfig:
     #: at rollback time.
     rebalance_on_degrade: bool = False
 
+    # -- gray-failure tolerance (repro.fault.straggler) --------------------
+
+    #: Straggler detection and its responses; see :class:`StragglerConfig`.
+    straggler: StragglerConfig = StragglerConfig()
+
     def __post_init__(self) -> None:
         if self.block_size is not None and self.block_size < 1:
             raise MiddlewareError(
@@ -238,6 +328,11 @@ class MiddlewareConfig:
                 "rebalance_on_degrade rebalances at degradation rollback "
                 "time; it requires degrade_to_host=True"
             )
+        if self.straggler.speculate and not self.pipeline:
+            raise MiddlewareError(
+                "speculative block re-execution rides the pipelined "
+                "protocol (Algorithms 1-2); it requires pipeline=True"
+            )
 
     def with_(self, **changes) -> "MiddlewareConfig":
         """A copy with the given fields replaced."""
@@ -257,11 +352,15 @@ BASELINE = MiddlewareConfig(
 )
 
 #: FULL plus the fault-tolerance layer: heartbeat monitoring, periodic
-#: superstep checkpoints, and CPU degradation when accelerators die.
+#: superstep checkpoints, CPU degradation when accelerators die, and the
+#: gray-failure tier (straggler detection, speculative re-execution,
+#: online Lemma-2 re-estimation).
 RESILIENT = MiddlewareConfig(
     monitor_heartbeats=True,
     checkpoint_interval=2,
     degrade_to_host=True,
+    straggler=StragglerConfig(enabled=True, speculate=True,
+                              reestimate=True),
 )
 
 #: RESILIENT plus the network layer: resilient sync collectives
@@ -273,4 +372,6 @@ NETWORK_RESILIENT = MiddlewareConfig(
     degrade_to_host=True,
     network_resilient=True,
     rebalance_on_degrade=True,
+    straggler=StragglerConfig(enabled=True, speculate=True,
+                              reestimate=True),
 )

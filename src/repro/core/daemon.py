@@ -74,6 +74,19 @@ class Daemon:
         self.pending_crashes = 0
         self.crash_after_kernels = 0
         self.respawns = 0
+        # gray-failure state (repro.fault.straggler): armed slowdowns
+        # inflate *simulated durations only* — computed values are
+        # untouched, which is what keeps faulted runs bit-identical.
+        self.straggler = None
+        self.slow_factor = 1.0
+        self.slow_passes_left = 0
+        self.slow_passes_done = 0
+        self.slow_flaky = False
+        self.transfer_slow_factor = 1.0
+        self.transfer_slow_passes_left = 0
+        #: did this daemon finish (or never get) work this pass?  Set by
+        #: the agent; speculation picks its backup among idle daemons.
+        self.pass_idle = False
 
     def reset_protocol(self) -> None:
         """Recover from a mid-pass failure: drop in-flight blocks and
@@ -83,6 +96,49 @@ class Daemon:
             area.clear()
         self.to_daemon = Channel(f"agent->daemon{self.daemon_id}")
         self.to_agent = Channel(f"daemon{self.daemon_id}->agent")
+
+    # -- gray failures (repro.fault.straggler) ------------------------------
+
+    def arm_slowdown(self, factor: float, passes: int,
+                     flaky: bool = False) -> None:
+        """Inflate this daemon's compute durations by ``factor`` for the
+        next ``passes`` edge passes (``flaky`` applies it every other
+        pass only).  The daemon stays alive and keeps heartbeating — a
+        gray failure, invisible to the binary fault machinery."""
+        self.slow_factor = float(factor)
+        self.slow_passes_left = int(passes)
+        self.slow_passes_done = 0
+        self.slow_flaky = bool(flaky)
+
+    def arm_transfer_slowdown(self, factor: float, passes: int) -> None:
+        """Inflate the pair's download/upload costs instead (shm/PCIe
+        pressure rather than a throttled device)."""
+        self.transfer_slow_factor = float(factor)
+        self.transfer_slow_passes_left = int(passes)
+
+    @property
+    def compute_inflation(self) -> float:
+        """Current compute-duration multiplier (1.0 when healthy)."""
+        if self.slow_passes_left <= 0:
+            return 1.0
+        if self.slow_flaky and self.slow_passes_done % 2 == 1:
+            return 1.0
+        return self.slow_factor
+
+    @property
+    def transfer_inflation(self) -> float:
+        """Current transfer-cost multiplier (1.0 when healthy)."""
+        if self.transfer_slow_passes_left <= 0:
+            return 1.0
+        return self.transfer_slow_factor
+
+    def note_pass_end(self) -> None:
+        """One edge pass completed; tick down armed gray windows."""
+        if self.slow_passes_left > 0:
+            self.slow_passes_left -= 1
+            self.slow_passes_done += 1
+        if self.transfer_slow_passes_left > 0:
+            self.transfer_slow_passes_left -= 1
 
     def verify_segment(self) -> None:
         """Integrity-check the daemon's shared memory before a pass.
@@ -151,6 +207,13 @@ class Daemon:
         result, duration = self.accelerator.run(
             kernel, entities=block.num_entities)
         self.blocks_computed += 1
+        expected = duration
+        inflation = self.compute_inflation
+        if inflation != 1.0:
+            duration *= inflation
+        if self.straggler is not None and block.num_entities:
+            self.straggler.observe(self.daemon_id, "compute",
+                                   block.num_entities, duration, expected)
         return result, duration
 
     def apply_messages(self, algorithm: AlgorithmTemplate,
@@ -165,7 +228,7 @@ class Daemon:
 
         (new_values, changed), duration = self.accelerator.run(
             kernel, entities=merged.size)
-        return new_values, changed, duration
+        return new_values, changed, duration * self.compute_inflation
 
     def scatter_cost_ms(self, affected_edges: int) -> float:
         """Device time of a GAS scatter pass over ``affected_edges``."""
@@ -204,7 +267,8 @@ class Daemon:
                         # legitimate silence: lease the kernel's duration
                         now = yield Now()
                         self.heartbeat.beat(self.daemon_id, now,
-                                            busy_until=now + duration)
+                                            busy_until=now + duration,
+                                            phase="compute")
                     yield Sleep(duration, CAT_COMPUTE)
                     # result replaces the block in situ (*c <- com_dev.data)
                     area.block = None

@@ -18,6 +18,7 @@ from ..cluster.cluster import Cluster
 from ..errors import MiddlewareError
 from ..fault.inject import FaultInjector
 from ..fault.report import FaultReport, fault_report
+from ..fault.straggler import StragglerDetector
 from ..ipc.shm import ShmRegistry
 from .agent import Agent
 from .config import MiddlewareConfig
@@ -49,6 +50,16 @@ class GXPlug:
             for node in cluster.nodes
         }
         self.queues = GlobalQueues()
+        # gray-failure tolerance: one cluster-wide straggler detector so
+        # the cross-daemon median inflation spans every node's daemons
+        self.straggler: Optional[StragglerDetector] = None
+        if self.config.straggler.enabled:
+            self.straggler = StragglerDetector(
+                ratio=self.config.straggler.ratio,
+                patience=self.config.straggler.patience,
+                alpha=self.config.straggler.ewma_alpha)
+            for agent in self.agents.values():
+                agent.set_straggler_detector(self.straggler)
         self.connected = False
         # network fault tolerance: route collectives through the
         # resilient transport so armed network faults have a place to go

@@ -34,7 +34,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..cluster.cluster import Cluster
-from ..core.balance import rebalanced_shares
+from ..core.balance import (
+    balancing_factors,
+    cluster_coefficients,
+    estimate_coefficients,
+    rebalanced_shares,
+)
 from ..core.config import MiddlewareConfig
 from ..core.middleware import GXPlug
 from ..core.sync_skip import SkipDetector
@@ -73,6 +78,10 @@ class IterationStats:
     cache_hits: int = 0
     cache_misses: int = 0
     node_compute_ms: List[float] = field(default_factory=list)
+    #: entities (triplets) each node processed, aligned with
+    #: ``node_compute_ms`` — the (d_j, T_j) pairs online Lemma-2
+    #: re-estimation feeds into ``estimate_coefficients``
+    node_entities: List[int] = field(default_factory=list)
     #: computation iterations this superstep absorbed (>1 when
     #: synchronization skipping let nodes keep iterating locally)
     local_iterations: int = 1
@@ -123,6 +132,23 @@ class RunResult:
     #: delta-snapshot cost hidden inside compute windows by speculative
     #: checkpointing (0 unless ``speculative_checkpoint`` is on)
     checkpoint_hidden_ms: float = 0.0
+    # gray-failure tolerance (repro.fault.straggler)
+    #: soft straggler verdicts issued by the detector during the run
+    straggler_verdicts: int = 0
+    #: speculative block re-executions where the backup finished first
+    speculative_wins: int = 0
+    #: speculative re-executions whose backup work was discarded
+    speculative_losses: int = 0
+    #: simulated device ms burned on losing copies (both directions)
+    speculative_wasted_ms: float = 0.0
+    #: busy leases that outlived their cost-model phase budget
+    budget_overruns: int = 0
+    #: (node, superstep) coefficient observations folded into the online
+    #: Lemma-2 estimate
+    coeff_updates: int = 0
+    #: Lemma-2 repartitions triggered by estimated-share divergence
+    #: (no degradation involved; disjoint from ``rebalance_events``)
+    online_rebalances: int = 0
     #: *wall-clock* seconds this run burned, total and split by phase
     #: (gen / merge / apply / sync / cache).  Orthogonal to every
     #: simulated-ms figure: simulated time models the hardware, wall
@@ -285,6 +311,21 @@ class IterativeEngine:
         rebalance_events = 0
         rebalance_ms = 0.0
         rebalanced_for: set = set()
+        # online Lemma-2 re-estimation (gray-failure response): track an
+        # EWMA estimate of the per-node c_j from observed (d_j, T_j)
+        # pairs; when the estimated optimal shares drift far enough from
+        # the current partition, repartition without degrading anyone.
+        scfg = mw.config.straggler if mw is not None else None
+        reestimate = bool(scfg is not None and scfg.enabled
+                          and scfg.reestimate)
+        coeff_est: Optional[np.ndarray] = None
+        if reestimate:
+            coeff_est = np.asarray(
+                cluster_coefficients(self.cluster.nodes),
+                dtype=np.float64)
+        last_online_reb = -(10 ** 9)
+        online_rebalances = 0
+        coeff_updates = 0
         # vertices touched since the last checkpoint, for delta snapshots
         changed_accum: List[np.ndarray] = []
         # speculative checkpointing: delta writes issued behind the
@@ -386,6 +427,49 @@ class IterativeEngine:
                     it_stats.checkpoint_ms += save_ms
                 changed_accum = []
             total_ms += it_stats.total_ms
+            if (reestimate and it_stats.active_edges > 0
+                    and it_stats.retries == 0
+                    and it_stats.recoveries == 0
+                    and not mw.degraded_nodes()
+                    and getattr(mw, "straggler", None) is not None
+                    and mw.straggler.flagged):
+                # fold this superstep's observed (d_j, T_j) pairs into
+                # the coefficient estimate.  Contaminated supersteps
+                # (retries, recoveries) and degraded clusters are
+                # skipped — degradation has its own rebalance path —
+                # and so are supersteps with no flagged straggler:
+                # benign coefficient noise (cache warmth, frontier
+                # shape) must never repartition a healthy run, which
+                # is what keeps the fault-free path bit-identical.
+                obs = {part.node_id: (e, t) for part, t, e in
+                       zip(self.pgraph.parts, it_stats.node_compute_ms,
+                           it_stats.node_entities)}
+                coeff_est = estimate_coefficients(obs, coeff_est,
+                                                  alpha=scfg.ewma_alpha)
+                coeff_updates += sum(1 for e, t in obs.values()
+                                     if e > 0 and t > 0)
+                est_shares = balancing_factors(coeff_est)
+                sizes = np.zeros(self.cluster.num_nodes)
+                for part in self.pgraph.parts:
+                    sizes[part.node_id] = part.src.size
+                if sizes.sum() > 0:
+                    current = sizes / sizes.sum()
+                    divergence = 0.5 * float(
+                        np.abs(est_shares - current).sum())
+                    if (divergence > scfg.share_divergence
+                            and iteration - last_online_reb
+                            >= scfg.rebalance_cooldown):
+                        # Lemma 2 says the optimum moved: repartition to
+                        # the estimated shares (shifting load *off* the
+                        # straggling node) without writing anyone off
+                        reb_ms = self._repartition_to(est_shares, width)
+                        last_online_reb = iteration
+                        online_rebalances += 1
+                        rebalance_ms += reb_ms
+                        total_ms += reb_ms
+                        breakdown["engine"] += reb_ms
+                        if detector is not None:
+                            detector = SkipDetector(self.pgraph)
             if algorithm.is_converged(changed_total, iteration):
                 converged = True
                 break
@@ -397,6 +481,7 @@ class IterativeEngine:
                 stats[-1].checkpoint_ms += pending_ckpt_ms
             total_ms += pending_ckpt_ms
         net_totals = self._net_counters()
+        det = getattr(mw, "straggler", None) if mw is not None else None
         return RunResult(
             values=values,
             iterations=iteration,
@@ -419,6 +504,14 @@ class IterativeEngine:
             dup_drops=net_totals[1],
             net_wasted_ms=net_totals[2],
             checkpoint_hidden_ms=hidden_ckpt_ms,
+            straggler_verdicts=len(det.verdicts) if det else 0,
+            speculative_wins=det.speculative_wins if det else 0,
+            speculative_losses=det.speculative_losses if det else 0,
+            speculative_wasted_ms=(det.speculative_wasted_ms
+                                   if det else 0.0),
+            budget_overruns=det.budget_overruns if det else 0,
+            coeff_updates=coeff_updates,
+            online_rebalances=online_rebalances,
             wall_total_s=perf_counter() - wall_start,
             wall_s=dict(self.wall_s),
         )
@@ -457,14 +550,23 @@ class IterativeEngine:
         Lemma 2 holds for whatever coefficients the cluster currently
         has, so after a node falls back to its host path the optimal
         shares shift away from it (§III-C).  Recomputes the shares with
-        the degraded node's accelerators written off, repartitions with
-        the run's own strategy, rebinds the engine's partition state and
-        returns the simulated cost of shipping the masters that moved.
+        the degraded node's accelerators written off and repartitions.
+        """
+        shares = rebalanced_shares(self.cluster.nodes,
+                                   self.middleware.degraded_nodes())
+        return self._repartition_to(shares, width)
+
+    def _repartition_to(self, shares, width: int) -> float:
+        """Repartition the graph to new Lemma-2 ``shares`` mid-run.
+
+        Shared by degradation rebalancing and online re-estimation:
+        repartitions with the run's own strategy, rebinds the engine's
+        partition state, flushes agent caches (their rows describe the
+        old layout) and returns the simulated cost of shipping the
+        masters that moved.
         """
         mw = self.middleware
         old_master_of = self.pgraph.master_of
-        shares = rebalanced_shares(self.cluster.nodes,
-                                   mw.degraded_nodes())
         pgraph = partition(self.graph, self.cluster.num_nodes,
                            self.pgraph.strategy, shares=shares)
         moved = int(np.count_nonzero(pgraph.master_of != old_master_of))
@@ -472,11 +574,8 @@ class IterativeEngine:
         for agent in mw.agents.values():
             agent.flush_cache()
         # the moved masters' rows cross the network as one collective
-        cost = self._network().sync_ms(
-            self.cluster.num_nodes, moved * width * BYTES_PER_CELL)
-        cost += max(node.runtime.sync_fixed_ms
-                    for node in self.cluster.nodes)
-        return cost
+        return self.cluster.repartition_cost_ms(
+            moved * width * BYTES_PER_CELL, network=self._network())
 
     def _rollback(self, store: Optional[CheckpointStore], origin,
                   failure: AcceleratorsExhausted):
@@ -516,6 +615,7 @@ class IterativeEngine:
         # -- 1. per-node edge computation (parallel: pay the max) ------------
         partials: Dict[int, MessageSet] = {}
         node_ms: List[float] = []
+        node_entities: List[int] = []
         hits = misses = 0
         active_edges = 0
         crit_mw_ms = 0.0      # middleware share on the critical node
@@ -528,6 +628,7 @@ class IterativeEngine:
             src, dst, w = self._select_edges(part, active, force_frontier)
             d = int(src.size)
             active_edges += d
+            node_entities.append(d)
             if self._node_accelerated(part.node_id):
                 agent = mw.agent_for(part.node_id)
                 res = agent.edge_pass(src, dst, w, values, algorithm)
@@ -661,6 +762,7 @@ class IterativeEngine:
             cache_hits=hits,
             cache_misses=misses,
             node_compute_ms=node_ms,
+            node_entities=node_entities,
         ), values, active, changed_total, all_changed)
 
     # -- combined local iterations (synchronization skipping, §III-B3) ---------------
@@ -684,6 +786,7 @@ class IterativeEngine:
         mw = self.middleware
         node_ms: List[float] = []
         node_apply_ms: List[float] = []
+        node_entities: List[int] = []
         hits = misses = 0
         active_edges = 0
         max_sub = 0
@@ -700,6 +803,7 @@ class IterativeEngine:
             local_active = active.copy()
             t_compute = 0.0
             t_apply = 0.0
+            t_entities = 0
             sub = 0
             changed_accum: List[np.ndarray] = []
             mw_ms = dev_ms = 0.0
@@ -718,6 +822,7 @@ class IterativeEngine:
                 w = part.weights[sel]
                 if sub == 0:
                     active_edges += int(src.size)
+                t_entities += int(src.size)
                 wall0 = perf_counter()
                 res = agent.edge_pass(src, dst, w, new_values, algorithm)
                 self.wall_s["gen"] += perf_counter() - wall0
@@ -767,6 +872,7 @@ class IterativeEngine:
                 pending_parts.append(pending)
             node_ms.append(t_compute)
             node_apply_ms.append(t_apply)
+            node_entities.append(t_entities)
             max_sub = max(max_sub, sub)
             if t_compute + t_apply > crit_total:
                 crit_total = t_compute + t_apply
@@ -871,6 +977,7 @@ class IterativeEngine:
             cache_hits=hits,
             cache_misses=misses,
             node_compute_ms=node_ms,
+            node_entities=node_entities,
             local_iterations=max(max_sub, 1),
         ), new_values, active, changed_total, ckpt_changed)
 

@@ -88,6 +88,31 @@ class ShmCorruption(FaultError):
     """A shared-memory region failed its integrity check."""
 
 
+class StragglerVerdict(FaultError):
+    """Soft gray-failure verdict: a daemon-agent pair works, but slow.
+
+    Issued by :class:`~repro.fault.straggler.StragglerDetector` when a
+    pair's EWMA inflation exceeds the cross-daemon median by the
+    configured ratio for K consecutive observations.  Unlike
+    :class:`DaemonDead` it is never raised — gray failures do not abort
+    anything; the verdict is collected into the fault report and drives
+    the soft responses (speculative re-execution, online Lemma-2
+    re-estimation).  Carries ``daemon_id``, ``phase`` (``"compute"`` or
+    ``"transfer"``), the pair's EWMA ``inflation``, the cross-daemon
+    ``median`` it was judged against, and the ``streak`` length.
+    """
+
+    def __init__(self, message: str, daemon_id: int = -1,
+                 phase: str = "compute", inflation: float = 1.0,
+                 median: float = 1.0, streak: int = 0) -> None:
+        super().__init__(message)
+        self.daemon_id = daemon_id
+        self.phase = phase
+        self.inflation = inflation
+        self.median = median
+        self.streak = streak
+
+
 class NetworkFault(FaultError):
     """Base class for inter-node network failures (repro.cluster.network)."""
 

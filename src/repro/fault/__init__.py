@@ -19,13 +19,19 @@ Four layers, wired through the middleware stack:
   / ``net_dup`` / ``sync_fail`` / ``node_partition``) with acks,
   sequence-number dedupe, retransmission and p2p fallback, escalating
   partitioned nodes through :class:`~repro.fault.monitor.CollectiveMonitor`
-  verdicts to rollback, degradation and Lemma-2 rebalancing.
+  verdicts to rollback, degradation and Lemma-2 rebalancing;
+* **gray failures** (:mod:`~repro.fault.straggler`) — EWMA straggler
+  detection for pairs that heartbeat but run slow (``slowdown`` /
+  ``shm_slow`` / ``flaky_slowdown``), answered by speculative block
+  re-execution and online Lemma-2 re-estimation instead of verdicts.
 """
 
 from .checkpoint import Checkpoint, CheckpointDelta, CheckpointStore
 from .inject import (
     ALL_KINDS,
     CRASH,
+    FLAKY_SLOWDOWN,
+    GRAY_KINDS,
     HANG,
     KINDS,
     MESSAGE_DELAY,
@@ -36,6 +42,8 @@ from .inject import (
     NETWORK_KINDS,
     NODE_PARTITION,
     SHM_CORRUPTION,
+    SHM_SLOW,
+    SLOWDOWN,
     STALL_KINDS,
     SYNC_FAIL,
     TO_AGENT,
@@ -47,6 +55,7 @@ from .inject import (
 from .monitor import CAT_MONITOR, CollectiveMonitor, HeartbeatMonitor
 from .report import FaultReport, fault_report
 from .retry import RetryPolicy
+from .straggler import PHASES, StragglerDetector
 
 __all__ = [
     "FaultEvent",
@@ -70,11 +79,17 @@ __all__ = [
     "NET_DUP",
     "SYNC_FAIL",
     "NODE_PARTITION",
+    "SLOWDOWN",
+    "SHM_SLOW",
+    "FLAKY_SLOWDOWN",
     "KINDS",
     "NETWORK_KINDS",
+    "GRAY_KINDS",
     "ALL_KINDS",
     "STALL_KINDS",
     "TO_AGENT",
     "TO_DAEMON",
     "CAT_MONITOR",
+    "StragglerDetector",
+    "PHASES",
 ]

@@ -32,6 +32,18 @@ exchanges behind workload balancing (§III-C):
 * ``node_partition`` — a node is unreachable; the retransmission budget
   is exhausted and the engine takes the rollback + degradation path.
 
+A third family models *gray failures* — daemons that keep heartbeating
+but run slow (thermal throttling, contended PCIe, shm pressure).  They
+never raise anything; detecting and responding to them is the straggler
+layer's job (:mod:`repro.fault.straggler`):
+
+* ``slowdown``       — the daemon's compute coefficient is inflated by
+  ``factor`` for the next ``passes`` edge passes;
+* ``shm_slow``       — the pair's transfer (download/upload) bandwidth
+  cost is inflated instead;
+* ``flaky_slowdown`` — intermittent: the compute inflation applies only
+  on every other pass, the hardest shape to flag without patience.
+
 Plans are *data*: a tuple of :class:`FaultEvent` keyed by superstep, so
 a run with a given plan is exactly reproducible.  :meth:`FaultPlan.random`
 derives a plan from a seed deterministically.
@@ -67,7 +79,17 @@ NODE_PARTITION = "node_partition"  # a node is unreachable for the round
 #: they arm on the resilient transport, not on an agent.
 NETWORK_KINDS = (NET_DROP, NET_DELAY, NET_DUP, SYNC_FAIL, NODE_PARTITION)
 
-ALL_KINDS = KINDS + NETWORK_KINDS
+# Gray-failure kinds (repro.fault.straggler): the daemon stays alive and
+# keeps heartbeating, it just gets slow.
+SLOWDOWN = "slowdown"              # compute coefficient inflated
+SHM_SLOW = "shm_slow"              # transfer bandwidth cost inflated
+FLAKY_SLOWDOWN = "flaky_slowdown"  # intermittent compute inflation
+
+#: Kinds that degrade a pair's speed without breaking anything; they
+#: need neither the monitor nor the transport to fire.
+GRAY_KINDS = (SLOWDOWN, SHM_SLOW, FLAKY_SLOWDOWN)
+
+ALL_KINDS = KINDS + NETWORK_KINDS + GRAY_KINDS
 
 #: Kinds that manifest as a protocol stall and therefore need the
 #: heartbeat monitor (and the pipelined protocol) to be detected at all.
@@ -98,6 +120,8 @@ class FaultEvent:
     duration_ms: float = 100.0      # hang/delay length
     direction: str = TO_AGENT       # drop/delay: which control channel
     region: str = "areas"           # shm: region to corrupt
+    factor: float = 4.0             # gray: cost inflation multiplier
+    passes: int = 2                 # gray: edge passes the inflation lasts
 
     def __post_init__(self) -> None:
         if self.kind not in ALL_KINDS:
@@ -123,6 +147,16 @@ class FaultEvent:
                 f"direction must be {TO_AGENT!r}/{TO_DAEMON!r}, "
                 f"got {self.direction!r}"
             )
+        if self.kind in GRAY_KINDS:
+            if self.factor < 1.0:
+                raise FaultPlanError(
+                    f"gray fault factor must be >= 1 (a slowdown), "
+                    f"got {self.factor}"
+                )
+            if self.passes < 1:
+                raise FaultPlanError(
+                    f"gray fault passes must be >= 1, got {self.passes}"
+                )
 
 
 @dataclass(frozen=True)
@@ -164,14 +198,16 @@ class FaultPlan:
                daemons_per_node: int = 1, rate: float = 0.1,
                kinds: Sequence[str] = KINDS,
                hang_ms: float = 100.0, delay_ms: float = 5.0,
+               slow_factor: float = 4.0, slow_passes: int = 2,
                ) -> "FaultPlan":
         """Derive a plan deterministically from ``seed``.
 
         Each (superstep, node, daemon) slot independently draws a fault
         with probability ``rate``; the kind is drawn uniformly from
-        ``kinds`` — which may mix daemon-edge kinds (:data:`KINDS`) and
-        network kinds (:data:`NETWORK_KINDS`).  The same seed always
-        yields the same plan.
+        ``kinds`` — which may mix daemon-edge kinds (:data:`KINDS`),
+        network kinds (:data:`NETWORK_KINDS`) and gray kinds
+        (:data:`GRAY_KINDS`, parameterized by ``slow_factor`` /
+        ``slow_passes``).  The same seed always yields the same plan.
         """
         if not 0.0 <= rate <= 1.0:
             raise FaultPlanError(f"rate must be in [0, 1], got {rate}")
@@ -199,6 +235,7 @@ class FaultPlan:
                         duration_ms=(hang_ms if kind == HANG else delay_ms),
                         direction=(TO_AGENT if rng.random() < 0.5
                                    else TO_DAEMON),
+                        factor=slow_factor, passes=slow_passes,
                     ))
         return cls(events=tuple(events))
 
@@ -279,6 +316,12 @@ class FaultInjector:
                 channel = (daemon.to_agent if event.direction == TO_AGENT
                            else daemon.to_daemon)
                 channel.arm_delay(event.duration_ms)
+            elif event.kind == SLOWDOWN:
+                daemon.arm_slowdown(event.factor, event.passes)
+            elif event.kind == FLAKY_SLOWDOWN:
+                daemon.arm_slowdown(event.factor, event.passes, flaky=True)
+            elif event.kind == SHM_SLOW:
+                daemon.arm_transfer_slowdown(event.factor, event.passes)
             self.injected += 1
             self.injected_by_kind[event.kind] = (
                 self.injected_by_kind.get(event.kind, 0) + 1)

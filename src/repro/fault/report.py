@@ -32,15 +32,35 @@ class FaultReport:
     net_wasted_ms: float = 0.0
     rebalance_events: int = 0
     rebalance_ms: float = 0.0
+    # gray-failure layer (repro.fault.straggler)
+    straggler_verdicts: int = 0
+    straggler_recoveries: int = 0
+    budget_overruns: int = 0
+    speculative_wins: int = 0
+    speculative_losses: int = 0
+    speculative_wasted_ms: float = 0.0
+    coeff_updates: int = 0
+    online_rebalances: int = 0
 
     @property
     def clean(self) -> bool:
-        """True when nothing fault-related happened at all."""
+        """True when nothing fault-related happened at all.
+
+        Passive observation (heartbeats, coefficient estimation) never
+        dirties a run; any *response* — a retry, a verdict, a respawn,
+        a rollback, a rebalance, a speculation — does.
+        """
         return (self.faults_injected == 0 and self.retries == 0
                 and self.rollbacks == 0 and not self.degraded_nodes
                 and self.retransmits == 0 and self.dup_drops == 0
                 and self.collective_fallbacks == 0
-                and self.partition_verdicts == 0)
+                and self.partition_verdicts == 0
+                and self.heartbeat_verdicts == 0
+                and self.daemon_respawns == 0
+                and self.rebalance_events == 0
+                and self.straggler_verdicts == 0
+                and self.speculative_wins + self.speculative_losses == 0
+                and self.online_rebalances == 0)
 
     def summary(self) -> str:
         if self.clean:
@@ -60,12 +80,22 @@ class FaultReport:
         rebalance = (f", {self.rebalance_events} rebalances "
                      f"({self.rebalance_ms:.1f} ms)"
                      if self.rebalance_events else "")
+        gray = ""
+        if (self.straggler_verdicts or self.speculative_wins
+                or self.speculative_losses or self.online_rebalances):
+            gray = (f", gray: {self.straggler_verdicts} straggler "
+                    f"verdicts ({self.straggler_recoveries} recovered), "
+                    f"speculation {self.speculative_wins}W/"
+                    f"{self.speculative_losses}L "
+                    f"({self.speculative_wasted_ms:.1f} ms wasted), "
+                    f"{self.online_rebalances} online rebalances "
+                    f"from {self.coeff_updates} coefficient updates")
         return (f"fault report: {self.faults_injected} injected "
                 f"({kinds or 'none'}), {self.retries} retries, "
                 f"{self.recovered_passes} recovered passes, "
                 f"{self.daemon_respawns} respawns, "
                 f"{self.rollbacks} rollbacks "
-                f"({self.wasted_ms:.1f} ms wasted){net}{rebalance}"
+                f"({self.wasted_ms:.1f} ms wasted){net}{rebalance}{gray}"
                 f"{degraded}")
 
 
@@ -93,9 +123,19 @@ def fault_report(middleware, result=None) -> FaultReport:
         report.collective_fallbacks = transport.collective_fallbacks
         report.partition_verdicts = transport.partition_verdicts
         report.net_wasted_ms = transport.net_wasted_ms
+    detector = getattr(middleware, "straggler", None)
+    if detector is not None:
+        report.straggler_verdicts = len(detector.verdicts)
+        report.straggler_recoveries = detector.recoveries
+        report.budget_overruns = detector.budget_overruns
+        report.speculative_wins = detector.speculative_wins
+        report.speculative_losses = detector.speculative_losses
+        report.speculative_wasted_ms = detector.speculative_wasted_ms
     if result is not None:
         report.rollbacks = getattr(result, "rollbacks", 0)
         report.wasted_ms = getattr(result, "wasted_ms", 0.0)
         report.rebalance_events = getattr(result, "rebalance_events", 0)
         report.rebalance_ms = getattr(result, "rebalance_ms", 0.0)
+        report.coeff_updates = getattr(result, "coeff_updates", 0)
+        report.online_rebalances = getattr(result, "online_rebalances", 0)
     return report

@@ -1,0 +1,197 @@
+"""Gray-failure detection: EWMA straggler tracking for daemon pairs.
+
+Binary failures earn hard verdicts (:class:`~repro.errors.DaemonDead`,
+:class:`~repro.errors.NodeUnreachable`); a *gray* failure — a daemon
+that keeps heartbeating but runs 5-50x slow — earns nothing from that
+machinery, yet under BSP every superstep barrier waits for the slowest
+pair.  The detector closes the gap:
+
+* Every observed per-block compute/transfer duration is normalized by
+  the device model's *expected* duration into an inflation ratio, and
+  folded into a per-(daemon, phase) EWMA.  Normalizing first means a
+  legitimately slow device in a heterogeneous cluster sits at inflation
+  ~1.0 and is never flagged.
+* A pair is compared against the cross-daemon *median* inflation
+  (floored at 1.0, so a lone pair is judged against the cost model
+  itself).  When the relative inflation exceeds ``ratio`` for
+  ``patience`` consecutive observations, the detector issues a soft
+  :class:`~repro.errors.StragglerVerdict` — recorded, never raised —
+  and flags the daemon for the responses (speculative re-execution,
+  online Lemma-2 re-estimation).
+* ``patience`` consecutive healthy observations in every observed phase
+  unflag the daemon again (gray failures are often transient).
+
+Detection is pure bookkeeping on the simulated clock: it charges zero
+simulated milliseconds, so enabling it cannot change a fault-free run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError, StragglerVerdict
+
+#: The two observable phases of a pair's pipeline work.
+PHASES = ("compute", "transfer")
+
+
+class StragglerDetector:
+    """Per-daemon EWMA inflation tracking with median-relative verdicts."""
+
+    def __init__(self, ratio: float = 3.0, patience: int = 3,
+                 alpha: float = 0.5) -> None:
+        if ratio <= 1.0:
+            raise SimulationError(
+                f"straggler ratio must be > 1 (a slowness multiple), "
+                f"got {ratio}"
+            )
+        if patience < 1:
+            raise SimulationError(
+                f"straggler patience must be >= 1, got {patience}"
+            )
+        if not 0.0 < alpha <= 1.0:
+            raise SimulationError(
+                f"EWMA alpha must be in (0, 1], got {alpha}"
+            )
+        self.ratio = float(ratio)
+        self.patience = int(patience)
+        self.alpha = float(alpha)
+        #: (daemon_id, phase) -> EWMA of observed/expected duration
+        self._ewma: Dict[Tuple[int, str], float] = {}
+        self._slow_streak: Dict[Tuple[int, str], int] = {}
+        self._healthy_streak: Dict[Tuple[int, str], int] = {}
+        self._flagged: Set[int] = set()
+        self.verdicts: List[StragglerVerdict] = []
+        self.observations = 0
+        self.recoveries = 0
+        #: soft phase-budget overruns reported by the heartbeat monitor
+        self.budget_overruns = 0
+        # speculation accounting (filled in by the agents)
+        self.speculative_wins = 0
+        self.speculative_losses = 0
+        self.speculative_wasted_ms = 0.0
+
+    # -- observations -------------------------------------------------------
+
+    def observe(self, daemon_id: int, phase: str, entities: int,
+                observed_ms: float, expected_ms: float
+                ) -> Optional[StragglerVerdict]:
+        """Fold one observed duration into the pair's EWMA.
+
+        ``expected_ms`` is what the device/transfer model predicts for
+        the same work; the ratio of the two is what drifts when a gray
+        failure hits.  Returns the verdict if this observation tipped
+        the pair over, else ``None``.
+        """
+        if phase not in PHASES:
+            raise SimulationError(
+                f"unknown straggler phase {phase!r}; expected one of "
+                f"{PHASES}"
+            )
+        if entities <= 0 or expected_ms <= 0.0:
+            return None
+        inflation = observed_ms / expected_ms
+        key = (daemon_id, phase)
+        prev = self._ewma.get(key)
+        self._ewma[key] = (inflation if prev is None
+                           else (1.0 - self.alpha) * prev
+                           + self.alpha * inflation)
+        self.observations += 1
+        return self._evaluate(daemon_id, phase)
+
+    def note_overrun(self, daemon_id: int, phase: str,
+                     leased_ms: float, budget_ms: float) -> None:
+        """A busy lease outlived its cost-model phase budget (monitor
+        hook) — soft evidence only; counted, never acted on here."""
+        self.budget_overruns += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def inflation(self, daemon_id: int, phase: str) -> float:
+        """The pair's current EWMA inflation (1.0 when unobserved)."""
+        return self._ewma.get((daemon_id, phase), 1.0)
+
+    def median_inflation(self, phase: str) -> float:
+        """Cross-daemon median EWMA for ``phase``, floored at 1.0.
+
+        The floor means a uniformly slow cluster (every pair inflated)
+        is still flagged relative to the cost model, while a healthy
+        heterogeneous cluster (every pair ~1.0 after normalization)
+        never is.
+        """
+        values = [v for (d, p), v in self._ewma.items() if p == phase]
+        if not values:
+            return 1.0
+        return max(1.0, float(np.median(values)))
+
+    def relative_inflation(self, daemon_id: int, phase: str) -> float:
+        """The pair's EWMA over the cross-daemon median reference."""
+        ewma = self._ewma.get((daemon_id, phase))
+        if ewma is None:
+            return 1.0
+        return ewma / self.median_inflation(phase)
+
+    def is_straggler(self, daemon_id: int) -> bool:
+        return daemon_id in self._flagged
+
+    @property
+    def flagged(self) -> List[int]:
+        return sorted(self._flagged)
+
+    # -- speculation accounting --------------------------------------------
+
+    def record_win(self, wasted_ms: float) -> None:
+        """A speculative copy finished first; ``wasted_ms`` is what the
+        abandoned primary burned before being overtaken."""
+        self.speculative_wins += 1
+        self.speculative_wasted_ms += float(wasted_ms)
+
+    def record_loss(self, wasted_ms: float) -> None:
+        """The primary finished first; the backup's work is discarded."""
+        self.speculative_losses += 1
+        self.speculative_wasted_ms += float(wasted_ms)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def clear(self, daemon_id: int) -> None:
+        """Forget a daemon entirely (respawn: its history is void)."""
+        for phase in PHASES:
+            self._ewma.pop((daemon_id, phase), None)
+            self._slow_streak.pop((daemon_id, phase), None)
+            self._healthy_streak.pop((daemon_id, phase), None)
+        self._flagged.discard(daemon_id)
+
+    # -- internals ----------------------------------------------------------
+
+    def _evaluate(self, daemon_id: int, phase: str
+                  ) -> Optional[StragglerVerdict]:
+        key = (daemon_id, phase)
+        rel = self.relative_inflation(daemon_id, phase)
+        if rel >= self.ratio:
+            streak = self._slow_streak.get(key, 0) + 1
+            self._slow_streak[key] = streak
+            self._healthy_streak[key] = 0
+            if streak >= self.patience and daemon_id not in self._flagged:
+                self._flagged.add(daemon_id)
+                verdict = StragglerVerdict(
+                    f"daemon {daemon_id}: {phase} running {rel:.1f}x "
+                    f"slower than the cross-daemon median for {streak} "
+                    f"consecutive blocks",
+                    daemon_id=daemon_id, phase=phase, inflation=rel,
+                    median=self.median_inflation(phase), streak=streak,
+                )
+                self.verdicts.append(verdict)
+                return verdict
+            return None
+        self._slow_streak[key] = 0
+        self._healthy_streak[key] = self._healthy_streak.get(key, 0) + 1
+        if daemon_id in self._flagged and all(
+                self._slow_streak.get((daemon_id, p), 0) == 0
+                and self._healthy_streak.get((daemon_id, p), 0)
+                >= self.patience
+                for p in PHASES if (daemon_id, p) in self._ewma):
+            self._flagged.discard(daemon_id)
+            self.recoveries += 1
+        return None

@@ -91,8 +91,70 @@ def test_all_figures_registered():
     assert set(FIGURES) == {
         "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
         "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
-        "fault_soak",
+        "fault_soak", "straggler_soak",
     }
+
+
+def test_fault_kinds_unknown_rejected_eagerly(capsys):
+    rc = main(["run", "--dataset", "wiki-topcats", "--fault-seed", "3",
+               "--fault-kinds", "crash", "bogus", "also-bogus"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown fault kind(s): also-bogus, bogus" in err
+    # the error teaches the valid vocabulary
+    from repro.fault import ALL_KINDS
+    for kind in ALL_KINDS:
+        assert kind in err
+
+
+def test_fault_kinds_require_seed(capsys):
+    rc = main(["run", "--dataset", "wiki-topcats",
+               "--fault-kinds", "crash"])
+    assert rc == 2
+    assert "--fault-seed" in capsys.readouterr().err
+
+
+def test_straggler_flags_require_seed(capsys):
+    rc = main(["run", "--dataset", "wiki-topcats", "--speculate"])
+    assert rc == 2
+    assert "--fault-seed" in capsys.readouterr().err
+    rc = main(["run", "--dataset", "wiki-topcats",
+               "--straggler-ratio", "4.0"])
+    assert rc == 2
+    assert "--fault-seed" in capsys.readouterr().err
+
+
+def test_straggler_ratio_must_exceed_one(capsys):
+    rc = main(["run", "--dataset", "wiki-topcats", "--fault-seed", "3",
+               "--straggler-ratio", "0.5"])
+    assert rc == 2
+    assert "must be > 1" in capsys.readouterr().err
+
+
+def test_speculate_requires_pipeline(capsys):
+    rc = main(["run", "--dataset", "wiki-topcats", "--fault-seed", "3",
+               "--speculate", "--no-pipeline"])
+    assert rc == 2
+    assert "pipelined" in capsys.readouterr().err
+
+
+def test_run_gray_campaign_with_speculation(capsys, tmp_path):
+    json_path = tmp_path / "gray.json"
+    rc = main(["run", "--dataset", "wiki-topcats", "--nodes", "2",
+               "--gpus", "2", "--max-iterations", "4",
+               "--fault-seed", "5", "--fault-rate", "0.4",
+               "--fault-kinds", "slowdown",
+               "--straggler-ratio", "2.5", "--speculate",
+               "--trace-json", str(json_path)])
+    assert rc == 0
+    assert "fault report:" in capsys.readouterr().out
+    import json as _json
+    doc = _json.loads(json_path.read_text())
+    assert doc["fault_campaign"]["straggler_ratio"] == 2.5
+    assert doc["fault_campaign"]["speculate"] is True
+    assert doc["fault_campaign"]["kinds"] == ["slowdown"]
+    assert "straggler_verdicts" in doc["summary"]
+    assert "speculative_wins" in doc["summary"]
 
 
 def test_parser_defaults():
