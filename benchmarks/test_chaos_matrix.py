@@ -11,20 +11,27 @@ stack.  Two invariants per cell:
   recovery path that triples the job is a failed recovery.
 
 Select one family with ``-k`` (``-k crash`` / ``-k net`` /
-``-k slowdown``), as the CI matrix does.
+``-k slowdown`` / ``-k link_slow``), as the CI matrix does.  The
+``link_slow`` family needs concrete links to inflate, so its campaigns
+run over a two-rack topology; every other family keeps the historical
+flat interconnect.
 """
 
 import pytest
 
 from repro.bench import print_table, run_fault_soak
-from repro.fault import CRASH, NET_DROP, NET_DUP, SLOWDOWN, SYNC_FAIL
+from repro.fault import (CRASH, LINK_FLAKY, LINK_SLOW, NET_DROP, NET_DUP,
+                         SLOWDOWN, SYNC_FAIL)
 
 SEEDS = (11, 23, 47)
 FAMILIES = {
     "crash": (CRASH,),
     "net": (NET_DROP, NET_DUP, SYNC_FAIL),
     "slowdown": (SLOWDOWN,),
+    "link_slow": (LINK_SLOW, LINK_FLAKY),
 }
+#: Link faults ride concrete uplinks: those campaigns get a topology.
+TOPOLOGIES = {"link_slow": "rack:2x1"}
 RATE = 0.3
 MAX_ITER = 6
 
@@ -41,7 +48,8 @@ def test_chaos_matrix(once, family):
         rows = []
         for seed in SEEDS:
             for row in run_fault_soak(rates=(0.0, RATE), seed=seed,
-                                      kinds=kinds, max_iter=MAX_ITER):
+                                      kinds=kinds, max_iter=MAX_ITER,
+                                      topology=TOPOLOGIES.get(family)):
                 rows.append((seed,) + row)
         return rows
 

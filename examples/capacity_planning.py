@@ -11,12 +11,15 @@ Two cloud-operations scenarios from Fig. 12:
   together.
 """
 
-from repro import GXPlug, PageRank, PowerGraphEngine, load_dataset
 from repro.accel import V100
-from repro.cluster import make_heterogeneous_cluster
-from repro.core import (
+from repro.api import (
+    GXPlug,
+    PageRank,
+    PowerGraphEngine,
     accelerators_for_load,
     balancing_factors,
+    load_dataset,
+    make_heterogeneous_cluster,
     optimal_makespan,
 )
 

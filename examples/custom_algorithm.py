@@ -16,9 +16,9 @@ from typing import Tuple
 
 import numpy as np
 
-from repro import GXPlug, PowerGraphEngine, make_cluster
-from repro.core import AlgorithmState, AlgorithmTemplate, MessageSet
-from repro.graph import Graph, load_dataset
+from repro.api import (AlgorithmState, AlgorithmTemplate, ClusterSpec,
+                       Graph, GXPlug, MessageSet, PowerGraphEngine,
+                       load_dataset)
 
 
 class SeedReachability(AlgorithmTemplate):
@@ -100,7 +100,7 @@ def main() -> None:
     seeds = [0, 7, 42, 99, 512]
     print(f"Seed-reachability over {graph}, seeds={seeds}\n")
 
-    cluster = make_cluster(4, gpus_per_node=1)
+    cluster = ClusterSpec(nodes=4, gpus_per_node=1).build()
     plug = GXPlug(cluster)
     engine = PowerGraphEngine.build(graph, cluster, middleware=plug)
     alg = SeedReachability(seeds)

@@ -12,21 +12,21 @@ degrades the dead node to its host (CPU) compute path.
 
 import numpy as np
 
-from repro import (
+from repro.api import (
+    CRASH,
     FULL,
     RESILIENT,
+    ClusterSpec,
     FaultPlan,
     GXPlug,
     PageRank,
     PowerGraphEngine,
     load_dataset,
-    make_cluster,
 )
-from repro.fault import CRASH
 
 
 def run(graph, config):
-    cluster = make_cluster(2, gpus_per_node=1)
+    cluster = ClusterSpec(nodes=2, gpus_per_node=1).build()
     plug = GXPlug(cluster, config)
     engine = PowerGraphEngine.build(graph, cluster, middleware=plug)
     return engine.run(PageRank(), max_iterations=10), plug

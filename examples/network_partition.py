@@ -15,22 +15,26 @@ owning fewer vertices.
 
 import numpy as np
 
-from repro import (
+from repro.api import (
+    NET_DELAY,
+    NET_DROP,
+    NET_DUP,
     NETWORK_RESILIENT,
+    NODE_PARTITION,
+    SYNC_FAIL,
+    ClusterSpec,
     FaultPlan,
     GXPlug,
     PageRank,
     PowerGraphEngine,
     load_dataset,
-    make_cluster,
 )
-from repro.fault import NET_DELAY, NET_DROP, NET_DUP, NODE_PARTITION, SYNC_FAIL
 
 NODES = 4
 
 
 def build(graph, config):
-    cluster = make_cluster(NODES, gpus_per_node=1)
+    cluster = ClusterSpec(nodes=NODES, gpus_per_node=1).build()
     plug = GXPlug(cluster, config)
     engine = PowerGraphEngine.build(graph, cluster, middleware=plug)
     return engine, plug

@@ -12,15 +12,11 @@ import json
 import tempfile
 from pathlib import Path
 
-from repro import GXPlug, MultiSourceSSSP, PowerGraphEngine, make_cluster
+from repro.api import (ClusterSpec, GXPlug, MultiSourceSSSP,
+                       PowerGraphEngine, clustering_partition,
+                       hash_partition, load_dataset)
 from repro.bench import print_table, write_csv, write_json
-from repro.graph import (
-    clustering_partition,
-    greedy_vertex_cut,
-    hash_partition,
-    load_dataset,
-    partition_report,
-)
+from repro.graph import greedy_vertex_cut, partition_report
 
 
 def main() -> None:
@@ -50,7 +46,7 @@ def main() -> None:
     print(f"best skip potential: {best}\n")
 
     # --- 2. run on the best partitioning ---------------------------------
-    cluster = make_cluster(4, gpus_per_node=1)
+    cluster = ClusterSpec(nodes=4, gpus_per_node=1).build()
     plug = GXPlug(cluster)
     engine = PowerGraphEngine(candidates[best], cluster, middleware=plug)
     result = engine.run(MultiSourceSSSP(sources=(0, 1, 2, 3)))

@@ -9,12 +9,12 @@ without the middleware to show the acceleration.
 
 import numpy as np
 
-from repro import (
+from repro.api import (
+    ClusterSpec,
     GXPlug,
     PageRank,
     PowerGraphEngine,
     load_dataset,
-    make_cluster,
 )
 
 
@@ -23,13 +23,13 @@ def main() -> None:
     print(f"Loaded {graph}")
 
     # --- bare engine: PowerGraph computing on its host CPUs -------------
-    host_cluster = make_cluster(4)
+    host_cluster = ClusterSpec(nodes=4, gpus_per_node=0).build()
     host_engine = PowerGraphEngine.build(graph, host_cluster)
     host = host_engine.run(PageRank(), max_iterations=10)
     print(f"bare engine : {host.summary()}")
 
     # --- plug accelerators: one GPU per node ----------------------------
-    gpu_cluster = make_cluster(4, gpus_per_node=1)
+    gpu_cluster = ClusterSpec(nodes=4, gpus_per_node=1).build()
     plug = GXPlug(gpu_cluster)                    # the middleware
     engine = PowerGraphEngine.build(graph, gpu_cluster, middleware=plug)
     accelerated = engine.run(PageRank(), max_iterations=10)

@@ -11,15 +11,15 @@ system's synchronization is skipped.
 
 import numpy as np
 
-from repro import GXPlug, MultiSourceSSSP, PowerGraphEngine, make_cluster
-from repro.core import MiddlewareConfig
-from repro.graph import clustering_partition, load_dataset
+from repro.api import (ClusterSpec, GXPlug, MiddlewareConfig,
+                       MultiSourceSSSP, PowerGraphEngine,
+                       clustering_partition, load_dataset)
 
 DEPOTS = (0, 100, 5000, 20000)
 
 
 def route(graph, skip: bool):
-    cluster = make_cluster(4, gpus_per_node=1)
+    cluster = ClusterSpec(nodes=4, gpus_per_node=1).build()
     config = MiddlewareConfig(sync_skip=skip)
     plug = GXPlug(cluster, config)
     pgraph = clustering_partition(graph, 4, seed=3)

@@ -11,26 +11,26 @@ algorithm implementation serves both computation models.
 
 import numpy as np
 
-from repro import (
+from repro.api import (
+    ClusterSpec,
     GXPlug,
     GraphXEngine,
     LabelPropagation,
     PageRank,
     PowerGraphEngine,
     load_dataset,
-    make_cluster,
 )
-from repro.cluster import JVM_RUNTIME, NATIVE_RUNTIME
 
 
 def analyse(engine_cls, runtime, graph):
-    cluster = make_cluster(4, gpus_per_node=1, runtime=runtime)
+    spec = ClusterSpec(nodes=4, gpus_per_node=1, runtime=runtime)
+    cluster = spec.build()
     plug = GXPlug(cluster)
     engine = engine_cls.build(graph, cluster, middleware=plug)
 
     communities = engine.run(LabelPropagation(), max_iterations=15)
 
-    cluster2 = make_cluster(4, gpus_per_node=1, runtime=runtime)
+    cluster2 = spec.build()
     plug2 = GXPlug(cluster2)
     engine2 = engine_cls.build(graph, cluster2, middleware=plug2)
     ranks = engine2.run(PageRank(), max_iterations=10)
@@ -43,8 +43,8 @@ def main() -> None:
 
     results = {}
     for name, engine_cls, runtime in (
-            ("GraphX (BSP/JVM)", GraphXEngine, JVM_RUNTIME),
-            ("PowerGraph (GAS)", PowerGraphEngine, NATIVE_RUNTIME)):
+            ("GraphX (BSP/JVM)", GraphXEngine, "jvm"),
+            ("PowerGraph (GAS)", PowerGraphEngine, "native")):
         communities, ranks = analyse(engine_cls, runtime, graph)
         results[name] = (communities, ranks)
         labels = communities.values

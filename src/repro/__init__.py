@@ -79,9 +79,11 @@ from .cluster import (
     Cluster,
     DistributedNode,
     JVM_RUNTIME,
+    LinkModel,
     NATIVE_RUNTIME,
     NetworkModel,
     ResilientTransport,
+    Topology,
     make_cluster,
     make_heterogeneous_cluster,
 )
@@ -89,12 +91,15 @@ from .core import (
     BASELINE,
     FULL,
     NETWORK_RESILIENT,
+    PRESETS,
     RESILIENT,
     AlgorithmTemplate,
+    ClusterSpec,
     GXPlug,
     MessageSet,
     MiddlewareConfig,
     PipelineCoefficients,
+    RuntimeConfig,
     StragglerConfig,
 )
 from .engines import (AsyncEngine, GraphXEngine,
@@ -134,11 +139,13 @@ __all__ = [
     # accel / cluster
     "Accelerator", "V100", "XEON_ACCEL", "make_gpu", "make_cpu_accelerator",
     "Cluster", "DistributedNode", "NetworkModel", "ResilientTransport",
+    "Topology", "LinkModel",
     "JVM_RUNTIME",
     "NATIVE_RUNTIME", "make_cluster", "make_heterogeneous_cluster",
     # middleware
-    "GXPlug", "MiddlewareConfig", "StragglerConfig", "FULL", "BASELINE",
-    "RESILIENT", "NETWORK_RESILIENT",
+    "GXPlug", "MiddlewareConfig", "StragglerConfig", "ClusterSpec",
+    "RuntimeConfig", "FULL", "BASELINE",
+    "RESILIENT", "NETWORK_RESILIENT", "PRESETS",
     "AlgorithmTemplate",
     "MessageSet", "PipelineCoefficients",
     # engines

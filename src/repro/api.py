@@ -1,0 +1,206 @@
+"""The stable public surface of the GX-Plug reproduction.
+
+Import from here and nothing breaks when internals move::
+
+    from repro.api import ClusterSpec, RuntimeConfig, GXPlug, deploy
+
+    cluster = ClusterSpec(nodes=8, gpus_per_node=1,
+                          topology="rack:2x4").build()
+    config = (RuntimeConfig.preset("network-resilient")
+              .with_straggler(link_ratio=2.5))
+    plug = GXPlug(cluster, config)
+
+The two builders are the blessed way to describe a deployment:
+
+* :class:`ClusterSpec` — the hardware: node/accelerator counts, host
+  runtime, interconnect overrides and the rack :class:`Topology`;
+* :class:`RuntimeConfig` — the behaviour: a named preset
+  (:data:`PRESETS`) refined by chained ``with_*`` methods, resolving
+  to a :class:`MiddlewareConfig`.
+
+Everything else re-exported here (engines, algorithms, graph loaders,
+fault plans) is the same object the subpackages define; this module
+only pins the names user code should rely on.
+"""
+
+from __future__ import annotations
+
+from .algorithms import (
+    BFS,
+    ConnectedComponents,
+    KCore,
+    LabelPropagation,
+    MultiSourceSSSP,
+    PageRank,
+    WidestPath,
+    paper_workloads,
+)
+from .cluster import (
+    DEFAULT_CROSS_BYTE_FACTOR,
+    DEFAULT_CROSS_LATENCY_FACTOR,
+    DEFAULT_NETWORK,
+    Cluster,
+    DistributedNode,
+    LinkModel,
+    NetworkModel,
+    ResilientTransport,
+    Topology,
+    make_cluster,
+    make_heterogeneous_cluster,
+)
+from .core import (
+    BASELINE,
+    FULL,
+    NETWORK_RESILIENT,
+    PRESETS,
+    RESILIENT,
+    AlgorithmState,
+    AlgorithmTemplate,
+    ClusterSpec,
+    GXPlug,
+    MessageSet,
+    MiddlewareConfig,
+    RuntimeConfig,
+    StragglerConfig,
+    accelerators_for_load,
+    balancing_factors,
+    cluster_coefficients,
+    link_adjusted_coefficients,
+    network_coefficients,
+    optimal_makespan,
+    optimal_partition_sizes,
+)
+from .engines import AsyncEngine, GraphXEngine, PowerGraphEngine, RunResult
+from .fault import (
+    ALL_KINDS,
+    CRASH,
+    FLAKY_SLOWDOWN,
+    GRAY_KINDS,
+    HANG,
+    KINDS,
+    LINK_FLAKY,
+    LINK_KINDS,
+    LINK_SLOW,
+    MESSAGE_DELAY,
+    MESSAGE_DROP,
+    NET_DELAY,
+    NET_DROP,
+    NET_DUP,
+    NETWORK_KINDS,
+    NODE_PARTITION,
+    SHM_CORRUPTION,
+    SHM_SLOW,
+    SLOWDOWN,
+    SYNC_FAIL,
+    FaultPlan,
+    FaultReport,
+    StragglerDetector,
+    fault_report,
+)
+from .graph import (
+    DATASETS,
+    Graph,
+    clustering_partition,
+    dataset_names,
+    hash_partition,
+    load_dataset,
+    load_synthetic_clustered,
+    load_synthetic_uniform,
+    partition,
+)
+
+
+def deploy(spec: ClusterSpec,
+           config: RuntimeConfig = RuntimeConfig()) -> GXPlug:
+    """Build the cluster described by ``spec`` and plug the middleware
+    configured by ``config`` into it — the two-builder quickstart."""
+    return GXPlug(spec.build(), config)
+
+
+__all__ = [
+    # the blessed builders
+    "ClusterSpec",
+    "RuntimeConfig",
+    "deploy",
+    # middleware + presets
+    "GXPlug",
+    "MiddlewareConfig",
+    "StragglerConfig",
+    "PRESETS",
+    "FULL",
+    "BASELINE",
+    "RESILIENT",
+    "NETWORK_RESILIENT",
+    # cluster layer
+    "Cluster",
+    "DistributedNode",
+    "NetworkModel",
+    "DEFAULT_NETWORK",
+    "Topology",
+    "LinkModel",
+    "DEFAULT_CROSS_LATENCY_FACTOR",
+    "DEFAULT_CROSS_BYTE_FACTOR",
+    "ResilientTransport",
+    "make_cluster",
+    "make_heterogeneous_cluster",
+    # engines
+    "GraphXEngine",
+    "PowerGraphEngine",
+    "AsyncEngine",
+    "RunResult",
+    # workload-balancing analysis (§III-C Lemmas 2-3)
+    "balancing_factors",
+    "optimal_partition_sizes",
+    "optimal_makespan",
+    "accelerators_for_load",
+    "cluster_coefficients",
+    "network_coefficients",
+    "link_adjusted_coefficients",
+    # programming template + algorithms
+    "AlgorithmTemplate",
+    "AlgorithmState",
+    "MessageSet",
+    "PageRank",
+    "MultiSourceSSSP",
+    "LabelPropagation",
+    "BFS",
+    "ConnectedComponents",
+    "KCore",
+    "WidestPath",
+    "paper_workloads",
+    # graphs
+    "Graph",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "load_synthetic_uniform",
+    "load_synthetic_clustered",
+    "partition",
+    "hash_partition",
+    "clustering_partition",
+    # fault subsystem
+    "FaultPlan",
+    "FaultReport",
+    "fault_report",
+    "StragglerDetector",
+    "KINDS",
+    "ALL_KINDS",
+    "NETWORK_KINDS",
+    "GRAY_KINDS",
+    "LINK_KINDS",
+    "CRASH",
+    "HANG",
+    "SHM_CORRUPTION",
+    "MESSAGE_DROP",
+    "MESSAGE_DELAY",
+    "NET_DROP",
+    "NET_DELAY",
+    "NET_DUP",
+    "SYNC_FAIL",
+    "NODE_PARTITION",
+    "SLOWDOWN",
+    "SHM_SLOW",
+    "FLAKY_SLOWDOWN",
+    "LINK_SLOW",
+    "LINK_FLAKY",
+]

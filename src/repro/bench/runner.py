@@ -22,6 +22,7 @@ from ..baselines import GunrockSystem, LuxSystem, distributed_gpu_fits
 from ..cluster import (
     JVM_RUNTIME,
     NATIVE_RUNTIME,
+    Topology,
     make_cluster,
     make_heterogeneous_cluster,
 )
@@ -29,6 +30,7 @@ from ..core import (
     FULL,
     NETWORK_RESILIENT,
     RESILIENT,
+    ClusterSpec,
     GXPlug,
     MiddlewareConfig,
     StragglerConfig,
@@ -39,8 +41,8 @@ from ..core import (
 from ..core.pipeline import PAPER_FIG15_COEFFICIENTS
 from ..engines import GraphXEngine, PowerGraphEngine
 from ..errors import DeviceMemoryError
-from ..fault import (NET_DELAY, NET_DROP, NET_DUP, SLOWDOWN, SYNC_FAIL,
-                     FaultPlan)
+from ..fault import (LINK_SLOW, NET_DELAY, NET_DROP, NET_DUP, SLOWDOWN,
+                     SYNC_FAIL, FaultPlan)
 from ..graph import (
     DATASETS,
     clustering_partition,
@@ -277,7 +279,8 @@ def run_fault_soak(dataset: str = "wrn", num_nodes: int = 2,
                    seed: int = 17,
                    rates: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
                    kinds: Sequence[str] = SOAK_KINDS,
-                   max_iter: int = 10) -> List[Tuple]:
+                   max_iter: int = 10,
+                   topology: Optional[str] = None) -> List[Tuple]:
     """Rows: (rate, injected, total_ms, overhead_ms, retransmits,
     net_wasted_ms, rollbacks).
 
@@ -286,6 +289,10 @@ def run_fault_soak(dataset: str = "wrn", num_nodes: int = 2,
     rate-0 run exactly; the recovery overhead (total beyond the rate-0
     cost) is reported per campaign so the suite can assert it scales
     linearly with the number of injected faults.
+
+    ``topology`` — optional rack spec (``"rack:RxN"``); link-level
+    fault kinds (``link_slow`` / ``link_flaky``) need one, since a flat
+    network has no concrete links to inflate.
     """
     graph = load_dataset(dataset)
     baseline = None
@@ -294,8 +301,9 @@ def run_fault_soak(dataset: str = "wrn", num_nodes: int = 2,
         plan = FaultPlan.random(seed, supersteps=max_iter,
                                 num_nodes=num_nodes, rate=rate,
                                 kinds=tuple(kinds))
-        cluster = make_cluster(num_nodes, gpus_per_node=1,
-                               runtime=NATIVE_RUNTIME)
+        cluster = ClusterSpec(nodes=num_nodes, gpus_per_node=1,
+                              runtime="native",
+                              topology=topology).build()
         result = _run(PowerGraphEngine, graph, cluster, PageRank(),
                       max_iter,
                       config=NETWORK_RESILIENT.with_(fault_plan=plan))
@@ -363,6 +371,71 @@ def run_straggler_soak(dataset: str = "wrn", num_nodes: int = 2,
                      res.straggler_verdicts,
                      f"{res.speculative_wins}W/"
                      f"{res.speculative_losses}L",
+                     res.coeff_updates, res.online_rebalances))
+    return rows
+
+
+def run_topology_soak(dataset: str = "wrn", topology: str = "rack:2x1",
+                      factor: float = 4.0, passes: int = 60,
+                      ms_per_byte: float = 2e-4,
+                      max_iter: int = 12) -> List[Tuple]:
+    """Rows: (variant, total_ms, lost_ms, link_verdicts, link_slow_ms,
+    coeff_updates, online_rebalances).
+
+    Link gray-failure soak: PageRank over a two-rack topology whose
+    cross-rack uplink is inflated ``factor``x for ``passes`` collectives
+    (a congested spine: fragments arrive late, values never corrupt),
+    with the topology-aware response off ("blind": detection only) and
+    on ("aware": per-link detection + link-adjusted Lemma-2 online
+    repartitioning).  The interconnect is deliberately thin
+    (``ms_per_byte``) and synchronization strict (no skipping, no lazy
+    trim): the regime where per-link bandwidth, not node compute,
+    decides the makespan.  Invariants asserted here, the >=2x recovery
+    floor asserted by the suite:
+
+    * link detection alone is free — the clean blind/aware pair is
+      bit-identical in values *and* simulated time;
+    * a slow link never corrupts values — every variant matches the
+      clean run to 1e-9 (repartitioning regroups floating-point
+      merges, exactly like the straggler soak).
+    """
+    graph = load_dataset(dataset)
+    racks = len(Topology.parse_spec(topology))
+    num_nodes = sum(len(r) for r in Topology.parse_spec(topology))
+    assert racks >= 2, "the soak needs a cross-rack uplink to inflate"
+    # the slowed uplink: the last node's path crosses racks
+    plan = FaultPlan.single(LINK_SLOW, 1, node_id=num_nodes - 1,
+                            factor=factor, passes=passes)
+    spec = ClusterSpec(nodes=num_nodes, gpus_per_node=1,
+                       topology=topology, ms_per_byte=ms_per_byte)
+
+    def one(fault_plan, aware):
+        scfg = StragglerConfig(enabled=True, reestimate=aware)
+        config = NETWORK_RESILIENT.with_(fault_plan=fault_plan,
+                                         straggler=scfg,
+                                         sync_skip=False,
+                                         lazy_upload=False)
+        return _run(PowerGraphEngine, graph, spec.build(), PageRank(),
+                    max_iter, config=config)
+
+    clean_blind = one(None, False)
+    clean_aware = one(None, True)
+    slow_blind = one(plan, False)
+    slow_aware = one(plan, True)
+
+    assert np.array_equal(clean_aware.values, clean_blind.values)
+    assert clean_aware.total_ms == clean_blind.total_ms
+    assert np.allclose(slow_blind.values, clean_blind.values, atol=1e-9)
+    assert np.allclose(slow_aware.values, clean_blind.values, atol=1e-9)
+
+    rows = []
+    for label, res, base in (
+            ("clean/topology-blind", clean_blind, clean_blind),
+            ("clean/topology-aware", clean_aware, clean_aware),
+            ("link-slow/topology-blind", slow_blind, clean_blind),
+            ("link-slow/topology-aware", slow_aware, clean_aware)):
+        rows.append((label, res.total_ms, res.total_ms - base.total_ms,
+                     res.link_verdicts, res.link_slow_ms,
                      res.coeff_updates, res.online_rebalances))
     return rows
 

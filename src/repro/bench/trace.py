@@ -77,6 +77,8 @@ def run_summary(result: RunResult) -> Dict:
         "budget_overruns": result.budget_overruns,
         "coeff_updates": result.coeff_updates,
         "online_rebalances": result.online_rebalances,
+        "link_verdicts": result.link_verdicts,
+        "link_slow_ms": round(result.link_slow_ms, 6),
         "breakdown": {k: round(v, 6)
                       for k, v in sorted(result.breakdown.items())},
     }
@@ -91,14 +93,22 @@ def write_csv(result: RunResult, path) -> None:
             writer.writerow(record)
 
 
-def write_json(result: RunResult, path, campaign: Dict = None) -> None:
+def write_json(result: RunResult, path, campaign: Dict = None,
+               cluster_spec: Dict = None) -> None:
     """Write summary + per-iteration records as one JSON document.
 
     ``campaign`` — optional fault-campaign parameters (seed, rate,
     kinds) recorded verbatim under a ``"fault_campaign"`` key so a
     faulted run can be replayed exactly from its trace file.
+    ``cluster_spec`` — the resolved cluster description (a
+    :meth:`~repro.core.config.ClusterSpec.to_dict` dict) recorded
+    verbatim under the summary's ``"cluster_spec"`` key so the trace
+    pins the exact hardware/topology the numbers were simulated on.
     """
-    doc = {"summary": run_summary(result),
+    summary = run_summary(result)
+    if cluster_spec is not None:
+        summary["cluster_spec"] = cluster_spec
+    doc = {"summary": summary,
            "iterations": iteration_records(result)}
     if campaign is not None:
         doc["fault_campaign"] = campaign

@@ -31,9 +31,10 @@ from .bench.hotpath import (DEFAULT_ALGORITHMS, PROFILES, check_regression,
                             format_report, load_bench_json, merge_entry,
                             run_hotpath_bench, write_bench_json)
 from .bench.trace import write_csv, write_json
-from .cluster import JVM_RUNTIME, NATIVE_RUNTIME, make_cluster
-from .core import GXPlug, MiddlewareConfig, StragglerConfig
+from .cluster import Topology
+from .core import ClusterSpec, GXPlug, MiddlewareConfig, StragglerConfig
 from .engines import AsyncEngine, GraphXEngine, PowerGraphEngine
+from .errors import SimulationError
 from .fault import ALL_KINDS, FaultPlan
 from .graph import dataset_names, load_dataset
 
@@ -49,15 +50,15 @@ ALGORITHMS = {
 }
 
 ENGINES = {
-    "graphx": (GraphXEngine, JVM_RUNTIME),
-    "powergraph": (PowerGraphEngine, NATIVE_RUNTIME),
-    "async": (AsyncEngine, NATIVE_RUNTIME),
+    "graphx": (GraphXEngine, "jvm"),
+    "powergraph": (PowerGraphEngine, "native"),
+    "async": (AsyncEngine, "native"),
 }
 
 FIGURES = (
     "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
     "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
-    "fault_soak", "straggler_soak",
+    "fault_soak", "straggler_soak", "topology_soak",
 )
 
 
@@ -89,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
                      default=[0, 1, 2, 3],
                      help="source vertices (sssp-bf/bfs/widest-path)")
     run.add_argument("--k", type=int, default=3, help="k for kcore")
+    run.add_argument("--topology", metavar="SPEC", default=None,
+                     help="rack topology, e.g. 'rack:2x4' (2 racks of 4 "
+                          "nodes; cross-rack links are 4x slower than "
+                          "intra-rack) or 'flat:8'; default: flat "
+                          "single-switch interconnect")
     run.add_argument("--no-middleware", action="store_true",
                      help="run on the bare engine (host compute)")
     run.add_argument("--no-pipeline", action="store_true")
@@ -115,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="EWMA inflation multiple over the cross-daemon "
                           "median that flags a daemon-agent pair as a "
                           "straggler (default 3.0; needs --fault-seed)")
+    run.add_argument("--link-slow-ratio", type=float, default=None,
+                     metavar="R",
+                     help="per-link EWMA inflation multiple over the "
+                          "cross-link median that flags an uplink as "
+                          "gray-failed (default: --straggler-ratio; "
+                          "needs --fault-seed)")
     run.add_argument("--speculate", action="store_true",
                      help="re-issue a flagged straggler's pending block "
                           "to the fastest idle daemon, first finisher "
@@ -183,17 +195,35 @@ def cmd_run(args: argparse.Namespace) -> int:
             print("error: --fault-kinds selects kinds for the seeded "
                   "campaign; it needs --fault-seed", file=sys.stderr)
             return 2
-    if (args.straggler_ratio is not None or args.speculate) \
+    if (args.straggler_ratio is not None or args.speculate
+            or args.link_slow_ratio is not None) \
             and args.fault_seed is None:
-        print("error: --straggler-ratio/--speculate tune the "
-              "gray-failure stack of a seeded campaign; they need "
-              "--fault-seed", file=sys.stderr)
+        print("error: --straggler-ratio/--speculate/--link-slow-ratio "
+              "tune the gray-failure stack of a seeded campaign; they "
+              "need --fault-seed", file=sys.stderr)
         return 2
     if args.straggler_ratio is not None and args.straggler_ratio <= 1.0:
         print(f"error: --straggler-ratio must be > 1 (a pair is flagged "
               f"when it runs RATIO times slower than the median), got "
               f"{args.straggler_ratio}", file=sys.stderr)
         return 2
+    if args.link_slow_ratio is not None and args.link_slow_ratio <= 1.0:
+        print(f"error: --link-slow-ratio must be > 1 (a link is flagged "
+              f"when its fragments run RATIO times slower than the "
+              f"cross-link median), got {args.link_slow_ratio}",
+              file=sys.stderr)
+        return 2
+    if args.topology is not None:
+        try:
+            racks = Topology.parse_spec(args.topology)
+        except SimulationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        spanned = sum(len(r) for r in racks)
+        if spanned != args.nodes:
+            print(f"error: --topology {args.topology!r} spans {spanned} "
+                  f"node(s) but --nodes is {args.nodes}", file=sys.stderr)
+            return 2
     if args.speculate and args.no_pipeline:
         print("error: speculative re-execution rides the pipelined "
               "protocol; drop --no-pipeline", file=sys.stderr)
@@ -220,9 +250,10 @@ def cmd_run(args: argparse.Namespace) -> int:
                   "(--gpus/--cpus) or use --no-middleware",
                   file=sys.stderr)
             return 2
-        cluster = make_cluster(args.nodes, gpus_per_node=args.gpus,
-                               cpu_accels_per_node=args.cpus,
-                               runtime=runtime)
+        spec = ClusterSpec(nodes=args.nodes, gpus_per_node=args.gpus,
+                           cpus_per_node=args.cpus, runtime=runtime,
+                           topology=args.topology)
+        cluster = spec.build()
         no_cache = args.no_cache
         config = MiddlewareConfig(
             pipeline=not args.no_pipeline,
@@ -250,6 +281,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 enabled=True,
                 ratio=(args.straggler_ratio
                        if args.straggler_ratio is not None else 3.0),
+                link_ratio=args.link_slow_ratio,
                 speculate=args.speculate,
                 reestimate=True,
             )
@@ -275,7 +307,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             }
         middleware = GXPlug(cluster, config)
     else:
-        cluster = make_cluster(args.nodes, runtime=runtime)
+        spec = ClusterSpec(nodes=args.nodes, gpus_per_node=0,
+                           runtime=runtime, topology=args.topology)
+        cluster = spec.build()
 
     engine = engine_cls.build(graph, cluster, middleware=middleware)
     result = engine.run(algorithm, max_iterations=args.max_iterations)
@@ -293,7 +327,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if middleware is not None and middleware.injector is not None:
         print(middleware.fault_report(result).summary())
     if args.trace_json:
-        write_json(result, args.trace_json, campaign=campaign)
+        write_json(result, args.trace_json, campaign=campaign,
+                   cluster_spec=spec.to_dict())
         print(f"trace written: {args.trace_json}")
     if args.trace_csv:
         write_csv(result, args.trace_csv)
@@ -326,6 +361,9 @@ def cmd_figure(name: str) -> int:
         "straggler_soak": ["variant", "total ms", "lost ms", "verdicts",
                            "speculation", "coeff updates",
                            "online rebalances"],
+        "topology_soak": ["variant", "total ms", "lost ms",
+                          "link verdicts", "link slow ms",
+                          "coeff updates", "online rebalances"],
     }
     if name == "fig15":
         out = runner.run_fig15()

@@ -8,6 +8,7 @@ CPU+GPU mixes (Fig. 9(d), Fig. 12(a)), and accelerator-less baselines.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -16,14 +17,23 @@ from ..errors import SimulationError
 from ..fault.retry import RetryPolicy
 from .network import DEFAULT_NETWORK, NetworkModel, ResilientTransport
 from .node import NATIVE_RUNTIME, DistributedNode, HostRuntime
+from .topology import Topology
 
 
 @dataclass
 class Cluster:
-    """A set of distributed nodes joined by a network."""
+    """A set of distributed nodes joined by a network.
+
+    ``topology`` is the optional rack :class:`Topology`; when set it
+    supersedes the flat ``network`` model as the collective substrate
+    (:attr:`collectives`) and must span exactly this cluster's nodes.
+    The default ``None`` keeps the uniform alpha-beta model and the
+    historical cost path bit-for-bit.
+    """
 
     nodes: List[DistributedNode]
     network: NetworkModel = field(default_factory=lambda: DEFAULT_NETWORK)
+    topology: Optional[Topology] = None
 
     def __post_init__(self) -> None:
         if not self.nodes:
@@ -33,6 +43,17 @@ class Cluster:
             raise SimulationError(
                 f"node ids must be 0..{len(ids) - 1} in order, got {ids}"
             )
+        if (self.topology is not None
+                and self.topology.num_nodes != len(self.nodes)):
+            raise SimulationError(
+                f"topology spans {self.topology.num_nodes} nodes, cluster "
+                f"has {len(self.nodes)}")
+
+    @property
+    def collectives(self):
+        """The collective cost substrate engines should charge: the rack
+        topology when one is configured, the flat model otherwise."""
+        return self.topology if self.topology is not None else self.network
 
     @property
     def num_nodes(self) -> int:
@@ -57,9 +78,11 @@ class Cluster:
                              base_delay_ms=retransmit_base_ms,
                              backoff_factor=backoff_factor)
         return ResilientTransport(self.network, policy,
-                                  ack_timeout_ms=ack_timeout_ms)
+                                  ack_timeout_ms=ack_timeout_ms,
+                                  topology=self.topology)
 
-    def repartition_cost_ms(self, nbytes: int, network=None) -> float:
+    def repartition_cost_ms(self, nbytes: int, network=None,
+                            moved_by_node=None) -> float:
         """Simulated cost of shipping ``nbytes`` of re-homed master rows
         after a mid-run Lemma-2 repartition (degradation rebalancing or
         online re-estimation): one tree collective across every node,
@@ -67,11 +90,17 @@ class Cluster:
         every node re-enters the barrier around the new layout.
 
         ``network`` — the collective substrate to charge; defaults to
-        the cluster's bare cost model, engines pass their resilient
-        transport when one is wired in.
+        :attr:`collectives`, engines pass their resilient transport when
+        one is wired in.  ``moved_by_node`` — per-destination byte
+        weights; with a topology the migration is then priced over the
+        actual links it crosses instead of a uniform collective.
         """
-        net = network if network is not None else self.network
-        cost = net.sync_ms(self.num_nodes, nbytes)
+        net = network if network is not None else self.collectives
+        if moved_by_node is not None:
+            cost = net.sync_ms(self.num_nodes, nbytes,
+                               bytes_by_node=moved_by_node)
+        else:
+            cost = net.sync_ms(self.num_nodes, nbytes)
         return cost + max(n.runtime.sync_fixed_ms for n in self.nodes)
 
     def total_gpu_count(self) -> int:
@@ -87,8 +116,18 @@ class Cluster:
 def make_cluster(num_nodes: int, *, gpus_per_node: int = 0,
                  cpu_accels_per_node: int = 0,
                  runtime: HostRuntime = NATIVE_RUNTIME,
-                 network: Optional[NetworkModel] = None) -> Cluster:
-    """Homogeneous cluster: every node gets the same accelerator set."""
+                 network: Optional[NetworkModel] = None,
+                 topology: Optional[Topology] = None) -> Cluster:
+    """Homogeneous cluster: every node gets the same accelerator set.
+
+    Prefer describing clusters with :class:`repro.api.ClusterSpec` —
+    the ``network`` kwarg here is kept as a deprecated shim.
+    """
+    if network is not None:
+        warnings.warn(
+            "make_cluster(network=...) is deprecated; describe the "
+            "interconnect with repro.api.ClusterSpec instead",
+            DeprecationWarning, stacklevel=2)
     if num_nodes < 1:
         raise SimulationError(f"need >=1 nodes, got {num_nodes}")
     if gpus_per_node < 0 or cpu_accels_per_node < 0:
@@ -104,18 +143,25 @@ def make_cluster(num_nodes: int, *, gpus_per_node: int = 0,
             accels.append(make_cpu_accelerator(device_id))
             device_id += 1
         nodes.append(DistributedNode(node_id, runtime, accels))
-    return Cluster(nodes, network if network is not None else DEFAULT_NETWORK)
+    return Cluster(nodes, network if network is not None else DEFAULT_NETWORK,
+                   topology=topology)
 
 
 def make_heterogeneous_cluster(accel_specs: Sequence[Sequence[str]], *,
                                runtime: HostRuntime = NATIVE_RUNTIME,
-                               network: Optional[NetworkModel] = None
+                               network: Optional[NetworkModel] = None,
+                               topology: Optional[Topology] = None
                                ) -> Cluster:
     """Cluster from explicit per-node accelerator lists.
 
     ``accel_specs[j]`` is a sequence of ``"gpu"`` / ``"cpu"`` strings, e.g.
     the Fig. 12(a) setup is ``[["gpu", "cpu"], ["gpu", "gpu", "gpu", "cpu"]]``.
     """
+    if network is not None:
+        warnings.warn(
+            "make_heterogeneous_cluster(network=...) is deprecated; "
+            "describe the interconnect with repro.api.ClusterSpec instead",
+            DeprecationWarning, stacklevel=2)
     if not accel_specs:
         raise SimulationError("need at least one node spec")
     nodes = []
@@ -133,4 +179,5 @@ def make_heterogeneous_cluster(accel_specs: Sequence[Sequence[str]], *,
                 )
             device_id += 1
         nodes.append(DistributedNode(node_id, runtime, accels))
-    return Cluster(nodes, network if network is not None else DEFAULT_NETWORK)
+    return Cluster(nodes, network if network is not None else DEFAULT_NETWORK,
+                   topology=topology)

@@ -51,12 +51,17 @@ class NetworkModel:
             raise SimulationError(f"negative transfer size {nbytes}")
         return self.latency_ms + nbytes * self.ms_per_byte
 
-    def sync_ms(self, num_nodes: int, total_bytes: int) -> float:
+    def sync_ms(self, num_nodes: int, total_bytes: int,
+                bytes_by_node=None) -> float:
         """Global synchronization cost for one iteration barrier.
 
         Tree-structured collective: ``ceil(log2)`` latency hops, the full
         payload crossing the wire once, plus per-node coordination.
         A single node still pays its own coordination (local barrier).
+
+        ``bytes_by_node`` is accepted for signature compatibility with
+        :class:`~repro.cluster.topology.Topology` and ignored: the flat
+        model prices every byte the same no matter who produced it.
         """
         if num_nodes < 1:
             raise SimulationError(f"need >=1 nodes, got {num_nodes}")
@@ -126,7 +131,8 @@ class ResilientTransport:
 
     def __init__(self, model: NetworkModel,
                  policy: Optional[RetryPolicy] = None,
-                 ack_timeout_ms: float = 1.0) -> None:
+                 ack_timeout_ms: float = 1.0,
+                 topology=None) -> None:
         if ack_timeout_ms <= 0:
             raise SimulationError(
                 f"ack timeout must be > 0, got {ack_timeout_ms}"
@@ -135,12 +141,21 @@ class ResilientTransport:
         self.policy = policy if policy is not None else RetryPolicy()
         self.ack_timeout_ms = float(ack_timeout_ms)
         self.monitor = CollectiveMonitor(self.ack_timeout_ms)
+        #: optional rack :class:`~repro.cluster.topology.Topology`; when
+        #: set it becomes the collective substrate (fragments ride
+        #: concrete links) and link gray-faults can be armed per node.
+        self.topology = topology
         # armed one-shot faults (consumed by the next collective)
         self._drops: List[int] = []
         self._delays: List[Tuple[int, float]] = []
         self._dups: List[int] = []
         self._sync_fails = 0
         self._partitions: List[int] = []
+        # armed link gray-faults: node -> [factor, passes_left, flaky, tick]
+        # — multi-pass (a slow uplink stays slow), unlike the one-shot
+        # delivery faults above; never corrupts values, only time.
+        self._slow_links: Dict[int, List] = {}
+        self._link_observer = None
         # sequence-numbered delivery: per-peer next expected sequence
         self._next_seq: Dict[int, int] = {}
         self._delivered: Dict[int, int] = {}
@@ -151,6 +166,14 @@ class ResilientTransport:
         self.collective_fallbacks = 0
         self.partition_verdicts = 0
         self.net_wasted_ms = 0.0
+        self.link_inflations = 0
+        self.link_slow_ms = 0.0
+
+    @property
+    def substrate(self):
+        """The collective cost substrate: the rack topology when one is
+        wired in, the flat model otherwise."""
+        return self.topology if self.topology is not None else self.model
 
     # -- fault arming (FaultInjector network events) -----------------------
 
@@ -168,6 +191,34 @@ class ResilientTransport:
 
     def arm_partition(self, node_id: int) -> None:
         self._partitions.append(int(node_id))
+
+    def arm_link_slow(self, node_id: int, factor: float = 4.0,
+                      passes: int = 2) -> None:
+        """Inflate ``node_id``'s uplink fragments ``factor``x for the
+        next ``passes`` collectives.  Values are never corrupted — a
+        slow link is a pure duration gray-failure."""
+        if factor < 1.0:
+            raise SimulationError(f"link slow factor must be >= 1, "
+                                  f"got {factor}")
+        if passes < 1:
+            raise SimulationError(f"link slow passes must be >= 1, "
+                                  f"got {passes}")
+        self._slow_links[int(node_id)] = [float(factor), int(passes),
+                                          False, 0]
+
+    def arm_link_flaky(self, node_id: int, factor: float = 4.0,
+                       passes: int = 2) -> None:
+        """Like :meth:`arm_link_slow` but intermittent: the inflation
+        fires on alternating collectives (the hardest gray failure to
+        flag — the EWMA detector has to average through the flapping)."""
+        self.arm_link_slow(node_id, factor, passes)
+        self._slow_links[int(node_id)][2] = True
+
+    def set_link_observer(self, observer) -> None:
+        """Wire a per-link observer (the :class:`StragglerDetector`):
+        every topology collective reports each node's observed vs
+        healthy fragment time through ``observe_link``."""
+        self._link_observer = observer
 
     @property
     def faults_armed(self) -> int:
@@ -204,17 +255,72 @@ class ResilientTransport:
     def transfer_ms(self, nbytes: int) -> float:
         """Point-to-point transfer (no fault handling: unicast fragments
         are only sent as retransmissions, which already paid their cost)."""
-        return self.model.transfer_ms(nbytes)
+        return self.substrate.transfer_ms(nbytes)
 
-    def sync_ms(self, num_nodes: int, total_bytes: int) -> float:
+    def sync_ms(self, num_nodes: int, total_bytes: int,
+                bytes_by_node=None) -> float:
         """Global synchronization with delivery guarantees applied."""
-        base = self.model.sync_ms(num_nodes, total_bytes)
-        return self._collective(base, num_nodes, total_bytes)
+        if self.topology is not None:
+            base = self.topology.sync_ms(num_nodes, total_bytes,
+                                         bytes_by_node=bytes_by_node)
+        else:
+            base = self.model.sync_ms(num_nodes, total_bytes)
+        cost = self._collective(base, num_nodes, total_bytes)
+        return cost + self._link_pass(num_nodes, total_bytes, bytes_by_node)
 
     def broadcast_ms(self, num_nodes: int, nbytes: int) -> float:
         """Global broadcast with delivery guarantees applied."""
-        base = self.model.broadcast_ms(num_nodes, nbytes)
+        base = self.substrate.broadcast_ms(num_nodes, nbytes)
         return self._collective(base, num_nodes, nbytes)
+
+    def _link_pass(self, num_nodes: int, total_bytes: int,
+                   bytes_by_node=None) -> float:
+        """Charge armed link gray-faults and feed the per-link observer.
+
+        Each node's fragment has a *healthy* wire time (its uplink path
+        over the topology, a flat transfer otherwise); an armed slow
+        link inflates it and the barrier eats the difference.  Every
+        topology collective also reports observed/healthy per link to
+        the observer, so the EWMA detector sees clean links too and its
+        median reference stays honest.  With no faults armed and no
+        observer wired (or no topology), the pass is free and returns
+        exactly ``0.0`` — fault-free flat runs stay bit-identical.
+        """
+        if not self._slow_links and (self._link_observer is None
+                                     or self.topology is None):
+            return 0.0
+        if self.topology is not None:
+            per_node = self.topology.node_bytes(total_bytes, bytes_by_node)
+        else:
+            per_node = [total_bytes / max(num_nodes, 1)] * num_nodes
+        extra = 0.0
+        for node in range(num_nodes):
+            nbytes = per_node[node]
+            if self.topology is not None:
+                healthy = self.topology.fragment_ms(node, nbytes)
+            else:
+                healthy = self.model.transfer_ms(nbytes)
+            factor = 1.0
+            state = self._slow_links.get(node)
+            if state is not None:
+                f, left, flaky, tick = state
+                state[3] = tick + 1
+                if not flaky or tick % 2 == 0:
+                    factor = f
+                state[1] = left - 1
+                if state[1] <= 0:
+                    del self._slow_links[node]
+            observed = healthy * factor
+            if factor > 1.0:
+                self.link_inflations += 1
+                extra += observed - healthy
+            if (self._link_observer is not None
+                    and self.topology is not None and healthy > 0):
+                self._link_observer.observe_link(node, observed, healthy)
+        if extra > 0.0:
+            self.net_wasted_ms += extra
+            self.link_slow_ms += extra
+        return extra
 
     def _collective(self, base: float, num_nodes: int,
                     total_bytes: int) -> float:
@@ -239,14 +345,14 @@ class ResilientTransport:
         for node in dups:
             seq = self._delivered.get(node, 0)
             self.deliver(node, seq)            # re-delivery: returns False
-            extra += self.model.transfer_ms(fragment)
+            extra += self.substrate.transfer_ms(fragment)
 
         # drops: ack timeout, backoff, point-to-point retransmit
         drops, self._drops = self._drops, []
         for node in drops:
             self.monitor.expect(node, base + extra)
             extra += self.ack_timeout_ms + self.policy.backoff_ms(1)
-            extra += self.model.transfer_ms(fragment)
+            extra += self.substrate.transfer_ms(fragment)
             self.deliver(node, self.send(node))
             self.monitor.ack(node)
             self.retransmits += 1
@@ -256,7 +362,8 @@ class ResilientTransport:
         if self._sync_fails:
             rounds, self._sync_fails = self._sync_fails, 0
             for _ in range(rounds):
-                extra += self.model.p2p_fallback_ms(num_nodes, total_bytes)
+                extra += self.substrate.p2p_fallback_ms(num_nodes,
+                                                        total_bytes)
                 for node in range(num_nodes):
                     self.deliver(node, self.send(node))
                 self.collective_fallbacks += 1
@@ -270,7 +377,7 @@ class ResilientTransport:
             attempts = 0
             for attempt in range(1, self.policy.max_attempts + 1):
                 clock += self.ack_timeout_ms + self.policy.backoff_ms(attempt)
-                clock += self.model.transfer_ms(fragment)
+                clock += self.substrate.transfer_ms(fragment)
                 self.send(node)                # never delivered
                 self.retransmits += 1
                 attempts = attempt

@@ -17,7 +17,9 @@ from .balance import (
     cluster_coefficients,
     degraded_coefficients,
     estimate_coefficients,
+    link_adjusted_coefficients,
     makespan,
+    network_coefficients,
     node_coefficient,
     optimal_capacity_factors,
     optimal_makespan,
@@ -25,8 +27,9 @@ from .balance import (
     rebalanced_shares,
 )
 from .blocks import AreaSet, BlockArea, TripletBlock, VertexEdgeMap, build_blocks
-from .config import (BASELINE, FULL, NETWORK_RESILIENT, RESILIENT,
-                     MiddlewareConfig, StragglerConfig)
+from .config import (BASELINE, FULL, NETWORK_RESILIENT, PRESETS, RESILIENT,
+                     ClusterSpec, MiddlewareConfig, RuntimeConfig,
+                     StragglerConfig)
 from .daemon import Daemon
 from .middleware import GXPlug
 from .pipeline import (
@@ -43,10 +46,13 @@ __all__ = [
     "GXPlug",
     "MiddlewareConfig",
     "StragglerConfig",
+    "ClusterSpec",
+    "RuntimeConfig",
     "FULL",
     "BASELINE",
     "RESILIENT",
     "NETWORK_RESILIENT",
+    "PRESETS",
     "Agent",
     "Daemon",
     "EdgePassResult",
@@ -77,4 +83,6 @@ __all__ = [
     "degraded_coefficients",
     "estimate_coefficients",
     "rebalanced_shares",
+    "network_coefficients",
+    "link_adjusted_coefficients",
 ]

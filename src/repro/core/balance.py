@@ -159,6 +159,52 @@ def rebalanced_shares(nodes: Sequence[DistributedNode],
     return balancing_factors(degraded_coefficients(nodes, degraded))
 
 
+def network_coefficients(topology, bytes_per_entity: float) -> np.ndarray:
+    """Per-node *network* cost slopes (ms per entity) over a topology.
+
+    The §III-C model prices only compute: ``T_j = c_j d_j``.  With a
+    rack topology each node's sync bytes also cross its uplink path at
+    that path's per-byte rate, which is just another per-entity slope —
+    additive with the compute coefficient, so Lemma 2 applies unchanged
+    to the sum.  ``bytes_per_entity`` converts entities to wire bytes
+    (the engine derives it from the vertex width and the graph's
+    edge/vertex ratio).
+    """
+    if bytes_per_entity < 0:
+        raise MiddlewareError(
+            f"negative bytes_per_entity {bytes_per_entity}")
+    return np.array([topology.path_ms_per_byte(j) * bytes_per_entity
+                     for j in range(topology.num_nodes)],
+                    dtype=np.float64)
+
+
+def link_adjusted_coefficients(compute: Sequence[float],
+                               network: Sequence[float],
+                               inflations: Sequence[float]) -> np.ndarray:
+    """Fold observed link inflation into Lemma-2 inputs.
+
+    ``c_eff_j = compute_j + inflation_j * network_j`` — a link running
+    ``k``x slow makes its node's wire slope ``k``x steeper, so
+    :func:`balancing_factors` shrinks that node's share exactly the way
+    it shrinks a slow daemon's.  ``inflations`` should be 1.0 for
+    healthy links (the detector's per-link EWMA for flagged ones).
+    """
+    comp = np.asarray(compute, dtype=np.float64)
+    net = np.asarray(network, dtype=np.float64)
+    infl = np.asarray(inflations, dtype=np.float64)
+    if not comp.shape == net.shape == infl.shape:
+        raise MiddlewareError(
+            f"shape mismatch: {comp.size} compute vs {net.size} network "
+            f"vs {infl.size} inflation entries")
+    if (comp <= 0).any():
+        raise MiddlewareError("coefficients must be positive")
+    if (net < 0).any():
+        raise MiddlewareError("network coefficients must be >= 0")
+    if (infl < 1.0 - 1e-12).any():
+        raise MiddlewareError("link inflations must be >= 1")
+    return comp + infl * net
+
+
 def estimate_coefficients(observations, prior: Sequence[float],
                           alpha: float = 0.5) -> np.ndarray:
     """Online re-estimation of the Lemma-2 inputs from observed times.

@@ -69,7 +69,16 @@ class StragglerConfig:
     #: Supersteps to wait between online repartitions.
     rebalance_cooldown: int = 2
 
+    #: Flag threshold for per-*link* inflation (uplink fragments over a
+    #: rack topology, judged against the other links' median); ``None``
+    #: reuses ``ratio``.
+    link_ratio: Optional[float] = None
+
     def __post_init__(self) -> None:
+        if self.link_ratio is not None and self.link_ratio <= 1.0:
+            raise MiddlewareError(
+                f"link_ratio must be > 1, got {self.link_ratio}"
+            )
         if self.ratio <= 1.0:
             raise MiddlewareError(
                 f"straggler ratio must be > 1, got {self.ratio}"
@@ -320,8 +329,9 @@ class MiddlewareConfig:
                 and not self.network_resilient):
             raise MiddlewareError(
                 "the fault plan contains network faults (net_drop / "
-                "net_delay / net_dup / sync_fail / node_partition); "
-                "surviving them requires network_resilient=True"
+                "net_delay / net_dup / sync_fail / node_partition / "
+                "link_slow / link_flaky); surviving them requires "
+                "network_resilient=True"
             )
         if self.rebalance_on_degrade and not self.degrade_to_host:
             raise MiddlewareError(
@@ -375,3 +385,191 @@ NETWORK_RESILIENT = MiddlewareConfig(
     straggler=StragglerConfig(enabled=True, speculate=True,
                               reestimate=True),
 )
+
+#: Named presets resolvable through :meth:`RuntimeConfig.preset`.
+PRESETS = {
+    "full": FULL,
+    "baseline": BASELINE,
+    "resilient": RESILIENT,
+    "network-resilient": NETWORK_RESILIENT,
+    "network_resilient": NETWORK_RESILIENT,
+}
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Declarative description of the simulated cluster — the blessed
+    way to build one (:mod:`repro.api`), subsuming the ``make_cluster``
+    / ``NetworkModel`` / ``Topology`` kwargs that used to thread through
+    engines, benches and the CLI.
+
+    ``topology`` is a spec string (``"rack:RxN"`` — R racks of N nodes —
+    or ``"flat:N"``); ``None`` keeps the historical flat interconnect.
+    The optional ``latency_ms`` / ``ms_per_byte`` / ``coord_ms_per_node``
+    override the base :class:`NetworkModel` fields; the cross factors
+    scale the intra-rack link into the cross-rack default.  The spec is
+    plain data: :meth:`to_dict` is recorded verbatim in trace JSON.
+    """
+
+    nodes: int = 4
+    gpus_per_node: int = 1
+    cpus_per_node: int = 0
+    runtime: str = "native"
+    topology: Optional[str] = None
+    latency_ms: Optional[float] = None
+    ms_per_byte: Optional[float] = None
+    coord_ms_per_node: Optional[float] = None
+    cross_latency_factor: float = 4.0
+    cross_byte_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise MiddlewareError(f"need >=1 nodes, got {self.nodes}")
+        if self.gpus_per_node < 0 or self.cpus_per_node < 0:
+            raise MiddlewareError("accelerator counts must be >= 0")
+        if self.runtime not in ("native", "jvm"):
+            raise MiddlewareError(
+                f"unknown runtime {self.runtime!r} (want 'native'/'jvm')")
+        if min(self.cross_latency_factor, self.cross_byte_factor) < 1.0:
+            raise MiddlewareError("cross-rack factors must be >= 1")
+        for name in ("latency_ms", "ms_per_byte", "coord_ms_per_node"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise MiddlewareError(f"{name} must be >= 0, got {value}")
+        if self.topology is not None:
+            from ..cluster.topology import Topology
+            racks = Topology.parse_spec(self.topology)
+            spanned = sum(len(r) for r in racks)
+            if spanned != self.nodes:
+                raise MiddlewareError(
+                    f"topology {self.topology!r} spans {spanned} nodes, "
+                    f"spec asks for {self.nodes}")
+
+    def network_model(self):
+        """The base :class:`NetworkModel` with any field overrides."""
+        from ..cluster.network import DEFAULT_NETWORK, NetworkModel
+        if (self.latency_ms is None and self.ms_per_byte is None
+                and self.coord_ms_per_node is None):
+            return DEFAULT_NETWORK
+        base = DEFAULT_NETWORK
+        return NetworkModel(
+            latency_ms=(self.latency_ms if self.latency_ms is not None
+                        else base.latency_ms),
+            ms_per_byte=(self.ms_per_byte if self.ms_per_byte is not None
+                         else base.ms_per_byte),
+            coord_ms_per_node=(self.coord_ms_per_node
+                               if self.coord_ms_per_node is not None
+                               else base.coord_ms_per_node))
+
+    def build_topology(self):
+        """The resolved :class:`Topology`, or ``None`` for flat."""
+        if self.topology is None:
+            return None
+        from ..cluster.topology import Topology
+        return Topology.from_spec(
+            self.topology, base=self.network_model(),
+            cross_latency_factor=self.cross_latency_factor,
+            cross_byte_factor=self.cross_byte_factor)
+
+    def build(self):
+        """Materialize the :class:`~repro.cluster.cluster.Cluster`."""
+        from ..cluster.cluster import Cluster, make_cluster
+        from ..cluster.node import JVM_RUNTIME, NATIVE_RUNTIME
+        runtime = JVM_RUNTIME if self.runtime == "jvm" else NATIVE_RUNTIME
+        cluster = make_cluster(self.nodes, gpus_per_node=self.gpus_per_node,
+                               cpu_accels_per_node=self.cpus_per_node,
+                               runtime=runtime)
+        return Cluster(cluster.nodes, self.network_model(),
+                       topology=self.build_topology())
+
+    def to_dict(self) -> dict:
+        """The spec as plain JSON types, for trace recording."""
+        return {
+            "nodes": self.nodes,
+            "gpus_per_node": self.gpus_per_node,
+            "cpus_per_node": self.cpus_per_node,
+            "runtime": self.runtime,
+            "topology": self.topology,
+            "latency_ms": self.latency_ms,
+            "ms_per_byte": self.ms_per_byte,
+            "coord_ms_per_node": self.coord_ms_per_node,
+            "cross_latency_factor": self.cross_latency_factor,
+            "cross_byte_factor": self.cross_byte_factor,
+        }
+
+    def with_(self, **changes) -> "ClusterSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Composable builder over :class:`MiddlewareConfig` — the blessed
+    way to assemble a deployment (:mod:`repro.api`).
+
+    Start from a named preset and chain grouped ``with_*`` methods; each
+    returns a new immutable builder.  :meth:`middleware` yields the
+    underlying :class:`MiddlewareConfig`, and builder equality is config
+    equality — ``RuntimeConfig.preset("full").middleware() == FULL``
+    bit-for-bit, which is what keeps the legacy preset constants and the
+    16 figure benches byte-identical under the new surface.
+    """
+
+    config: MiddlewareConfig = MiddlewareConfig()
+
+    @classmethod
+    def preset(cls, name: str) -> "RuntimeConfig":
+        """A builder seeded from a named preset (``"full"`` /
+        ``"baseline"`` / ``"resilient"`` / ``"network-resilient"``)."""
+        try:
+            return cls(PRESETS[name])
+        except KeyError:
+            raise MiddlewareError(
+                f"unknown preset {name!r}; expected one of "
+                f"{sorted(set(PRESETS))}") from None
+
+    def middleware(self) -> MiddlewareConfig:
+        """The resolved :class:`MiddlewareConfig`."""
+        return self.config
+
+    def with_(self, **changes) -> "RuntimeConfig":
+        """Replace arbitrary :class:`MiddlewareConfig` fields."""
+        return RuntimeConfig(self.config.with_(**changes))
+
+    def with_pipeline(self, enabled: bool = True, *,
+                      block_size: Optional[int] = None) -> "RuntimeConfig":
+        """§III-A pipelining: on/off and the triplet block size."""
+        return self.with_(pipeline=enabled, block_size=block_size)
+
+    def with_sync(self, *, cache: bool = True, lazy_upload: bool = True,
+                  skip: bool = True) -> "RuntimeConfig":
+        """§III-B synchronization optimizations."""
+        return self.with_(sync_cache=cache, lazy_upload=lazy_upload,
+                          sync_skip=skip)
+
+    def with_faults(self, plan: Optional[FaultPlan] = None, *,
+                    monitor: bool = True, checkpoint_interval: int = 2,
+                    degrade_to_host: bool = True,
+                    rebalance_on_degrade: bool = False) -> "RuntimeConfig":
+        """The daemon-edge fault-tolerance tier."""
+        return self.with_(fault_plan=plan, monitor_heartbeats=monitor,
+                          checkpoint_interval=checkpoint_interval,
+                          degrade_to_host=degrade_to_host,
+                          rebalance_on_degrade=rebalance_on_degrade)
+
+    def with_network(self, resilient: bool = True, *,
+                     ack_timeout_ms: float = 1.0,
+                     retransmit_base_ms: float = 0.5) -> "RuntimeConfig":
+        """The resilient-transport tier (required for network and
+        link fault kinds)."""
+        return self.with_(network_resilient=resilient,
+                          net_ack_timeout_ms=ack_timeout_ms,
+                          net_retransmit_base_ms=retransmit_base_ms)
+
+    def with_straggler(self, enabled: bool = True,
+                       **knobs) -> "RuntimeConfig":
+        """The gray-failure tier; ``knobs`` are
+        :class:`StragglerConfig` fields (``ratio``, ``patience``,
+        ``speculate``, ``reestimate``, ``link_ratio``, ...)."""
+        return self.with_(
+            straggler=self.config.straggler.with_(enabled=enabled, **knobs))

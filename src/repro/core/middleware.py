@@ -12,6 +12,7 @@ queues.  Plugging it into an engine is the paper's "few lines of code"::
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional
 
 from ..cluster.cluster import Cluster
@@ -21,7 +22,7 @@ from ..fault.report import FaultReport, fault_report
 from ..fault.straggler import StragglerDetector
 from ..ipc.shm import ShmRegistry
 from .agent import Agent
-from .config import MiddlewareConfig
+from .config import MiddlewareConfig, RuntimeConfig
 from .sync_cache import GlobalQueues
 
 
@@ -29,7 +30,20 @@ class GXPlug:
     """The middleware: agents + daemons for every node of a cluster."""
 
     def __init__(self, cluster: Cluster,
-                 config: Optional[MiddlewareConfig] = None) -> None:
+                 config: Optional[MiddlewareConfig] = None,
+                 **legacy) -> None:
+        if isinstance(config, RuntimeConfig):
+            config = config.middleware()
+        if legacy:
+            # deprecation shim: loose MiddlewareConfig fields as kwargs
+            # (the pre-RuntimeConfig calling convention)
+            warnings.warn(
+                "passing middleware settings to GXPlug as loose keyword "
+                "arguments is deprecated; build a RuntimeConfig "
+                "(repro.api) or a MiddlewareConfig instead",
+                DeprecationWarning, stacklevel=2)
+            base = config if config is not None else MiddlewareConfig()
+            config = base.with_(**legacy)
         self.cluster = cluster
         self.config = config if config is not None else MiddlewareConfig()
         self.registry = ShmRegistry()
@@ -57,7 +71,8 @@ class GXPlug:
             self.straggler = StragglerDetector(
                 ratio=self.config.straggler.ratio,
                 patience=self.config.straggler.patience,
-                alpha=self.config.straggler.ewma_alpha)
+                alpha=self.config.straggler.ewma_alpha,
+                link_ratio=self.config.straggler.link_ratio)
             for agent in self.agents.values():
                 agent.set_straggler_detector(self.straggler)
         self.connected = False
@@ -71,6 +86,10 @@ class GXPlug:
                 retransmit_base_ms=self.config.net_retransmit_base_ms,
                 backoff_factor=self.config.retry_backoff_factor,
             )
+            # per-link gray-failure detection: the transport reports
+            # every topology collective's fragment times to the detector
+            if self.straggler is not None:
+                self.transport.set_link_observer(self.straggler)
         # fault subsystem: the injector holds the deterministic schedule
         # and arms it superstep by superstep (engines call arm_faults)
         self.injector: Optional[FaultInjector] = None

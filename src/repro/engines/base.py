@@ -38,6 +38,8 @@ from ..core.balance import (
     balancing_factors,
     cluster_coefficients,
     estimate_coefficients,
+    link_adjusted_coefficients,
+    network_coefficients,
     rebalanced_shares,
 )
 from ..core.config import MiddlewareConfig
@@ -149,6 +151,10 @@ class RunResult:
     #: Lemma-2 repartitions triggered by estimated-share divergence
     #: (no degradation involved; disjoint from ``rebalance_events``)
     online_rebalances: int = 0
+    #: slow-uplink verdicts issued by the per-link straggler detector
+    link_verdicts: int = 0
+    #: simulated ms of link gray-fault inflation charged by the transport
+    link_slow_ms: float = 0.0
     #: *wall-clock* seconds this run burned, total and split by phase
     #: (gen / merge / apply / sync / cache).  Orthogonal to every
     #: simulated-ms figure: simulated time models the hardware, wall
@@ -319,6 +325,7 @@ class IterativeEngine:
         reestimate = bool(scfg is not None and scfg.enabled
                           and scfg.reestimate)
         coeff_est: Optional[np.ndarray] = None
+        fold_links = bool(reestimate and self.cluster.topology is not None)
         if reestimate:
             coeff_est = np.asarray(
                 cluster_coefficients(self.cluster.nodes),
@@ -432,7 +439,8 @@ class IterativeEngine:
                     and it_stats.recoveries == 0
                     and not mw.degraded_nodes()
                     and getattr(mw, "straggler", None) is not None
-                    and mw.straggler.flagged):
+                    and (mw.straggler.flagged
+                         or mw.straggler.flagged_links)):
                 # fold this superstep's observed (d_j, T_j) pairs into
                 # the coefficient estimate.  Contaminated supersteps
                 # (retries, recoveries) and degraded clusters are
@@ -448,7 +456,30 @@ class IterativeEngine:
                                                   alpha=scfg.ewma_alpha)
                 coeff_updates += sum(1 for e, t in obs.values()
                                      if e > 0 and t > 0)
-                est_shares = balancing_factors(coeff_est)
+                if fold_links:
+                    # fold each node's wire slope, inflated by the
+                    # detector's per-link EWMA for flagged uplinks, so
+                    # a slow cross-rack link shifts the optimum exactly
+                    # the way a slow daemon does.  The bytes-per-entity
+                    # conversion uses this superstep's *observed* sync
+                    # payload, so locality / lazy uploading / combined
+                    # iterations keep the wire slope honest.
+                    bytes_per_entity = (
+                        it_stats.uploads * width * BYTES_PER_CELL
+                        / max(it_stats.active_edges, 1))
+                    link_net = network_coefficients(
+                        self.cluster.topology, bytes_per_entity)
+                    sdet = mw.straggler
+                    inflations = np.array(
+                        [sdet.link_inflation(j) if sdet.is_slow_link(j)
+                         else 1.0
+                         for j in range(self.cluster.num_nodes)],
+                        dtype=np.float64)
+                    est_shares = balancing_factors(
+                        link_adjusted_coefficients(
+                            coeff_est, link_net, inflations))
+                else:
+                    est_shares = balancing_factors(coeff_est)
                 sizes = np.zeros(self.cluster.num_nodes)
                 for part in self.pgraph.parts:
                     sizes[part.node_id] = part.src.size
@@ -512,6 +543,10 @@ class IterativeEngine:
             budget_overruns=det.budget_overruns if det else 0,
             coeff_updates=coeff_updates,
             online_rebalances=online_rebalances,
+            link_verdicts=det.link_verdicts if det else 0,
+            link_slow_ms=(mw.transport.link_slow_ms
+                          if mw is not None and mw.transport is not None
+                          else 0.0),
             wall_total_s=perf_counter() - wall_start,
             wall_s=dict(self.wall_s),
         )
@@ -529,11 +564,12 @@ class IterativeEngine:
 
     def _network(self):
         """Where collectives run: the resilient transport when the
-        middleware carries one, else the cluster's bare cost model."""
+        middleware carries one, else the cluster's topology (or flat
+        network model) cost substrate."""
         mw = self.middleware
         if mw is not None and mw.transport is not None:
             return mw.transport
-        return self.cluster.network
+        return self.cluster.collectives
 
     def _net_counters(self) -> Tuple[int, int, float]:
         """(retransmits, dup_drops, net_wasted_ms) transport totals, for
@@ -569,13 +605,23 @@ class IterativeEngine:
         old_master_of = self.pgraph.master_of
         pgraph = partition(self.graph, self.cluster.num_nodes,
                            self.pgraph.strategy, shares=shares)
-        moved = int(np.count_nonzero(pgraph.master_of != old_master_of))
+        changed = pgraph.master_of != old_master_of
+        moved = int(np.count_nonzero(changed))
+        moved_by_node = None
+        if self.cluster.topology is not None:
+            # price the migration over the links the rows actually
+            # cross: each moved master uploads at its *new* node
+            counts = np.bincount(pgraph.master_of[changed],
+                                 minlength=self.cluster.num_nodes)
+            moved_by_node = [float(c) * width * BYTES_PER_CELL
+                             for c in counts]
         self._bind_partition(pgraph)
         for agent in mw.agents.values():
             agent.flush_cache()
         # the moved masters' rows cross the network as one collective
         return self.cluster.repartition_cost_ms(
-            moved * width * BYTES_PER_CELL, network=self._network())
+            moved * width * BYTES_PER_CELL, network=self._network(),
+            moved_by_node=moved_by_node)
 
     def _rollback(self, store: Optional[CheckpointStore], origin,
                   failure: AcceleratorsExhausted):
@@ -793,6 +839,7 @@ class IterativeEngine:
         crit_mw_ms = crit_dev_ms = 0.0
         crit_total = -1.0
         foreign_parts: List[MessageSet] = []
+        foreign_cells = [0] * self.cluster.num_nodes
         local_changed_parts: List[np.ndarray] = []
         pending_parts: List[np.ndarray] = []
         new_values = values.copy()
@@ -846,6 +893,7 @@ class IterativeEngine:
                                           partial.data[~own_sel])
                 if foreign_part.size:
                     foreign_parts.append(foreign_part)
+                    foreign_cells[part.node_id] += int(foreign_part.size)
                 if local_part.size == 0:
                     break
                 wall0 = perf_counter()
@@ -904,7 +952,9 @@ class IterativeEngine:
                              * BYTES_PER_CELL)
             try:
                 sync_ms = self._network().sync_ms(
-                    self.cluster.num_nodes, payload_bytes)
+                    self.cluster.num_nodes, payload_bytes,
+                    bytes_by_node=[c * width * BYTES_PER_CELL
+                                   for c in foreign_cells])
             except NodeUnreachable as verdict:
                 # the whole superstep is discarded with the failed sync
                 verdict.elapsed_ms = (compute_ms + apply_ms
@@ -1041,6 +1091,7 @@ class IterativeEngine:
         upload_total = 0
         slowest_upload = 0.0
         query_bytes = 0
+        upload_bytes = [0.0] * num_nodes
         for part in self.pgraph.parts:
             changed = changed_by_node.get(part.node_id,
                                           np.empty(0, dtype=np.int64))
@@ -1059,6 +1110,7 @@ class IterativeEngine:
                 to_upload = changed
             count = int(to_upload.size)
             upload_total += count
+            upload_bytes[part.node_id] = count * width * BYTES_PER_CELL
             runtime = self.cluster.nodes[part.node_id].runtime
             slowest_upload = max(
                 slowest_upload, runtime.upload_ms_per_entity * count)
@@ -1069,7 +1121,8 @@ class IterativeEngine:
             if changed_by_node else np.empty(0, dtype=np.int64), width)
         payload_bytes = payload_cells * BYTES_PER_CELL
 
-        sync_ms = network.sync_ms(num_nodes, payload_bytes)
+        sync_ms = network.sync_ms(num_nodes, payload_bytes,
+                                  bytes_by_node=upload_bytes)
         if use_lazy:
             sync_ms += network.broadcast_ms(num_nodes, query_bytes)
         sync_ms += max(node.runtime.sync_fixed_ms

@@ -34,6 +34,9 @@ from .inject import (
     GRAY_KINDS,
     HANG,
     KINDS,
+    LINK_FLAKY,
+    LINK_KINDS,
+    LINK_SLOW,
     MESSAGE_DELAY,
     MESSAGE_DROP,
     NET_DELAY,
@@ -48,6 +51,7 @@ from .inject import (
     SYNC_FAIL,
     TO_AGENT,
     TO_DAEMON,
+    TRANSPORT_KINDS,
     FaultEvent,
     FaultInjector,
     FaultPlan,
@@ -82,9 +86,13 @@ __all__ = [
     "SLOWDOWN",
     "SHM_SLOW",
     "FLAKY_SLOWDOWN",
+    "LINK_SLOW",
+    "LINK_FLAKY",
     "KINDS",
     "NETWORK_KINDS",
     "GRAY_KINDS",
+    "LINK_KINDS",
+    "TRANSPORT_KINDS",
     "ALL_KINDS",
     "STALL_KINDS",
     "TO_AGENT",

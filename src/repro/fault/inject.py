@@ -44,6 +44,14 @@ layer's job (:mod:`repro.fault.straggler`):
 * ``flaky_slowdown`` — intermittent: the compute inflation applies only
   on every other pass, the hardest shape to flag without patience.
 
+The same gray shape exists on the network edge when a rack
+:class:`~repro.cluster.topology.Topology` is wired in:
+
+* ``link_slow``  — a node's uplink fragments pay ``factor``x wire time
+  for ``passes`` collectives (values never corrupted);
+* ``link_flaky`` — the uplink inflation fires on alternating
+  collectives only.
+
 Plans are *data*: a tuple of :class:`FaultEvent` keyed by superstep, so
 a run with a given plan is exactly reproducible.  :meth:`FaultPlan.random`
 derives a plan from a seed deterministically.
@@ -89,7 +97,21 @@ FLAKY_SLOWDOWN = "flaky_slowdown"  # intermittent compute inflation
 #: need neither the monitor nor the transport to fire.
 GRAY_KINDS = (SLOWDOWN, SHM_SLOW, FLAKY_SLOWDOWN)
 
-ALL_KINDS = KINDS + NETWORK_KINDS + GRAY_KINDS
+# Link-level gray failures (repro.cluster.network.ResilientTransport over
+# a Topology): the node's *uplink* stays up but runs slow — fragments pay
+# inflated wire time for `passes` collectives, values are never corrupted.
+LINK_SLOW = "link_slow"            # uplink fragments inflated every pass
+LINK_FLAKY = "link_flaky"          # intermittent uplink inflation
+
+#: Gray kinds on the network edge; like NETWORK_KINDS they arm on the
+#: resilient transport, but they inflate durations instead of breaking
+#: delivery, and they persist for `passes` collectives.
+LINK_KINDS = (LINK_SLOW, LINK_FLAKY)
+
+#: Every kind that arms on the resilient transport.
+TRANSPORT_KINDS = NETWORK_KINDS + LINK_KINDS
+
+ALL_KINDS = KINDS + NETWORK_KINDS + GRAY_KINDS + LINK_KINDS
 
 #: Kinds that manifest as a protocol stall and therefore need the
 #: heartbeat monitor (and the pipelined protocol) to be detected at all.
@@ -147,7 +169,7 @@ class FaultEvent:
                 f"direction must be {TO_AGENT!r}/{TO_DAEMON!r}, "
                 f"got {self.direction!r}"
             )
-        if self.kind in GRAY_KINDS:
+        if self.kind in GRAY_KINDS or self.kind in LINK_KINDS:
             if self.factor < 1.0:
                 raise FaultPlanError(
                     f"gray fault factor must be >= 1 (a slowdown), "
@@ -176,9 +198,10 @@ class FaultPlan:
 
     @property
     def requires_transport(self) -> bool:
-        """True if any event targets the inter-node network; arming it
-        needs the resilient transport (``network_resilient=True``)."""
-        return any(e.kind in NETWORK_KINDS for e in self.events)
+        """True if any event targets the inter-node network (delivery or
+        link gray-faults); arming it needs the resilient transport
+        (``network_resilient=True``)."""
+        return any(e.kind in TRANSPORT_KINDS for e in self.events)
 
     def for_superstep(self, superstep: int) -> List[FaultEvent]:
         return [e for e in self.events if e.superstep == superstep]
@@ -229,7 +252,7 @@ class FaultPlan:
                     kind = kinds[int(rng.integers(len(kinds)))]
                     events.append(FaultEvent(
                         kind=kind, superstep=step, node_id=node,
-                        daemon_index=(0 if kind in NETWORK_KINDS
+                        daemon_index=(0 if kind in TRANSPORT_KINDS
                                       else daemon),
                         after_kernels=int(rng.integers(4)),
                         duration_ms=(hang_ms if kind == HANG else delay_ms),
@@ -265,7 +288,7 @@ class FaultInjector:
                 raise FaultPlanError(
                     f"fault plan targets unknown node {event.node_id}"
                 )
-            if event.kind in NETWORK_KINDS:
+            if event.kind in TRANSPORT_KINDS:
                 if transport is None:
                     raise FaultPlanError(
                         f"fault plan contains network event {event.kind!r} "
@@ -286,7 +309,7 @@ class FaultInjector:
         """Arm every event scheduled for ``superstep``; returns the count."""
         events = self._pending.pop(superstep, [])
         for event in events:
-            if event.kind in NETWORK_KINDS:
+            if event.kind in TRANSPORT_KINDS:
                 if transport is None:
                     raise FaultPlanError(
                         f"cannot arm {event.kind!r} without a resilient "
@@ -341,3 +364,9 @@ class FaultInjector:
             transport.arm_sync_fail()
         elif event.kind == NODE_PARTITION:
             transport.arm_partition(event.node_id)
+        elif event.kind == LINK_SLOW:
+            transport.arm_link_slow(event.node_id, event.factor,
+                                    event.passes)
+        elif event.kind == LINK_FLAKY:
+            transport.arm_link_flaky(event.node_id, event.factor,
+                                     event.passes)

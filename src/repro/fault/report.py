@@ -41,6 +41,10 @@ class FaultReport:
     speculative_wasted_ms: float = 0.0
     coeff_updates: int = 0
     online_rebalances: int = 0
+    # link-level gray failures (topology-aware transport + detector)
+    link_verdicts: int = 0
+    link_recoveries: int = 0
+    link_slow_ms: float = 0.0
 
     @property
     def clean(self) -> bool:
@@ -60,7 +64,9 @@ class FaultReport:
                 and self.rebalance_events == 0
                 and self.straggler_verdicts == 0
                 and self.speculative_wins + self.speculative_losses == 0
-                and self.online_rebalances == 0)
+                and self.online_rebalances == 0
+                and self.link_verdicts == 0
+                and self.link_slow_ms == 0.0)
 
     def summary(self) -> str:
         if self.clean:
@@ -90,13 +96,18 @@ class FaultReport:
                     f"({self.speculative_wasted_ms:.1f} ms wasted), "
                     f"{self.online_rebalances} online rebalances "
                     f"from {self.coeff_updates} coefficient updates")
+        links = ""
+        if self.link_verdicts or self.link_slow_ms:
+            links = (f", links: {self.link_verdicts} slow-uplink "
+                     f"verdicts ({self.link_recoveries} recovered, "
+                     f"{self.link_slow_ms:.1f} ms inflated)")
         return (f"fault report: {self.faults_injected} injected "
                 f"({kinds or 'none'}), {self.retries} retries, "
                 f"{self.recovered_passes} recovered passes, "
                 f"{self.daemon_respawns} respawns, "
                 f"{self.rollbacks} rollbacks "
                 f"({self.wasted_ms:.1f} ms wasted){net}{rebalance}{gray}"
-                f"{degraded}")
+                f"{links}{degraded}")
 
 
 def fault_report(middleware, result=None) -> FaultReport:
@@ -123,6 +134,7 @@ def fault_report(middleware, result=None) -> FaultReport:
         report.collective_fallbacks = transport.collective_fallbacks
         report.partition_verdicts = transport.partition_verdicts
         report.net_wasted_ms = transport.net_wasted_ms
+        report.link_slow_ms = transport.link_slow_ms
     detector = getattr(middleware, "straggler", None)
     if detector is not None:
         report.straggler_verdicts = len(detector.verdicts)
@@ -131,6 +143,8 @@ def fault_report(middleware, result=None) -> FaultReport:
         report.speculative_wins = detector.speculative_wins
         report.speculative_losses = detector.speculative_losses
         report.speculative_wasted_ms = detector.speculative_wasted_ms
+        report.link_verdicts = detector.link_verdicts
+        report.link_recoveries = detector.link_recoveries
     if result is not None:
         report.rollbacks = getattr(result, "rollbacks", 0)
         report.wasted_ms = getattr(result, "wasted_ms", 0.0)

@@ -21,6 +21,15 @@ pair.  The detector closes the gap:
 * ``patience`` consecutive healthy observations in every observed phase
   unflag the daemon again (gray failures are often transient).
 
+The same machinery extends to the *network edge*: when a rack
+:class:`~repro.cluster.topology.Topology` is wired in, the resilient
+transport reports every node's observed vs healthy uplink fragment time
+through :meth:`StragglerDetector.observe_link`.  Links keep their own
+EWMAs, streaks, and flag set, judged against the *other* links' median
+(exclude-self — with few links an inclusive median would let a lone slow
+uplink drag the reference up and mask itself).  A flagged link feeds the
+online Lemma-2 re-estimation exactly like a flagged daemon.
+
 Detection is pure bookkeeping on the simulated clock: it charges zero
 simulated milliseconds, so enabling it cannot change a fault-free run.
 """
@@ -41,7 +50,8 @@ class StragglerDetector:
     """Per-daemon EWMA inflation tracking with median-relative verdicts."""
 
     def __init__(self, ratio: float = 3.0, patience: int = 3,
-                 alpha: float = 0.5) -> None:
+                 alpha: float = 0.5,
+                 link_ratio: Optional[float] = None) -> None:
         if ratio <= 1.0:
             raise SimulationError(
                 f"straggler ratio must be > 1 (a slowness multiple), "
@@ -55,17 +65,33 @@ class StragglerDetector:
             raise SimulationError(
                 f"EWMA alpha must be in (0, 1], got {alpha}"
             )
+        if link_ratio is not None and link_ratio <= 1.0:
+            raise SimulationError(
+                f"link ratio must be > 1 (a slowness multiple), "
+                f"got {link_ratio}"
+            )
         self.ratio = float(ratio)
         self.patience = int(patience)
         self.alpha = float(alpha)
+        #: flag threshold for link inflation; defaults to ``ratio``
+        self.link_ratio = (float(link_ratio) if link_ratio is not None
+                           else float(ratio))
         #: (daemon_id, phase) -> EWMA of observed/expected duration
         self._ewma: Dict[Tuple[int, str], float] = {}
         self._slow_streak: Dict[Tuple[int, str], int] = {}
         self._healthy_streak: Dict[Tuple[int, str], int] = {}
         self._flagged: Set[int] = set()
+        # per-link (node uplink) tracking, fed by the transport
+        self._link_ewma: Dict[int, float] = {}
+        self._link_slow_streak: Dict[int, int] = {}
+        self._link_healthy_streak: Dict[int, int] = {}
+        self._flagged_links: Set[int] = set()
         self.verdicts: List[StragglerVerdict] = []
         self.observations = 0
         self.recoveries = 0
+        self.link_observations = 0
+        self.link_verdicts = 0
+        self.link_recoveries = 0
         #: soft phase-budget overruns reported by the heartbeat monitor
         self.budget_overruns = 0
         # speculation accounting (filled in by the agents)
@@ -100,6 +126,27 @@ class StragglerDetector:
                            + self.alpha * inflation)
         self.observations += 1
         return self._evaluate(daemon_id, phase)
+
+    def observe_link(self, link_id: int, observed_ms: float,
+                     expected_ms: float) -> Optional[StragglerVerdict]:
+        """Fold one collective fragment's wire time into the link EWMA.
+
+        ``link_id`` is the sending node (its uplink toward the root);
+        ``expected_ms`` is the topology's healthy fragment cost for the
+        same bytes.  The transport calls this for *every* node on every
+        topology collective, so healthy links keep the exclude-self
+        median honest.  Returns the verdict if this observation tipped
+        the link over, else ``None``.
+        """
+        if expected_ms <= 0.0:
+            return None
+        inflation = observed_ms / expected_ms
+        prev = self._link_ewma.get(link_id)
+        self._link_ewma[link_id] = (inflation if prev is None
+                                    else (1.0 - self.alpha) * prev
+                                    + self.alpha * inflation)
+        self.link_observations += 1
+        return self._evaluate_link(link_id)
 
     def note_overrun(self, daemon_id: int, phase: str,
                      leased_ms: float, budget_ms: float) -> None:
@@ -139,6 +186,37 @@ class StragglerDetector:
     @property
     def flagged(self) -> List[int]:
         return sorted(self._flagged)
+
+    def link_inflation(self, link_id: int) -> float:
+        """The link's current EWMA inflation (1.0 when unobserved)."""
+        return self._link_ewma.get(link_id, 1.0)
+
+    def link_reference(self, link_id: int) -> float:
+        """Median EWMA of the *other* links, floored at 1.0.
+
+        Excluding the judged link matters with few links: in a two-node
+        cluster an inclusive median of ``[1.0, 4.0]`` is 2.5, and a 4x
+        uplink would sit at a relative 1.6 — below any sane ratio — and
+        never be flagged.  Against the other link's 1.0 it reads 4x.
+        """
+        others = [v for k, v in self._link_ewma.items() if k != link_id]
+        if not others:
+            return 1.0
+        return max(1.0, float(np.median(others)))
+
+    def relative_link_inflation(self, link_id: int) -> float:
+        """The link's EWMA over the exclude-self median reference."""
+        ewma = self._link_ewma.get(link_id)
+        if ewma is None:
+            return 1.0
+        return ewma / self.link_reference(link_id)
+
+    def is_slow_link(self, link_id: int) -> bool:
+        return link_id in self._flagged_links
+
+    @property
+    def flagged_links(self) -> List[int]:
+        return sorted(self._flagged_links)
 
     # -- speculation accounting --------------------------------------------
 
@@ -194,4 +272,33 @@ class StragglerDetector:
                 for p in PHASES if (daemon_id, p) in self._ewma):
             self._flagged.discard(daemon_id)
             self.recoveries += 1
+        return None
+
+    def _evaluate_link(self, link_id: int) -> Optional[StragglerVerdict]:
+        rel = self.relative_link_inflation(link_id)
+        if rel >= self.link_ratio:
+            streak = self._link_slow_streak.get(link_id, 0) + 1
+            self._link_slow_streak[link_id] = streak
+            self._link_healthy_streak[link_id] = 0
+            if (streak >= self.patience
+                    and link_id not in self._flagged_links):
+                self._flagged_links.add(link_id)
+                self.link_verdicts += 1
+                verdict = StragglerVerdict(
+                    f"link {link_id}: uplink fragments running {rel:.1f}x "
+                    f"slower than the other links' median for {streak} "
+                    f"consecutive collectives",
+                    daemon_id=link_id, phase="link", inflation=rel,
+                    median=self.link_reference(link_id), streak=streak,
+                )
+                self.verdicts.append(verdict)
+                return verdict
+            return None
+        self._link_slow_streak[link_id] = 0
+        self._link_healthy_streak[link_id] = (
+            self._link_healthy_streak.get(link_id, 0) + 1)
+        if (link_id in self._flagged_links
+                and self._link_healthy_streak[link_id] >= self.patience):
+            self._flagged_links.discard(link_id)
+            self.link_recoveries += 1
         return None

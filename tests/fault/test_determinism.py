@@ -14,12 +14,13 @@ from repro.bench.trace import read_json
 from repro.cli import main
 
 
-def _trace(tmp_path, name, kind, seed=11):
+def _trace(tmp_path, name, kind, seed=11, extra=()):
     path = tmp_path / name
     rc = main(["run", "--dataset", "wiki-topcats", "--nodes", "2",
                "--gpus", "2", "--max-iterations", "4",
                "--fault-seed", str(seed), "--fault-rate", "0.5",
                "--fault-kinds", kind,
+               *extra,
                "--trace-json", str(path)])
     assert rc == 0
     return path
@@ -33,6 +34,20 @@ def test_same_seed_same_trace_bytes(tmp_path, capsys, kind):
     # the campaign actually injected something, else this proves nothing
     doc = read_json(first)
     assert doc["fault_campaign"]["events"] >= 1
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_topology_link_slow_trace_bytes(tmp_path, capsys):
+    """Link gray-faults over a rack topology replay bit-for-bit too,
+    and the resolved ClusterSpec is recorded in the trace."""
+    extra = ("--topology", "rack:2x1")
+    first = _trace(tmp_path, "a.json", "link_slow", extra=extra)
+    second = _trace(tmp_path, "b.json", "link_slow", extra=extra)
+    capsys.readouterr()
+    doc = read_json(first)
+    assert doc["fault_campaign"]["events"] >= 1
+    assert doc["summary"]["link_slow_ms"] > 0
+    assert doc["summary"]["cluster_spec"]["topology"] == "rack:2x1"
     assert first.read_bytes() == second.read_bytes()
 
 

@@ -91,7 +91,7 @@ def test_all_figures_registered():
     assert set(FIGURES) == {
         "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
         "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
-        "fault_soak", "straggler_soak",
+        "fault_soak", "straggler_soak", "topology_soak",
     }
 
 
