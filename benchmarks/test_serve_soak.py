@@ -1,0 +1,71 @@
+"""Serving soak: multi-tenant GraphService vs one-shot deploys.
+
+Three tenants submit a mixed PageRank / connected-components / SSSP
+workload in two waves against one shared graph.  The acceptance bars:
+
+* the cached repeated query must be at least 10x faster than its
+  recompute (in practice it is thousands of times faster — the cache
+  charges lookup cost, not an engine run);
+* a crash injected into one tenant's job must leave every other
+  tenant's values byte-identical to a solo one-shot run — fault
+  isolation across the shared daemon pool;
+* serving must beat the serial one-at-a-time baseline on both median
+  latency and makespan (sharing partitions + caching repeats is the
+  whole point of the subsystem).
+"""
+
+from repro.bench import print_table, run_serve_soak
+
+#: ISSUE acceptance floor; the observed speedup is ~3 orders higher.
+MIN_CACHED_SPEEDUP = 10.0
+
+HEADERS = ["variant", "jobs", "done", "failed", "cache hits",
+           "hit rate", "coalesced", "p50 ms", "p99 ms", "makespan ms",
+           "cached speedup", "isolated"]
+
+
+def by_variant(rows):
+    return {row[0]: row for row in rows}
+
+
+def test_serve_soak():
+    rows = run_serve_soak()
+    print_table(HEADERS, rows, title="serve soak")
+    out = by_variant(rows)
+    serial = out["serial"]
+    served = out["served"]
+    crashed = out["served+crash"]
+
+    for row in (serial, served, crashed):
+        variant, jobs, done, failed = row[0], row[1], row[2], row[3]
+        assert failed == 0, f"{variant}: {failed} failed jobs"
+        assert done == jobs, f"{variant}: {done}/{jobs} completed"
+
+    # repeated queries hit the cache and are >= 10x cheaper than
+    # recomputing (acceptance bar; really ~1000x)
+    for row in (served, crashed):
+        hits, hit_rate, speedup = row[4], row[5], row[10]
+        assert hits > 0 and hit_rate > 0.0
+        assert speedup >= MIN_CACHED_SPEEDUP, \
+            f"{row[0]}: cached speedup {speedup:.1f}x < " \
+            f"{MIN_CACHED_SPEEDUP}x"
+
+    # fault isolation: the chaos tenant's injected crashes never
+    # perturb the other tenants' values (byte-identical to solo runs)
+    assert crashed[11] is True
+    assert served[11] is True and serial[11] is True
+
+    # serving beats serial one-shot deploys on p50 and makespan
+    assert served[7] < serial[7], "served p50 should beat serial"
+    assert served[9] < serial[9], "served makespan should beat serial"
+
+    # the injected crash costs the chaos tenant time, not the others'
+    # correctness; the served+crash makespan grows but stays under
+    # serial
+    assert crashed[9] < serial[9]
+
+
+def test_serve_soak_is_deterministic():
+    first = run_serve_soak(crash=False)
+    second = run_serve_soak(crash=False)
+    assert first == second

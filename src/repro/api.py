@@ -108,6 +108,13 @@ from .graph import (
     load_synthetic_uniform,
     partition,
 )
+from .serve import (
+    GraphService,
+    GraphStore,
+    Job,
+    JobSpec,
+    ResultCache,
+)
 
 
 def deploy(spec: ClusterSpec,
@@ -168,6 +175,12 @@ __all__ = [
     "KCore",
     "WidestPath",
     "paper_workloads",
+    # serving layer
+    "GraphService",
+    "GraphStore",
+    "ResultCache",
+    "JobSpec",
+    "Job",
     # graphs
     "Graph",
     "DATASETS",

@@ -771,3 +771,125 @@ def paper_fig15_analysis(d: int = 635_000_000) -> List[Tuple]:
         rows.append((name, coeffs.k1, coeffs.k2, coeffs.k3, coeffs.a,
                      round(b_opt), round(d / b_opt, 1)))
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Serving soak (multi-tenant GraphService vs one-shot deploys)
+# ---------------------------------------------------------------------------
+
+#: The serving soak's per-tenant query mix: (algorithm, params).
+SERVE_MIX = (
+    ("pagerank", {}),
+    ("cc", {}),
+    ("sssp-bf", {"sources": (0, 1, 2, 3)}),
+)
+
+
+def run_serve_soak(dataset: str = "wrn", num_nodes: int = 2,
+                   tenants: int = 3, waves: int = 2,
+                   max_iter: int = 8,
+                   crash: bool = True) -> List[Tuple]:
+    """Rows: (variant, jobs, done, failed, cache_hits, hit_rate,
+    coalesced, p50_ms, p99_ms, makespan_ms, cached_speedup, isolated).
+
+    ``tenants`` tenants each submit their :data:`SERVE_MIX` query
+    (tenant ``i`` gets ``SERVE_MIX[i % 3]``) once per wave; waves are
+    submitted back to back, so wave >= 2 repeats are answered from the
+    result cache.  Three variants:
+
+    * ``serial`` — the pre-serving baseline: every query is a one-shot
+      deploy (reload + repartition + full engine run), latencies are
+      cumulative because jobs queue behind each other;
+    * ``served`` — one :class:`~repro.serve.GraphService` sharing the
+      graph and partitions, fair-share time slicing, result cache on;
+    * ``served+crash`` — same, plus a chaos tenant whose job carries a
+      repeated daemon-crash fault plan on the resilient stack.
+
+    ``cached_speedup`` is the worst repeated-query speedup observed:
+    min over cached jobs of (that query's recompute cost / the cached
+    job's consumed service time).  ``isolated`` is True iff every
+    non-chaos job's values are byte-identical to a solo one-shot run
+    of the same query — the multi-tenant isolation invariant, asserted
+    under injected faults by the suite.
+    """
+    from ..fault import CRASH
+    from ..core.config import RuntimeConfig
+    from ..serve import GraphService, JobSpec
+    from ..serve.job import ALGORITHMS as SERVE_ALGORITHMS
+
+    graph = load_dataset(dataset)
+    spec = ClusterSpec(nodes=num_nodes, gpus_per_node=1)
+
+    def query_for(tenant: int):
+        return SERVE_MIX[tenant % len(SERVE_MIX)]
+
+    # solo one-shot baselines, one per distinct query in the mix
+    solo = {}
+    for algorithm, params in SERVE_MIX[:max(tenants, 1)]:
+        cluster = spec.build()
+        result = _run(PowerGraphEngine, graph, cluster,
+                      SERVE_ALGORITHMS[algorithm](**params), max_iter,
+                      config=RuntimeConfig())
+        solo[algorithm] = result
+
+    rows = []
+
+    # -- serial: every job a fresh deploy, latencies queue up -----------------------
+    latencies, clock = [], 0.0
+    total_jobs = tenants * waves
+    for _ in range(waves):
+        for tenant in range(tenants):
+            algorithm, params = query_for(tenant)
+            cluster = spec.build()
+            result = _run(PowerGraphEngine, graph, cluster,
+                          SERVE_ALGORITHMS[algorithm](**params),
+                          max_iter, config=RuntimeConfig())
+            clock += result.total_ms
+            latencies.append(clock)
+    arr = np.asarray(latencies)
+    rows.append(("serial", total_jobs, total_jobs, 0, 0, 0.0, 0,
+                 float(np.percentile(arr, 50)),
+                 float(np.percentile(arr, 99)), clock, 1.0, True))
+
+    # -- served (and served+crash) ------------------------------------------------
+    variants = [("served", False)]
+    if crash:
+        variants.append(("served+crash", True))
+    for name, with_crash in variants:
+        svc = GraphService(spec, cache_entries=32)
+        svc.load_graph(dataset, graph)
+        jobs, chaos_jobs = [], []
+        for wave in range(waves):
+            submitted = []
+            for tenant in range(tenants):
+                algorithm, params = query_for(tenant)
+                submitted.append(svc.submit(JobSpec(
+                    graph=dataset, algorithm=algorithm, params=params,
+                    tenant=f"t{tenant}", max_iterations=max_iter)))
+            if with_crash and wave == 0:
+                plan = FaultPlan.single(CRASH, superstep=1, node_id=0,
+                                        repeat=3)
+                chaos_jobs.append(svc.submit(JobSpec(
+                    graph=dataset, algorithm="pagerank",
+                    tenant="chaos", max_iterations=max_iter,
+                    runtime=(RuntimeConfig.preset("resilient")
+                             .with_(fault_plan=plan)),
+                    use_cache=False)))
+            svc.run()
+            jobs.extend(submitted)
+        done = sum(j.state == "done" for j in jobs)
+        failed = sum(j.state == "failed" for j in jobs)
+        hits = sum(j.from_cache for j in jobs)
+        isolated = all(
+            np.array_equal(j.values, solo[j.spec.algorithm].values)
+            for j in jobs if j.state == "done")
+        speedups = [solo[j.spec.algorithm].total_ms / j.consumed_ms
+                    for j in jobs if j.from_cache]
+        arr = np.asarray([j.latency_ms for j in jobs
+                          if j.state == "done"])
+        rows.append((name, len(jobs), done, failed, hits,
+                     svc.cache.hit_rate, svc.coalesced,
+                     float(np.percentile(arr, 50)),
+                     float(np.percentile(arr, 99)), svc.now_ms,
+                     min(speedups) if speedups else 1.0, isolated))
+    return rows

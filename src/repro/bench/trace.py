@@ -94,7 +94,7 @@ def write_csv(result: RunResult, path) -> None:
 
 
 def write_json(result: RunResult, path, campaign: Dict = None,
-               cluster_spec: Dict = None) -> None:
+               cluster_spec: Dict = None, job: Dict = None) -> None:
     """Write summary + per-iteration records as one JSON document.
 
     ``campaign`` — optional fault-campaign parameters (seed, rate,
@@ -104,12 +104,19 @@ def write_json(result: RunResult, path, campaign: Dict = None,
     :meth:`~repro.core.config.ClusterSpec.to_dict` dict) recorded
     verbatim under the summary's ``"cluster_spec"`` key so the trace
     pins the exact hardware/topology the numbers were simulated on.
+    ``job`` — optional serving-layer job record (a
+    :meth:`~repro.serve.job.Job.describe` dict) recorded verbatim
+    under a top-level ``"job"`` key, making the trace per-job: which
+    tenant asked, what they asked for, and how the job fared in the
+    queue.
     """
     summary = run_summary(result)
     if cluster_spec is not None:
         summary["cluster_spec"] = cluster_spec
     doc = {"summary": summary,
            "iterations": iteration_records(result)}
+    if job is not None:
+        doc["job"] = job
     if campaign is not None:
         doc["fault_campaign"] = campaign
     with open(path, "w", encoding="utf-8") as f:

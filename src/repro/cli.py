@@ -1,11 +1,14 @@
 """Command-line interface for the GX-Plug reproduction.
 
-Three subcommands::
+Subcommands::
 
     repro-gxplug datasets                    # Table I inventory
     repro-gxplug run --algorithm pagerank --dataset orkut \\
                      --nodes 4 --gpus 1 --engine powergraph
     repro-gxplug figure fig9a                # regenerate a paper figure
+    repro-gxplug submit --jobs-file jobs.jsonl --graph wrn \\
+                     --algorithm pagerank --tenant alice
+    repro-gxplug serve --jobs-file jobs.jsonl --nodes 2  # drain them
 
 Everything prints deterministic simulated-millisecond results.
 """
@@ -58,7 +61,7 @@ ENGINES = {
 FIGURES = (
     "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
     "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
-    "fault_soak", "straggler_soak", "topology_soak",
+    "fault_soak", "straggler_soak", "topology_soak", "serve_soak",
 )
 
 
@@ -93,7 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--topology", metavar="SPEC", default=None,
                      help="rack topology, e.g. 'rack:2x4' (2 racks of 4 "
                           "nodes; cross-rack links are 4x slower than "
-                          "intra-rack) or 'flat:8'; default: flat "
+                          "intra-rack) or 'flat:8'; append "
+                          "';link=SRC-DST:LAT_MS:MS_PER_BYTE' clauses to "
+                          "pin individual directed links, e.g. "
+                          "'rack:2x2;link=2-0:5.0:0.02'; default: flat "
                           "single-switch interconnect")
     run.add_argument("--no-middleware", action="store_true",
                      help="run on the bare engine (host compute)")
@@ -135,6 +141,64 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("name", choices=FIGURES)
+
+    submit = sub.add_parser(
+        "submit", help="append a tenant job to a serving jobs file")
+    submit.add_argument("--jobs-file", metavar="PATH", required=True,
+                        help="JSON-lines file the serve command consumes")
+    submit.add_argument("--graph", required=True,
+                        help="graph store key the job attaches to")
+    submit.add_argument("--algorithm", default="pagerank",
+                        help="serving algorithm name (see docs/serving.md)")
+    submit.add_argument("--params", metavar="JSON", default=None,
+                        help="algorithm parameters as a JSON object, "
+                             "e.g. '{\"sources\": [0, 1]}'")
+    submit.add_argument("--engine", default="powergraph",
+                        choices=("powergraph", "graphx", "async"))
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", type=int, default=1,
+                        help="fair-share weight (>= 1; higher drains "
+                             "faster)")
+    submit.add_argument("--max-iterations", type=int, default=None)
+    submit.add_argument("--preset", default="full",
+                        help="RuntimeConfig preset for the job "
+                             "(full/baseline/resilient/network-resilient)")
+    submit.add_argument("--no-cache", action="store_true",
+                        help="bypass the result cache for this job")
+    submit.add_argument("--fault-kind", default=None,
+                        help="inject a single fault into this job "
+                             "(e.g. crash); other tenants are isolated")
+    submit.add_argument("--fault-superstep", type=int, default=1)
+    submit.add_argument("--fault-node", type=int, default=0)
+    submit.add_argument("--fault-repeat", type=int, default=1)
+
+    serve = sub.add_parser(
+        "serve", help="run a multi-tenant serving session to completion")
+    serve.add_argument("--jobs-file", metavar="PATH", required=True,
+                       help="JSON-lines file written by submit")
+    serve.add_argument("--graph", action="append", metavar="KEY=DATASET",
+                       default=None,
+                       help="load DATASET into the store under KEY "
+                            "(repeatable; default: treat each job's "
+                            "graph key as a dataset name)")
+    serve.add_argument("--nodes", type=int, default=2)
+    serve.add_argument("--gpus", type=int, default=1)
+    serve.add_argument("--topology", metavar="SPEC", default=None,
+                       help="rack topology spec (same grammar as run)")
+    serve.add_argument("--memory-budget-mb", type=float, default=None,
+                       help="admission budget: resident graph MB, "
+                            "counted once per shared graph")
+    serve.add_argument("--daemon-budget", type=int, default=None,
+                       help="admission budget: concurrently attached "
+                            "daemons")
+    serve.add_argument("--max-running", type=int, default=4,
+                       help="max concurrently running jobs (default 4)")
+    serve.add_argument("--cache-entries", type=int, default=64,
+                       help="result-cache capacity (default 64)")
+    serve.add_argument("--trace-dir", metavar="DIR", default=None,
+                       help="write one per-job trace JSON into DIR")
+    serve.add_argument("--json", action="store_true",
+                       help="print the final metrics as JSON")
 
     bench = sub.add_parser(
         "bench", help="wall-clock hot-path throughput benchmark")
@@ -216,6 +280,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.topology is not None:
         try:
             racks = Topology.parse_spec(args.topology)
+            link_overrides = Topology.parse_link_overrides(args.topology)
         except SimulationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -223,6 +288,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         if spanned != args.nodes:
             print(f"error: --topology {args.topology!r} spans {spanned} "
                   f"node(s) but --nodes is {args.nodes}", file=sys.stderr)
+            return 2
+        bad_ends = sorted({end for pair in link_overrides for end in pair
+                           if not 0 <= end < args.nodes})
+        if bad_ends:
+            print(f"error: --topology {args.topology!r} overrides links "
+                  f"on node(s) {bad_ends} outside 0..{args.nodes - 1}",
+                  file=sys.stderr)
             return 2
     if args.speculate and args.no_pipeline:
         print("error: speculative re-execution rides the pipelined "
@@ -364,6 +436,10 @@ def cmd_figure(name: str) -> int:
         "topology_soak": ["variant", "total ms", "lost ms",
                           "link verdicts", "link slow ms",
                           "coeff updates", "online rebalances"],
+        "serve_soak": ["variant", "jobs", "done", "failed",
+                       "cache hits", "hit rate", "coalesced", "p50 ms",
+                       "p99 ms", "makespan ms", "cached speedup",
+                       "isolated"],
     }
     if name == "fig15":
         out = runner.run_fig15()
@@ -422,6 +498,123 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ServeError
+    from .serve.job import JobSpec
+
+    record = {"graph": args.graph, "algorithm": args.algorithm,
+              "engine": args.engine, "tenant": args.tenant,
+              "priority": args.priority, "preset": args.preset}
+    if args.params is not None:
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            print(f"error: --params is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(params, dict):
+            print("error: --params must be a JSON object", file=sys.stderr)
+            return 2
+        record["params"] = params
+    if args.max_iterations is not None:
+        record["max_iterations"] = args.max_iterations
+    if args.no_cache:
+        record["use_cache"] = False
+    if args.fault_kind is not None:
+        record["fault"] = {"kind": args.fault_kind,
+                           "superstep": args.fault_superstep,
+                           "node": args.fault_node,
+                           "repeat": args.fault_repeat}
+    try:
+        JobSpec.from_dict(record)  # validate before persisting
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with open(args.jobs_file, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record) + "\n")
+    print(f"queued {args.tenant}: {args.algorithm} on {args.graph!r} "
+          f"-> {args.jobs_file}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ReproError
+    from .serve import GraphService, JobSpec
+
+    try:
+        with open(args.jobs_file, "r", encoding="utf-8") as f:
+            lines = [line for line in f if line.strip()]
+        specs = [JobSpec.from_dict(json.loads(line)) for line in lines]
+    except (OSError, json.JSONDecodeError, ReproError) as exc:
+        print(f"error: bad jobs file {args.jobs_file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not specs:
+        print(f"error: no jobs in {args.jobs_file!r}", file=sys.stderr)
+        return 2
+
+    spec = ClusterSpec(nodes=args.nodes, gpus_per_node=args.gpus,
+                       topology=args.topology)
+    try:
+        service = GraphService(spec,
+                               memory_budget_mb=args.memory_budget_mb,
+                               daemon_budget=args.daemon_budget,
+                               max_running=args.max_running,
+                               cache_entries=args.cache_entries,
+                               trace_dir=args.trace_dir)
+        graphs = {}
+        for clause in args.graph or []:
+            key, sep, dataset = clause.partition("=")
+            if not sep:
+                print(f"error: --graph wants KEY=DATASET, got "
+                      f"{clause!r}", file=sys.stderr)
+                return 2
+            graphs[key] = dataset
+        for job_spec in specs:
+            if job_spec.graph not in graphs and job_spec.graph not in \
+                    service.store:
+                graphs[job_spec.graph] = job_spec.graph  # dataset name
+        for key, dataset in graphs.items():
+            service.load_graph(key, dataset=dataset)
+        jobs = [service.submit(s) for s in specs]
+        service.run()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps({"jobs": [j.describe() for j in jobs],
+                          "metrics": service.metrics()}, indent=2))
+        return 0
+    rows = [(j.job_id, j.spec.tenant, j.spec.algorithm, j.spec.graph,
+             j.state, "yes" if j.from_cache else "no",
+             round(j.queue_ms, 3) if j.queue_ms is not None else "-",
+             round(j.latency_ms, 3) if j.latency_ms is not None else "-",
+             j.error or "")
+            for j in jobs]
+    print_table(["job", "tenant", "algorithm", "graph", "state",
+                 "cached", "queue ms", "latency ms", "error"],
+                rows, title="serving session")
+    cache = service.cache.stats()
+    lat = service.latency_percentiles()
+    print(f"\ncache: {cache['hits']}/{cache['hits'] + cache['misses']} "
+          f"hits (rate {cache['hit_rate']:.2f}), "
+          f"{cache['evictions']} evictions; "
+          f"coalesced {service.coalesced}")
+    print(f"latency: p50 {lat['p50']:.3f} ms, p99 {lat['p99']:.3f} ms "
+          f"over {lat['count']} completed jobs")
+    for tenant, row in service.ledger.snapshot().items():
+        print(f"  {tenant}: {row['consumed_ms']:.3f} ms over "
+              f"{row['slices']} slices, {row['jobs_finished']} jobs "
+              f"({row['cache_hits']} cached)")
+    failed = [j for j in jobs if j.state == "failed"]
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -430,6 +623,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "figure":
         return cmd_figure(args.name)
+    if args.command == "submit":
+        return cmd_submit(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "bench":
         return cmd_bench(args)
     return 2  # pragma: no cover - argparse enforces the choices

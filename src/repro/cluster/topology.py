@@ -353,9 +353,11 @@ class Topology:
 
         ``"rack:RxN"`` — R racks of N nodes each, ids assigned in order
         (rack r holds nodes ``r*N .. r*N+N-1``); ``"flat:N"`` — one rack
-        of N nodes (the degenerate case).
+        of N nodes (the degenerate case).  Trailing ``;link=...``
+        override clauses (see :meth:`parse_link_overrides`) are ignored
+        here — this method only resolves the rack shape.
         """
-        head, sep, tail = str(spec).partition(":")
+        head, sep, tail = str(spec).split(";")[0].partition(":")
         if not sep or head not in ("rack", "flat"):
             raise SimulationError(
                 f"malformed topology spec {spec!r} "
@@ -375,6 +377,48 @@ class Topology:
         racks, per = int(racks_s), int(per_s)
         return [list(range(r * per, (r + 1) * per)) for r in range(racks)]
 
+    @staticmethod
+    def parse_link_overrides(spec: str) -> Dict[Tuple[int, int], LinkModel]:
+        """Parse the per-link override clauses of a topology spec.
+
+        After the rack shape, a spec may pin individual directed links
+        with ``;link=SRC-DST:LATENCY_MS:MS_PER_BYTE`` clauses::
+
+            rack:2x2;link=2-0:5.0:0.02;link=3-2:0.1:0.001
+
+        gives the ``2 -> 0`` uplink a 5 ms latency at 0.02 ms/byte and
+        the in-rack ``3 -> 2`` hop its own parameters, while every other
+        link keeps the intra/cross defaults.  Clauses are plain data, so
+        the full spec string stays recordable verbatim in trace JSON.
+        """
+        overrides: Dict[Tuple[int, int], LinkModel] = {}
+        for clause in str(spec).split(";")[1:]:
+            if not clause.startswith("link="):
+                raise SimulationError(
+                    f"malformed topology clause {clause!r} in {spec!r} "
+                    "(want 'link=SRC-DST:LATENCY_MS:MS_PER_BYTE')")
+            body = clause[len("link="):]
+            ends_s, sep, costs_s = body.partition(":")
+            src_s, dash, dst_s = ends_s.partition("-")
+            lat_s, colon, mspb_s = costs_s.partition(":")
+            if (not sep or not dash or not colon
+                    or not src_s.isdigit() or not dst_s.isdigit()):
+                raise SimulationError(
+                    f"malformed link override {clause!r} in {spec!r} "
+                    "(want 'link=SRC-DST:LATENCY_MS:MS_PER_BYTE')")
+            try:
+                link = LinkModel(float(lat_s), float(mspb_s))
+            except ValueError:
+                raise SimulationError(
+                    f"malformed link override {clause!r} in {spec!r}: "
+                    f"non-numeric cost parameters") from None
+            key = (int(src_s), int(dst_s))
+            if key in overrides:
+                raise SimulationError(
+                    f"duplicate link override for {key} in {spec!r}")
+            overrides[key] = link
+        return overrides
+
     @classmethod
     def from_spec(cls, spec: str, *, base: Optional[NetworkModel] = None,
                   intra: Optional[LinkModel] = None,
@@ -384,8 +428,13 @@ class Topology:
                   cross_latency_factor: float = DEFAULT_CROSS_LATENCY_FACTOR,
                   cross_byte_factor: float = DEFAULT_CROSS_BYTE_FACTOR
                   ) -> "Topology":
+        """Build from a spec string; ``;link=...`` clauses in the spec
+        become link overrides, with explicitly passed ``overrides``
+        winning on conflict."""
+        merged = cls.parse_link_overrides(spec)
+        merged.update(overrides or {})
         return cls(cls.parse_spec(spec), base=base, intra=intra, cross=cross,
-                   overrides=overrides,
+                   overrides=merged,
                    cross_latency_factor=cross_latency_factor,
                    cross_byte_factor=cross_byte_factor)
 

@@ -89,8 +89,6 @@ class EdgePassResult:
 class Agent:
     """One distributed node's agent, attached to its daemons."""
 
-    _next_daemon_id = 0
-
     def __init__(self, node: DistributedNode, registry: ShmRegistry,
                  config: MiddlewareConfig) -> None:
         if not node.accelerators:
@@ -102,8 +100,8 @@ class Agent:
         self.registry = registry
         self.daemons: List[Daemon] = []
         for accel in node.accelerators:
-            daemon = Daemon(Agent._next_daemon_id, accel, registry, config)
-            Agent._next_daemon_id += 1
+            daemon = Daemon(registry.allocate_daemon_id(), accel, registry,
+                            config)
             self.daemons.append(daemon)
         self.cache: Optional[LRUVertexCache] = None
         #: fraction of a pass's triplets requiring a fresh vertex fetch

@@ -444,6 +444,13 @@ class ClusterSpec:
                 raise MiddlewareError(
                     f"topology {self.topology!r} spans {spanned} nodes, "
                     f"spec asks for {self.nodes}")
+            for (src, dst) in Topology.parse_link_overrides(self.topology):
+                for end in (src, dst):
+                    if not 0 <= end < self.nodes:
+                        raise MiddlewareError(
+                            f"topology {self.topology!r} overrides link "
+                            f"({src}, {dst}) but node {end} is outside "
+                            f"0..{self.nodes - 1}")
 
     def network_model(self):
         """The base :class:`NetworkModel` with any field overrides."""

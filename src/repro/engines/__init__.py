@@ -1,7 +1,7 @@
 """Upper systems: GraphX-like (BSP/JVM) and PowerGraph-like (GAS/native)."""
 
 from .async_engine import AsyncEngine
-from .base import IterationStats, IterativeEngine, RunResult
+from .base import IterationStats, IterativeEngine, RunResult, StepEvent
 from .graphx import GraphXEngine, jvm_runtime_for
 from .jni import (
     NAIVE_JNI,
@@ -15,6 +15,7 @@ __all__ = [
     "IterativeEngine",
     "IterationStats",
     "RunResult",
+    "StepEvent",
     "GraphXEngine",
     "PowerGraphEngine",
     "AsyncEngine",

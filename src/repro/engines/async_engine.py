@@ -23,7 +23,7 @@ from ..core.template import AlgorithmTemplate
 from ..errors import EngineError
 from ..graph.graph import Graph
 from ..graph.partition import PartitionedGraph, clustering_partition
-from .base import IterativeEngine, RunResult
+from .base import IterativeEngine
 
 
 class AsyncEngine(IterativeEngine):
@@ -53,12 +53,15 @@ class AsyncEngine(IterativeEngine):
                                       shares=shares, seed=seed)
         return cls(pgraph, cluster, middleware)
 
-    def run(self, algorithm: AlgorithmTemplate,
-            max_iterations: Optional[int] = None) -> RunResult:
+    def run_stepwise(self, algorithm: AlgorithmTemplate,
+                     max_iterations: Optional[int] = None):
+        # the guard lives on the stepwise form so both run() and an
+        # external scheduler driving run_stepwise() directly hit it
         if not algorithm.monotone:
             raise EngineError(
                 f"{algorithm.name!r} is not replay-safe (monotone): the "
                 f"asynchronous model only supports idempotent-semiring "
                 f"algorithms; use GraphXEngine/PowerGraphEngine"
             )
-        return super().run(algorithm, max_iterations=max_iterations)
+        return super().run_stepwise(algorithm,
+                                    max_iterations=max_iterations)

@@ -103,6 +103,24 @@ class IterationStats:
                 + self.checkpoint_ms)
 
 
+@dataclass(frozen=True)
+class StepEvent:
+    """One scheduling quantum of a stepwise engine run.
+
+    Yielded by :meth:`IterativeEngine.run_stepwise` after every completed
+    superstep (``kind == "superstep"``) and after every checkpoint
+    rollback (``kind == "rollback"``), so an external scheduler — the
+    serving layer's time-slicer — can interleave several runs at
+    superstep granularity and attribute every simulated millisecond to
+    the job that spent it.
+    """
+
+    kind: str                  # "superstep" | "rollback"
+    iteration: int             # engine iteration after this quantum
+    sim_ms: float              # simulated ms this quantum charged
+    converged: bool = False    # True on the final superstep of a run
+
+
 @dataclass
 class RunResult:
     """Outcome of one engine run."""
@@ -263,6 +281,24 @@ class IterativeEngine:
     def run(self, algorithm: AlgorithmTemplate,
             max_iterations: Optional[int] = None) -> RunResult:
         """Run ``algorithm`` to convergence (or the iteration cap)."""
+        stepper = self.run_stepwise(algorithm, max_iterations)
+        while True:
+            try:
+                next(stepper)
+            except StopIteration as stop:
+                return stop.value
+
+    def run_stepwise(self, algorithm: AlgorithmTemplate,
+                     max_iterations: Optional[int] = None):
+        """Generator form of :meth:`run`: yields a :class:`StepEvent`
+        after every superstep (and rollback) and returns the final
+        :class:`RunResult` as the generator's return value.
+
+        Driving the generator to exhaustion is exactly :meth:`run` —
+        bit-identical values, stats and costs.  Suspending between
+        yields lets the serving layer time-slice the daemon pool across
+        several concurrent jobs at superstep granularity.
+        """
         wall_start = perf_counter()
         self.wall_s = dict.fromkeys(WALL_PHASES, 0.0)
         g = self.graph
@@ -344,6 +380,7 @@ class IterativeEngine:
         hidden_ckpt_ms = 0.0
 
         while iteration < cap:
+            step_ms0 = total_ms
             faults = mw.arm_faults(iteration) if mw is not None else 0
             before = self._fault_counters()
             net_before = self._net_counters()
@@ -402,6 +439,8 @@ class IterativeEngine:
                         breakdown["engine"] += reb_ms
                         if detector is not None:
                             detector = SkipDetector(self.pgraph)
+                yield StepEvent("rollback", iteration,
+                                total_ms - step_ms0)
                 continue
             it_stats, values, active, changed_total, changed_ids = step
             after = self._fault_counters()
@@ -503,6 +542,9 @@ class IterativeEngine:
                             detector = SkipDetector(self.pgraph)
             if algorithm.is_converged(changed_total, iteration):
                 converged = True
+            yield StepEvent("superstep", iteration, total_ms - step_ms0,
+                            converged)
+            if converged:
                 break
 
         if pending_ckpt_ms:

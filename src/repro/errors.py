@@ -173,3 +173,16 @@ class AlgorithmError(ReproError):
 
 class BenchmarkError(ReproError):
     """Bad benchmark parameters or a failed benchmark regression gate."""
+
+
+class ServeError(ReproError):
+    """Serving-layer misuse (unknown graph key, bad job spec, ...)."""
+
+
+class AdmissionError(ServeError):
+    """A job can never be admitted under the service's resource budgets.
+
+    Raised at submit time when the job's needs exceed the configured
+    memory/daemon budgets even on an otherwise idle service — queueing
+    it would deadlock the queue, so it is rejected outright.
+    """

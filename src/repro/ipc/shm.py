@@ -136,6 +136,23 @@ class ShmRegistry:
     def __init__(self) -> None:
         self._segments: Dict[int, SharedMemorySegment] = {}
         self._next_private_key = 0x6000
+        self._next_daemon_id = 0
+
+    def allocate_daemon_id(self) -> int:
+        """Allocate the next daemon id *within this registry*.
+
+        Daemon ids number the simulated kernel's SysV keys
+        (``DAEMON_KEY_BASE + id``), so their scope is the registry — one
+        per middleware deployment — not the process.  Keeping the
+        counter here (instead of on a class attribute) makes
+        back-to-back ``deploy()`` calls in one process start from id 0
+        every time: key layouts, trace ids and fault-plan targets stay
+        reproducible run over run, which the serving layer's long-lived
+        process depends on.
+        """
+        daemon_id = self._next_daemon_id
+        self._next_daemon_id += 1
+        return daemon_id
 
     def shmget(self, key: int, size_hint: int = 0,
                create: bool = True) -> SharedMemorySegment:

@@ -1,0 +1,54 @@
+"""The serving layer: a resident, multi-tenant GX-Plug deployment.
+
+Where :func:`repro.api.deploy` is a one-shot (build, run, tear down),
+this package keeps the middleware warm: graphs stay loaded in a
+versioned :class:`GraphStore`, tenant jobs queue through admission
+control, a fair-share scheduler time-slices the daemon pool across
+them at superstep granularity, and a version-keyed :class:`ResultCache`
+answers repeated queries at lookup cost.  :class:`GraphService` is the
+facade tying the four pieces together.
+"""
+
+from .cache import CACHE_LOOKUP_MS, CachedResult, ResultCache, params_fingerprint
+from .job import ALGORITHMS as JOB_ALGORITHMS
+from .job import (
+    CANCELLED,
+    DONE,
+    ENGINES as JOB_ENGINES,
+    FAILED,
+    PENDING,
+    RUNNING,
+    STATES,
+    Job,
+    JobSpec,
+)
+from .queue import AdmissionControl, JobQueue, ResourceUsage
+from .scheduler import FairShareLedger, FairShareScheduler, RunningJob
+from .service import GraphService
+from .store import GraphStore, StoredGraph
+
+__all__ = [
+    "GraphService",
+    "GraphStore",
+    "StoredGraph",
+    "ResultCache",
+    "CachedResult",
+    "CACHE_LOOKUP_MS",
+    "params_fingerprint",
+    "JobSpec",
+    "Job",
+    "JOB_ALGORITHMS",
+    "JOB_ENGINES",
+    "STATES",
+    "PENDING",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "AdmissionControl",
+    "JobQueue",
+    "ResourceUsage",
+    "FairShareScheduler",
+    "FairShareLedger",
+    "RunningJob",
+]

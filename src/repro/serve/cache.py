@@ -1,0 +1,167 @@
+"""Result cache: memoized answers keyed on graph version + query.
+
+A serving deployment sees the same queries over and over — dashboards
+refresh the same PageRank, every tenant asks for connected components
+of the catalog graph.  Because the whole simulation is deterministic,
+a repeated query on an unchanged graph is *guaranteed* to produce
+byte-identical values, so the service can answer it from memory at
+lookup cost instead of re-running the engine.
+
+The key is ``(graph key, graph version, algorithm, params hash)``:
+
+* the **graph version** comes from the :class:`~repro.serve.store
+  .GraphStore` and bumps on every reload, so stale answers can never
+  be served after the data changes;
+* the **params hash** is a canonical fingerprint of the algorithm's
+  parameters (plus engine and iteration cap — anything that can change
+  the answer), order-independent and tuple/list-agnostic so the same
+  query spelled differently still hits.
+
+Entries are LRU-evicted at a fixed capacity and every get/put deep-
+copies the value array, so cached answers are immune to caller-side
+mutation — a cache hit is byte-identical to the recompute, always.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..engines.base import RunResult
+from ..errors import ServeError
+
+#: Simulated ms charged for probing the cache and copying out a hit —
+#: the serving layer's "fast path" cost, orders of magnitude below any
+#: real engine run.
+CACHE_LOOKUP_MS = 0.05
+
+#: (graph key, graph version, algorithm name, params fingerprint)
+CacheKey = Tuple[str, int, str, str]
+
+
+def params_fingerprint(params: Mapping[str, Any]) -> str:
+    """Canonical, order-independent digest of a parameter mapping.
+
+    Mappings are sorted by key, tuples become lists, numpy scalars
+    become Python scalars — so ``{"sources": (0, 1)}`` and
+    ``{"sources": [0, 1]}`` fingerprint identically, as do dicts built
+    in different insertion orders.
+    """
+
+    def canon(value: Any) -> Any:
+        if isinstance(value, Mapping):
+            return {str(k): canon(value[k]) for k in sorted(value)}
+        if isinstance(value, (list, tuple)):
+            return [canon(v) for v in value]
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.floating):
+            return float(value)
+        return value
+
+    blob = json.dumps(canon(dict(params)), sort_keys=True,
+                      separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """A memoized answer: the values plus enough provenance to report.
+
+    ``compute_ms`` is the simulated cost of the run that produced the
+    entry — what a cache hit just saved.
+    """
+
+    values: np.ndarray
+    iterations: int
+    converged: bool
+    compute_ms: float
+    engine: str
+    algorithm: str
+
+
+class ResultCache:
+    """LRU cache of :class:`CachedResult` with hit/miss accounting."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ServeError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, CachedResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def key(graph_key: str, graph_version: int, algorithm: str,
+            params: Mapping[str, Any]) -> CacheKey:
+        return (graph_key, graph_version, algorithm,
+                params_fingerprint(params))
+
+    def get(self, key: CacheKey) -> Optional[CachedResult]:
+        """Look up, refresh recency, and return a defensive copy."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return CachedResult(entry.values.copy(), entry.iterations,
+                            entry.converged, entry.compute_ms,
+                            entry.engine, entry.algorithm)
+
+    def put(self, key: CacheKey, result: RunResult) -> None:
+        """Memoize a finished run, evicting least-recently-used entries."""
+        entry = CachedResult(result.values.copy(), result.iterations,
+                             result.converged, result.total_ms,
+                             result.engine_name, result.algorithm_name)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_graph(self, graph_key: str) -> int:
+        """Drop every entry for ``graph_key`` (any version).
+
+        Called on graph reload: entries for older versions could never
+        be hit again (the version is part of the key), so dropping them
+        immediately frees capacity instead of waiting for LRU churn.
+        """
+        stale = [k for k in self._entries if k[0] == graph_key]
+        for k in stale:
+            del self._entries[k]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def keys(self):
+        """Current keys, least- to most-recently used."""
+        return list(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 6),
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries

@@ -1,0 +1,227 @@
+"""Job specifications and lifecycle records for the serving layer.
+
+A :class:`JobSpec` is what a tenant submits: which stored graph, which
+algorithm with which parameters, which engine, and how the run should
+be configured — the :class:`~repro.core.config.RuntimeConfig` front
+door carries presets and fault plans exactly as it does for one-shot
+``deploy()`` runs, so a tenant can (deliberately) submit a chaos job.
+
+A :class:`Job` is the service-side record: queue timestamps, consumed
+service time, the result or the failure, and whether the answer came
+from the result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ..algorithms import (
+    BFS,
+    ConnectedComponents,
+    KCore,
+    LabelPropagation,
+    MultiSourceSSSP,
+    PageRank,
+    WidestPath,
+)
+from ..core.config import RuntimeConfig
+from ..engines import AsyncEngine, GraphXEngine, PowerGraphEngine
+from ..errors import ServeError
+from ..fault import FaultPlan
+
+#: Submittable algorithms, by wire name.
+ALGORITHMS = {
+    "pagerank": PageRank,
+    "sssp-bf": MultiSourceSSSP,
+    "lp": LabelPropagation,
+    "bfs": BFS,
+    "cc": ConnectedComponents,
+    "kcore": KCore,
+    "widest-path": WidestPath,
+}
+
+#: Submittable engines, by wire name.
+ENGINES = {
+    "powergraph": PowerGraphEngine,
+    "graphx": GraphXEngine,
+    "async": AsyncEngine,
+}
+
+# Job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+STATES = (PENDING, RUNNING, DONE, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a tenant asks for.  Immutable; validated at construction."""
+
+    graph: str
+    algorithm: str = "pagerank"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    engine: str = "powergraph"
+    tenant: str = "default"
+    #: fair-share weight; higher priority drains faster (must be >= 1)
+    priority: int = 1
+    max_iterations: Optional[int] = None
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ServeError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"one of {sorted(ALGORITHMS)}")
+        if self.engine not in ENGINES:
+            raise ServeError(
+                f"unknown engine {self.engine!r}; one of {sorted(ENGINES)}")
+        if self.priority < 1:
+            raise ServeError(
+                f"priority must be >= 1, got {self.priority}")
+
+    def build_algorithm(self):
+        """Instantiate the algorithm with this spec's parameters.
+
+        Lists become tuples first (the JSON jobs file can only spell
+        tuples as lists; templates want hashable tuples for e.g.
+        ``sources``).
+        """
+        params = {k: tuple(v) if isinstance(v, list) else v
+                  for k, v in dict(self.params).items()}
+        try:
+            return ALGORITHMS[self.algorithm](**params)
+        except TypeError as exc:
+            raise ServeError(
+                f"bad params for {self.algorithm!r}: {exc}") from None
+
+    def engine_cls(self):
+        return ENGINES[self.engine]
+
+    def cache_params(self) -> Dict[str, Any]:
+        """The parameter mapping the result cache fingerprints.
+
+        Algorithm params plus everything else that can change the
+        *answer*: the engine (iteration semantics differ) and the
+        iteration cap.  Tenant, priority and runtime preset are
+        deliberately absent — they change scheduling and cost, never
+        values, so tenants share each other's cached answers.
+        """
+        return dict(self.params,
+                    __engine__=self.engine,
+                    __max_iterations__=self.max_iterations)
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "JobSpec":
+        """Build a spec from a jobs-file record (see the submit CLI).
+
+        Recognized keys: ``graph`` (required), ``algorithm``,
+        ``params``, ``engine``, ``tenant``, ``priority``,
+        ``max_iterations``, ``use_cache``, ``preset`` (a
+        :data:`~repro.core.config.PRESETS` name), and ``fault`` — a
+        ``{kind, superstep, node, repeat}`` single-fault shorthand
+        armed onto the preset's runtime.
+        """
+        doc = dict(doc)
+        unknown = set(doc) - {"graph", "algorithm", "params", "engine",
+                              "tenant", "priority", "max_iterations",
+                              "use_cache", "preset", "fault"}
+        if unknown:
+            raise ServeError(f"unknown job keys: {sorted(unknown)}")
+        if "graph" not in doc:
+            raise ServeError("job record needs a 'graph' key")
+        runtime = RuntimeConfig.preset(doc.get("preset", "full"))
+        fault = doc.get("fault")
+        if fault is not None:
+            fault = dict(fault)
+            try:
+                plan = FaultPlan.single(
+                    fault.pop("kind"), superstep=fault.pop("superstep", 1),
+                    node_id=fault.pop("node", 0), **fault)
+            except (KeyError, TypeError) as exc:
+                raise ServeError(f"bad fault shorthand: {exc}") from None
+            runtime = runtime.with_(fault_plan=plan)
+        return cls(graph=doc["graph"],
+                   algorithm=doc.get("algorithm", "pagerank"),
+                   params=doc.get("params", {}),
+                   engine=doc.get("engine", "powergraph"),
+                   tenant=doc.get("tenant", "default"),
+                   priority=doc.get("priority", 1),
+                   max_iterations=doc.get("max_iterations"),
+                   runtime=runtime,
+                   use_cache=doc.get("use_cache", True))
+
+
+class Job:
+    """Mutable service-side record of one submitted job."""
+
+    def __init__(self, job_id: int, spec: JobSpec,
+                 submitted_ms: float) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.state = PENDING
+        self.submitted_ms = submitted_ms
+        self.started_ms: Optional[float] = None
+        self.finished_ms: Optional[float] = None
+        #: simulated service ms actually charged to this job
+        self.consumed_ms = 0.0
+        #: scheduler slices (supersteps/rollbacks) this job received
+        self.slices = 0
+        #: RunResult (engine run) or CachedResult (cache hit)
+        self.result = None
+        self.error: Optional[str] = None
+        self.from_cache = False
+        self.fault_report = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, FAILED, CANCELLED)
+
+    @property
+    def values(self):
+        return self.result.values if self.result is not None else None
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        """Submit-to-finish latency on the service clock."""
+        if self.finished_ms is None:
+            return None
+        return self.finished_ms - self.submitted_ms
+
+    @property
+    def queue_ms(self) -> Optional[float]:
+        if self.started_ms is None:
+            return None
+        return self.started_ms - self.submitted_ms
+
+    def describe(self) -> Dict[str, Any]:
+        """Plain-dict record for traces and CLI reporting."""
+        spec = self.spec
+        return {
+            "job_id": self.job_id,
+            "tenant": spec.tenant,
+            "graph": spec.graph,
+            "algorithm": spec.algorithm,
+            "params": dict(spec.params),
+            "engine": spec.engine,
+            "priority": spec.priority,
+            "max_iterations": spec.max_iterations,
+            "state": self.state,
+            "from_cache": self.from_cache,
+            "submitted_ms": round(self.submitted_ms, 6),
+            "queue_ms": (round(self.queue_ms, 6)
+                         if self.queue_ms is not None else None),
+            "latency_ms": (round(self.latency_ms, 6)
+                           if self.latency_ms is not None else None),
+            "consumed_ms": round(self.consumed_ms, 6),
+            "slices": self.slices,
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Job(#{self.job_id} {self.spec.tenant}: "
+                f"{self.spec.algorithm}@{self.spec.graph} {self.state})")

@@ -1,0 +1,370 @@
+"""The serving facade: a resident GX-Plug deployment answering jobs.
+
+``deploy()`` is a one-shot: build a cluster, plug the middleware in,
+run one algorithm, tear it down.  :class:`GraphService` is the
+long-lived counterpart — one Python process holding graphs resident,
+admitting queued tenant jobs under resource budgets, time-slicing the
+daemon pool across them at superstep granularity, and memoizing
+answers::
+
+    svc = GraphService(ClusterSpec(nodes=2, gpus_per_node=1))
+    svc.load_graph("wiki", dataset="wrn")
+    job = svc.submit(JobSpec(graph="wiki", algorithm="pagerank",
+                             tenant="alice"))
+    svc.run()
+    job.values, job.latency_ms, svc.cache.stats()
+
+Everything stays deterministic: the service clock advances by exactly
+the simulated cost of each slice, so latencies, queue waits and fair
+shares are reproducible run over run — and a cache hit returns values
+byte-identical to the recompute it saved.
+
+Jobs are isolated by construction.  Each admitted job gets a private
+cluster build (from the shared :class:`ClusterSpec`) and a private
+middleware; only the immutable graph and its memoized partitions are
+shared.  One tenant's injected crash burns that tenant's simulated
+time through its own rollback path; everyone else's values are
+untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..bench.trace import write_json
+from ..core.config import ClusterSpec
+from ..core.middleware import GXPlug
+from ..engines.base import RunResult
+from ..errors import ReproError, ServeError
+from .cache import CACHE_LOOKUP_MS, ResultCache
+from .job import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    Job,
+    JobSpec,
+)
+from .queue import AdmissionControl, JobQueue, ResourceUsage
+from .scheduler import FairShareLedger, FairShareScheduler, RunningJob
+from .store import GraphStore
+
+
+class GraphService:
+    """Multi-tenant serving over one simulated cluster description."""
+
+    def __init__(self, spec: Optional[ClusterSpec] = None, *,
+                 memory_budget_mb: Optional[float] = None,
+                 daemon_budget: Optional[int] = None,
+                 max_running: Optional[int] = 4,
+                 cache_entries: int = 64,
+                 trace_dir: Optional[str] = None) -> None:
+        self.spec = spec if spec is not None else ClusterSpec()
+        self.store = GraphStore()
+        self.cache = ResultCache(cache_entries)
+        daemons_per_job = self.spec.nodes * (
+            self.spec.gpus_per_node + self.spec.cpus_per_node)
+        budget_bytes = (None if memory_budget_mb is None
+                        else int(memory_budget_mb * 1024 * 1024))
+        self.admission = AdmissionControl(
+            memory_budget_bytes=budget_bytes,
+            daemon_budget=daemon_budget,
+            max_running=max_running,
+            daemons_per_job=daemons_per_job)
+        self.queue = JobQueue(self.admission)
+        self.scheduler = FairShareScheduler()
+        self.ledger = FairShareLedger()
+        self.trace_dir = trace_dir
+        #: the service clock, simulated ms since service start
+        self.now_ms = 0.0
+        self._jobs: Dict[int, Job] = {}
+        self._next_job_id = 1
+        # request coalescing: cache key -> jobs waiting on the one
+        # in-flight computation of that exact query
+        self._waiters: Dict[Any, List[Job]] = {}
+        self.coalesced = 0
+
+    # -- graphs -------------------------------------------------------------------------
+
+    def load_graph(self, key: str, graph=None, *,
+                   dataset: Optional[str] = None):
+        """Load or reload a graph; reloads invalidate cached answers."""
+        entry = self.store.load(key, graph, dataset=dataset)
+        if entry.version > 1:
+            self.cache.invalidate_graph(key)
+        return entry
+
+    # -- submission ---------------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Queue a job; raises if it could never run.
+
+        Returns the live :class:`Job` record — the caller keeps it and
+        reads result/latency off it after :meth:`run`.
+        """
+        if spec.graph not in self.store:
+            raise ServeError(
+                f"unknown graph {spec.graph!r}; loaded: "
+                f"{self.store.keys()}")
+        job = Job(self._next_job_id, spec, submitted_ms=self.now_ms)
+        self._next_job_id += 1
+        self.admission.check_feasible(job, self.store.get(spec.graph).nbytes)
+        self._jobs[job.job_id] = job
+        self.queue.push(job)
+        return job
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a pending or running job; True if anything changed."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"unknown job id {job_id}")
+        if job.finished:
+            return False
+        if job.state == PENDING:
+            pulled = self.queue.cancel(job_id)
+            if pulled is not None:
+                pulled.finished_ms = self.now_ms
+                return True
+            return False
+        rj = self.scheduler.find(job_id)
+        if rj is not None:
+            rj.stepper.close()
+            job.state = CANCELLED
+            job.finished_ms = self.now_ms
+            self._teardown(rj)
+            self._redispatch_waiters(rj.cache_key)
+            return True
+        # a coalesced waiter: parked behind an in-flight identical query
+        for ckey, waiters in self._waiters.items():
+            if job in waiters:
+                waiters.remove(job)
+                if not waiters:
+                    del self._waiters[ckey]
+                job.state = CANCELLED
+                job.finished_ms = self.now_ms
+                self.store.detach(job.spec.graph)
+                return True
+        return False  # pragma: no cover - state machine guard
+
+    # -- the scheduling loop ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """One scheduling round: admit what fits, run one slice.
+
+        Returns False when the service is idle (nothing pending,
+        nothing running).
+        """
+        while True:
+            job = self.queue.pop_admissible(self._usage(),
+                                            self._graph_bytes())
+            if job is None:
+                break
+            self._dispatch(job)
+        rj = self.scheduler.pick()
+        if rj is not None:
+            self._slice(rj)
+            return True
+        if len(self.queue):  # pragma: no cover - feasibility guard
+            # check_feasible() guarantees any job can run on an idle
+            # service, so an empty running set always admits something
+            raise ServeError(
+                f"admission deadlock: {len(self.queue)} pending jobs, "
+                f"none admissible ({self.queue.last_defer_reason})")
+        return False
+
+    def run(self) -> List[Job]:
+        """Drive the service until idle; returns all finished jobs."""
+        while self.step():
+            pass
+        return [j for j in self._jobs.values() if j.finished]
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _graph_bytes(self) -> Dict[str, int]:
+        return {key: self.store.get(key).nbytes
+                for key in self.store.keys()}
+
+    def _usage(self) -> ResourceUsage:
+        attached = {key for key in self.store.keys()
+                    if self.store.get(key).attached}
+        return ResourceUsage(
+            memory_bytes=self.store.attached_bytes(),
+            daemons=len(self.scheduler) * self.admission.daemons_per_job,
+            running=len(self.scheduler),
+            attached_graphs=attached)
+
+    def _dispatch(self, job: Job) -> None:
+        """Start an admitted job: cache fast path or engine stepper."""
+        spec = job.spec
+        job.state = RUNNING
+        if job.started_ms is None:
+            job.started_ms = self.now_ms
+        entry = self.store.attach(spec.graph)
+        ckey = self.cache.key(spec.graph, entry.version, spec.algorithm,
+                              spec.cache_params())
+        if spec.use_cache:
+            hit = self.cache.get(ckey)
+            if hit is not None:
+                self._serve_from_cache(job, hit)
+                return
+            # singleflight: an identical query is already computing —
+            # park this job and serve it from the leader's answer
+            # instead of burning daemons on a duplicate run
+            leader = next((r for r in self.scheduler.running
+                           if r.cache_key == ckey
+                           and r.job.spec.use_cache), None)
+            if leader is not None:
+                self._waiters.setdefault(ckey, []).append(job)
+                self.coalesced += 1
+                return
+        cluster = self.spec.build()
+        middleware = GXPlug(cluster, spec.runtime)
+        engine = self.store.build_engine(spec.graph, spec.engine_cls(),
+                                         cluster, middleware)
+        stepper = engine.run_stepwise(spec.build_algorithm(),
+                                      spec.max_iterations)
+        rj = RunningJob(job, middleware, engine, stepper, cache_key=ckey)
+        self.scheduler.add(rj)
+
+    def _slice(self, rj: RunningJob) -> None:
+        """Resume one job for one superstep (or rollback) quantum."""
+        job = rj.job
+        try:
+            event = next(rj.stepper)
+        except StopIteration as stop:
+            self._finish(rj, stop.value)
+            return
+        except ReproError as exc:
+            self._fail(rj, exc)
+            return
+        self._charge(rj, event.sim_ms)
+        job.slices += 1
+
+    def _charge(self, rj: RunningJob, ms: float) -> None:
+        rj.charged_ms += ms
+        rj.virtual_ms += ms
+        self._charge_job(rj.job, ms)
+
+    def _charge_job(self, job: Job, ms: float) -> None:
+        job.consumed_ms += ms
+        self.ledger.charge(job.spec.tenant, ms)
+        self.now_ms += ms
+
+    def _serve_from_cache(self, job: Job, hit) -> None:
+        """Complete an admitted job from a cached answer."""
+        self._charge_job(job, CACHE_LOOKUP_MS)
+        job.slices += 1
+        job.from_cache = True
+        job.result = hit
+        job.state = DONE
+        job.finished_ms = self.now_ms
+        self.ledger.finish(job.spec.tenant, from_cache=True)
+        self.store.detach(job.spec.graph)
+        self._write_trace(job)
+
+    def _finish(self, rj: RunningJob, result) -> None:
+        job = rj.job
+        # charge what the stepper never yielded as an event: setup
+        # (connect) before the first superstep and any trailing drain
+        # after the last — job.consumed_ms must equal result.total_ms
+        extra = result.total_ms - rj.charged_ms
+        if extra > 0:
+            self._charge(rj, extra)
+        job.result = result
+        job.fault_report = rj.middleware.fault_report(result)
+        job.state = DONE
+        job.finished_ms = self.now_ms
+        if job.spec.use_cache:
+            self.cache.put(rj.cache_key, result)
+        self.ledger.finish(job.spec.tenant)
+        self._teardown(rj)
+        self._write_trace(job)
+        for waiter in self._waiters.pop(rj.cache_key, []):
+            hit = self.cache.get(rj.cache_key)
+            self._serve_from_cache(waiter, hit)
+
+    def _fail(self, rj: RunningJob, exc: ReproError) -> None:
+        job = rj.job
+        job.state = FAILED
+        job.error = f"{type(exc).__name__}: {exc}"
+        job.finished_ms = self.now_ms
+        job.fault_report = rj.middleware.fault_report()
+        self._teardown(rj)
+        self._write_trace(job)
+        self._redispatch_waiters(rj.cache_key)
+
+    def _redispatch_waiters(self, cache_key) -> None:
+        """The leader died; its coalesced waiters compute themselves.
+
+        The first re-dispatched waiter becomes the new leader, the
+        rest coalesce behind it again.
+        """
+        for waiter in self._waiters.pop(cache_key, []):
+            self.store.detach(waiter.spec.graph)
+            self._dispatch(waiter)
+
+    def _teardown(self, rj: RunningJob) -> None:
+        self.scheduler.remove(rj)
+        rj.middleware.disconnect_all()
+        self.store.detach(rj.job.spec.graph)
+
+    def _write_trace(self, job: Job) -> None:
+        if self.trace_dir is None:
+            return
+        os.makedirs(self.trace_dir, exist_ok=True)
+        path = os.path.join(self.trace_dir, f"job-{job.job_id}.json")
+        if isinstance(job.result, RunResult):
+            write_json(job.result, path,
+                       cluster_spec=self.spec.to_dict(),
+                       job=job.describe())
+        else:
+            doc = {"job": job.describe(),
+                   "cluster_spec": self.spec.to_dict()}
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(doc, f, indent=2)
+
+    # -- observability ------------------------------------------------------------------
+
+    def jobs(self, tenant: Optional[str] = None,
+             state: Optional[str] = None) -> List[Job]:
+        out = [j for j in self._jobs.values()
+               if (tenant is None or j.spec.tenant == tenant)
+               and (state is None or j.state == state)]
+        return sorted(out, key=lambda j: j.job_id)
+
+    def job(self, job_id: int) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ServeError(f"unknown job id {job_id}") from None
+
+    def latency_percentiles(self, tenant: Optional[str] = None
+                            ) -> Dict[str, float]:
+        """p50/p99 submit-to-finish latency over completed jobs."""
+        lats = [j.latency_ms for j in self.jobs(tenant, DONE)]
+        if not lats:
+            return {"p50": 0.0, "p99": 0.0, "count": 0}
+        arr = np.asarray(lats)
+        return {"p50": float(np.percentile(arr, 50)),
+                "p99": float(np.percentile(arr, 99)),
+                "count": len(lats)}
+
+    def metrics(self) -> Dict[str, Any]:
+        by_state: Dict[str, int] = {}
+        for j in self._jobs.values():
+            by_state[j.state] = by_state.get(j.state, 0) + 1
+        return {
+            "now_ms": round(self.now_ms, 6),
+            "jobs": by_state,
+            "queue": self.queue.stats(),
+            "cache": self.cache.stats(),
+            "coalesced": self.coalesced,
+            "store": self.store.stats(),
+            "tenants": self.ledger.snapshot(),
+            "latency": self.latency_percentiles(),
+        }

@@ -1,0 +1,183 @@
+"""Shared graph store: load once, serve many.
+
+In a one-shot ``deploy()`` workflow every run reloads and repartitions
+its graph — fine for a benchmark, ruinous for a service where dozens
+of tenant jobs query the same few graphs.  The store keeps each graph
+resident under a caller-chosen key and lets jobs *attach* by key:
+
+* **versioning** — reloading a key bumps its version; the result cache
+  keys on ``(key, version, ...)`` so answers computed against stale
+  data can never be served after a reload;
+* **attach counting** — a graph with attached (running) jobs refuses
+  to reload under them; the service drains jobs first;
+* **partition memoization** — partitioning is the expensive prefix of
+  every engine build, and it depends only on the graph, the engine's
+  strategy and the node count.  The store caches the
+  :class:`~repro.graph.partition.PartitionedGraph` per
+  ``(key, version, engine, nodes)`` and rebinds it into fresh engine
+  instances.  Partitions are shared read-only: engines never mutate
+  their bound partition (mid-run rebalancing builds a *new* one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..cluster import Cluster
+from ..errors import ServeError
+from ..graph import Graph, load_dataset
+from ..graph.partition import PartitionedGraph
+
+
+@dataclass
+class StoredGraph:
+    """One resident graph: the data plus serving bookkeeping."""
+
+    key: str
+    graph: Graph
+    version: int = 1
+    #: jobs currently attached (running against this graph)
+    attached: int = 0
+    #: lifetime attach count, across all versions
+    total_attaches: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the CSR arrays (the admission currency)."""
+        g = self.graph
+        return int(g.indptr.nbytes + g.src.nbytes + g.dst.nbytes
+                   + g.weights.nbytes)
+
+
+class GraphStore:
+    """Registry of loaded, versioned graphs + memoized partitions."""
+
+    def __init__(self) -> None:
+        self._graphs: Dict[str, StoredGraph] = {}
+        # (key, version, engine name, num_nodes) -> PartitionedGraph
+        self._partitions: Dict[Tuple[str, int, str, int],
+                               PartitionedGraph] = {}
+        self.partition_hits = 0
+        self.partition_builds = 0
+
+    # -- loading ------------------------------------------------------------------------
+
+    def load(self, key: str, graph: Optional[Graph] = None, *,
+             dataset: Optional[str] = None) -> StoredGraph:
+        """Load (or reload) a graph under ``key``.
+
+        Pass exactly one of ``graph`` (an in-memory :class:`Graph`) or
+        ``dataset`` (a :func:`~repro.graph.load_dataset` name).
+        Reloading an existing key bumps its version and drops the
+        key's memoized partitions; it is refused while jobs are
+        attached.
+        """
+        if (graph is None) == (dataset is None):
+            raise ServeError(
+                "pass exactly one of graph= or dataset= to load()")
+        if graph is None:
+            graph = load_dataset(dataset)
+        entry = self._graphs.get(key)
+        if entry is None:
+            entry = StoredGraph(key, graph)
+            self._graphs[key] = entry
+            return entry
+        if entry.attached:
+            raise ServeError(
+                f"graph {key!r} has {entry.attached} attached job(s); "
+                f"drain them before reloading")
+        entry.graph = graph
+        entry.version += 1
+        self._partitions = {k: v for k, v in self._partitions.items()
+                            if k[0] != key}
+        return entry
+
+    def unload(self, key: str) -> None:
+        """Evict a graph (and its partitions); refused while attached."""
+        entry = self.get(key)
+        if entry.attached:
+            raise ServeError(
+                f"graph {key!r} has {entry.attached} attached job(s); "
+                f"drain them before unloading")
+        del self._graphs[key]
+        self._partitions = {k: v for k, v in self._partitions.items()
+                            if k[0] != key}
+
+    # -- lookup -------------------------------------------------------------------------
+
+    def get(self, key: str) -> StoredGraph:
+        entry = self._graphs.get(key)
+        if entry is None:
+            raise ServeError(
+                f"unknown graph {key!r}; loaded: {sorted(self._graphs)}")
+        return entry
+
+    def keys(self):
+        return sorted(self._graphs)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._graphs
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def total_bytes(self) -> int:
+        return sum(e.nbytes for e in self._graphs.values())
+
+    def attached_bytes(self) -> int:
+        """Bytes of graphs with at least one attached job.
+
+        Shared-once accounting: ten jobs on one graph cost its bytes
+        once — that is the whole point of the shared store.
+        """
+        return sum(e.nbytes for e in self._graphs.values() if e.attached)
+
+    # -- attach lifecycle ---------------------------------------------------------------
+
+    def attach(self, key: str) -> StoredGraph:
+        entry = self.get(key)
+        entry.attached += 1
+        entry.total_attaches += 1
+        return entry
+
+    def detach(self, key: str) -> None:
+        entry = self.get(key)
+        if entry.attached <= 0:
+            raise ServeError(f"graph {key!r} is not attached")
+        entry.attached -= 1
+
+    # -- engine construction ------------------------------------------------------------
+
+    def build_engine(self, key: str, engine_cls, cluster: Cluster,
+                     middleware=None):
+        """Build an engine over the stored graph, reusing partitions.
+
+        On the first build for ``(key, version, engine, nodes)`` the
+        engine's own :meth:`build` partitions the graph and the result
+        is memoized; later builds construct a fresh engine instance
+        around the memoized partition — per-job engine state, shared
+        immutable partition.
+        """
+        entry = self.get(key)
+        pkey = (key, entry.version, engine_cls.name, cluster.num_nodes)
+        pgraph = self._partitions.get(pkey)
+        if pgraph is not None:
+            self.partition_hits += 1
+            return engine_cls(pgraph, cluster, middleware)
+        engine = engine_cls.build(entry.graph, cluster, middleware)
+        self._partitions[pkey] = engine.pgraph
+        self.partition_builds += 1
+        return engine
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "graphs": {k: {"version": e.version, "attached": e.attached,
+                           "bytes": e.nbytes,
+                           "total_attaches": e.total_attaches}
+                       for k, e in sorted(self._graphs.items())},
+            "total_bytes": self.total_bytes(),
+            "partitions": len(self._partitions),
+            "partition_hits": self.partition_hits,
+            "partition_builds": self.partition_builds,
+        }

@@ -327,3 +327,66 @@ def test_link_ratio_knob_is_independent():
         det.observe_link(0, 10.0, 10.0)
         det.observe_link(1, 25.0, 10.0)
     assert det.is_slow_link(1)
+
+
+# -- per-link override clauses on spec strings -------------------------------
+
+
+def test_parse_link_overrides_on_spec():
+    spec = "rack:2x2;link=2-0:5.0:0.02;link=3-2:0.1:0.001"
+    assert Topology.parse_spec(spec) == [[0, 1], [2, 3]]
+    overrides = Topology.parse_link_overrides(spec)
+    assert overrides == {(2, 0): LinkModel(5.0, 0.02),
+                         (3, 2): LinkModel(0.1, 0.001)}
+    topo = Topology.from_spec(spec)
+    assert topo.link(2, 0) == LinkModel(5.0, 0.02)
+    assert topo.link(3, 2) == LinkModel(0.1, 0.001)
+    # unpinned links keep the intra/cross defaults
+    assert topo.link(0, 1) == topo.intra
+    assert topo.link(1, 2) == topo.cross
+
+
+def test_spec_without_clauses_has_no_overrides():
+    assert Topology.parse_link_overrides("rack:2x4") == {}
+    assert Topology.parse_link_overrides("flat:3") == {}
+
+
+def test_spec_override_prices_the_pinned_uplink():
+    slow = "rack:2x1;link=1-0:8.0:0.08"
+    fast = "rack:2x1"
+    payload = 10_000
+    slow_ms = Topology.from_spec(slow).sync_ms(2, payload)
+    fast_ms = Topology.from_spec(fast).sync_ms(2, payload)
+    assert slow_ms > fast_ms
+
+
+@pytest.mark.parametrize("bad", [
+    "rack:2x2;link=",
+    "rack:2x2;links=1-0:1:1",
+    "rack:2x2;link=1:1:1",
+    "rack:2x2;link=1-0:1",
+    "rack:2x2;link=a-0:1:1",
+    "rack:2x2;link=1-0:fast:1",
+    "rack:2x2;link=1-0:1:1;link=1-0:2:2",
+    "rack:2x2;link=1-0:-1:1",
+])
+def test_malformed_link_clauses_rejected(bad):
+    with pytest.raises(SimulationError):
+        Topology.from_spec(bad)
+
+
+def test_explicit_overrides_win_over_spec_clauses():
+    topo = Topology.from_spec("rack:2x1;link=1-0:9.0:0.9",
+                              overrides={(1, 0): LinkModel(1.0, 0.1)})
+    assert topo.link(1, 0) == LinkModel(1.0, 0.1)
+
+
+def test_cluster_spec_accepts_and_validates_link_clauses():
+    from repro.core import ClusterSpec
+    from repro.errors import MiddlewareError
+    spec = ClusterSpec(nodes=4, topology="rack:2x2;link=2-0:5.0:0.02")
+    topo = spec.build_topology()
+    assert topo.link(2, 0) == LinkModel(5.0, 0.02)
+    assert spec.to_dict()["topology"] == "rack:2x2;link=2-0:5.0:0.02"
+    with pytest.raises(MiddlewareError):
+        ClusterSpec(nodes=4, topology="rack:2x2;link=9-0:5.0:0.02")

@@ -1,0 +1,85 @@
+"""JobSpec validation, wire decoding, and the cache-params contract."""
+
+import pytest
+
+from repro.algorithms import KCore, MultiSourceSSSP
+from repro.errors import ServeError
+from repro.serve import JobSpec
+from repro.serve.cache import params_fingerprint
+from repro.serve.job import Job
+
+
+def test_unknown_algorithm_and_engine_rejected():
+    with pytest.raises(ServeError, match="unknown algorithm"):
+        JobSpec(graph="g", algorithm="pagerankk")
+    with pytest.raises(ServeError, match="unknown engine"):
+        JobSpec(graph="g", engine="spark")
+    with pytest.raises(ServeError, match="priority"):
+        JobSpec(graph="g", priority=0)
+
+
+def test_build_algorithm_converts_lists_to_tuples():
+    spec = JobSpec(graph="g", algorithm="sssp-bf",
+                   params={"sources": [0, 1, 2]})
+    algo = spec.build_algorithm()
+    assert isinstance(algo, MultiSourceSSSP)
+    assert list(algo.sources) == [0, 1, 2]
+
+
+def test_build_algorithm_passes_scalars():
+    algo = JobSpec(graph="g", algorithm="kcore",
+                   params={"k": 4}).build_algorithm()
+    assert isinstance(algo, KCore)
+    assert algo.k == 4
+
+
+def test_bad_params_raise_serve_error():
+    with pytest.raises(ServeError, match="bad params"):
+        JobSpec(graph="g", algorithm="pagerank",
+                params={"bogus": 1}).build_algorithm()
+
+
+def test_cache_params_cover_engine_and_iteration_cap():
+    base = JobSpec(graph="g", max_iterations=5)
+    other_engine = JobSpec(graph="g", max_iterations=5, engine="graphx")
+    other_cap = JobSpec(graph="g", max_iterations=9)
+    fp = params_fingerprint
+    assert fp(base.cache_params()) != fp(other_engine.cache_params())
+    assert fp(base.cache_params()) != fp(other_cap.cache_params())
+    # but tenant/priority/runtime never change the answer -> same key
+    alias = JobSpec(graph="g", max_iterations=5, tenant="x", priority=7)
+    assert fp(base.cache_params()) == fp(alias.cache_params())
+
+
+def test_from_dict_roundtrip_and_defaults():
+    spec = JobSpec.from_dict({"graph": "g"})
+    assert spec.algorithm == "pagerank" and spec.engine == "powergraph"
+    assert spec.tenant == "default" and spec.use_cache
+
+    spec = JobSpec.from_dict({
+        "graph": "g", "algorithm": "sssp-bf",
+        "params": {"sources": [0, 1]}, "tenant": "alice",
+        "priority": 2, "max_iterations": 6, "use_cache": False,
+        "preset": "resilient",
+        "fault": {"kind": "crash", "superstep": 2, "node": 1,
+                  "repeat": 3}})
+    assert spec.priority == 2 and not spec.use_cache
+    assert spec.runtime.middleware().fault_plan is not None
+
+
+def test_from_dict_rejects_unknown_keys_and_missing_graph():
+    with pytest.raises(ServeError, match="unknown job keys"):
+        JobSpec.from_dict({"graph": "g", "colour": "red"})
+    with pytest.raises(ServeError, match="'graph'"):
+        JobSpec.from_dict({"algorithm": "pagerank"})
+
+
+def test_job_latency_properties():
+    job = Job(1, JobSpec(graph="g"), submitted_ms=10.0)
+    assert job.latency_ms is None and job.queue_ms is None
+    assert not job.finished and job.values is None
+    job.started_ms = 15.0
+    job.finished_ms = 40.0
+    assert job.queue_ms == 5.0 and job.latency_ms == 30.0
+    doc = job.describe()
+    assert doc["tenant"] == "default" and doc["latency_ms"] == 30.0

@@ -1,0 +1,81 @@
+"""Fair-share scheduler: stride picks, vtime floors, the ledger."""
+
+import pytest
+
+from repro.serve import FairShareLedger, FairShareScheduler, RunningJob
+from repro.serve.job import Job, JobSpec
+
+
+def running(job_id, priority=1):
+    job = Job(job_id, JobSpec(graph="g", priority=priority,
+                              tenant=f"t{job_id}"), submitted_ms=0.0)
+    return RunningJob(job, middleware=None, engine=None, stepper=None)
+
+
+def test_pick_min_vtime_ties_broken_by_job_id():
+    sched = FairShareScheduler()
+    a, b = running(1), running(2)
+    sched.add(a)
+    sched.add(b)
+    assert sched.pick() is a          # tie at vtime 0 -> lowest id
+    a.virtual_ms = 10.0
+    assert sched.pick() is b
+
+
+def test_weighted_vtime_prefers_high_priority():
+    sched = FairShareScheduler()
+    lo, hi = running(1, priority=1), running(2, priority=2)
+    sched.add(lo)
+    sched.add(hi)
+    lo.virtual_ms = 10.0              # vtime 10
+    hi.virtual_ms = 15.0              # vtime 7.5: same work, half cost
+    assert sched.pick() is hi
+
+
+def test_equal_priorities_alternate():
+    sched = FairShareScheduler()
+    a, b = running(1), running(2)
+    sched.add(a)
+    sched.add(b)
+    order = []
+    for _ in range(4):
+        rj = sched.pick()
+        order.append(rj.job.job_id)
+        rj.virtual_ms += 5.0          # equal-cost slices
+    assert order == [1, 2, 1, 2]
+
+
+def test_newcomer_starts_at_the_vtime_floor():
+    sched = FairShareScheduler()
+    old = running(1)
+    sched.add(old)
+    old.virtual_ms = 100.0
+    late = running(2, priority=2)
+    sched.add(late)
+    # joins at the floor (vtime 100), scaled by its weight
+    assert late.virtual_ms == 200.0
+    assert late.vtime == 100.0
+
+
+def test_remove_and_find():
+    sched = FairShareScheduler()
+    a = running(1)
+    sched.add(a)
+    assert sched.find(1) is a and sched.find(2) is None
+    sched.remove(a)
+    assert len(sched) == 0 and sched.pick() is None
+
+
+def test_ledger_accounting_and_shares():
+    ledger = FairShareLedger()
+    ledger.charge("alice", 30.0)
+    ledger.charge("bob", 10.0)
+    ledger.charge("alice", 30.0)
+    ledger.finish("alice")
+    ledger.finish("bob", from_cache=True)
+    snap = ledger.snapshot()
+    assert snap["alice"]["consumed_ms"] == 60.0
+    assert snap["alice"]["slices"] == 2
+    assert snap["bob"]["cache_hits"] == 1
+    assert ledger.share_of("alice") == pytest.approx(60.0 / 70.0)
+    assert ledger.share_of("nobody") == 0.0

@@ -1,0 +1,233 @@
+"""GraphService end to end: identity, coalescing, isolation, budgets."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ConnectedComponents, PageRank
+from repro.api import (
+    ClusterSpec,
+    GraphService,
+    JobSpec,
+    RuntimeConfig,
+    deploy,
+)
+from repro.bench.trace import read_json
+from repro.engines import PowerGraphEngine
+from repro.errors import AdmissionError, ServeError
+from repro.fault import CRASH, FaultPlan
+from repro.graph import load_dataset
+
+SPEC = ClusterSpec(nodes=2, gpus_per_node=1)
+
+
+def solo_run(algorithm, max_iter=8):
+    plug = deploy(SPEC, RuntimeConfig())
+    engine = PowerGraphEngine.build(load_dataset("wrn"), plug.cluster,
+                                    middleware=plug)
+    return engine.run(algorithm, max_iterations=max_iter)
+
+
+@pytest.fixture
+def svc():
+    service = GraphService(SPEC, cache_entries=8)
+    service.load_graph("g", dataset="wrn")
+    return service
+
+
+def pagerank_spec(**kw):
+    kw.setdefault("graph", "g")
+    kw.setdefault("algorithm", "pagerank")
+    kw.setdefault("max_iterations", 8)
+    return JobSpec(**kw)
+
+
+def test_served_job_matches_solo_run_exactly(svc):
+    job = svc.submit(pagerank_spec(tenant="alice"))
+    svc.run()
+    solo = solo_run(PageRank())
+    assert job.state == "done"
+    assert np.array_equal(job.values, solo.values)
+    assert job.result.total_ms == solo.total_ms
+    assert job.consumed_ms == solo.total_ms   # full cost charged
+    assert job.fault_report.clean
+
+
+def test_unknown_graph_rejected_at_submit(svc):
+    with pytest.raises(ServeError, match="unknown graph"):
+        svc.submit(pagerank_spec(graph="nope"))
+
+
+def test_time_slicing_interleaves_tenants(svc):
+    a = svc.submit(pagerank_spec(tenant="alice", use_cache=False))
+    b = svc.submit(JobSpec(graph="g", algorithm="cc", tenant="bob",
+                           use_cache=False))
+    svc.run()
+    assert a.state == b.state == "done"
+    # both consumed service and both latencies include the other's
+    # slices — neither ran to completion before the other started
+    assert a.latency_ms > a.consumed_ms
+    assert b.latency_ms > b.consumed_ms
+    snap = svc.ledger.snapshot()
+    assert snap["alice"]["slices"] > 1 and snap["bob"]["slices"] > 1
+
+
+def test_priority_weighted_fair_share(svc):
+    lo = svc.submit(pagerank_spec(tenant="lo", priority=1,
+                                  use_cache=False))
+    hi = svc.submit(pagerank_spec(tenant="hi", priority=3,
+                                  use_cache=False))
+    svc.run()
+    # same work, but the weighted tenant drains first
+    assert hi.finished_ms < lo.finished_ms
+    assert np.array_equal(lo.values, hi.values)
+
+
+def test_identical_inflight_queries_coalesce(svc):
+    first = svc.submit(pagerank_spec(tenant="alice"))
+    second = svc.submit(pagerank_spec(tenant="bob"))
+    svc.run()
+    assert not first.from_cache and second.from_cache
+    assert svc.coalesced == 1
+    assert np.array_equal(first.values, second.values)
+    # the follower paid lookup cost, not an engine run
+    assert second.consumed_ms < first.consumed_ms / 100
+
+
+def test_repeated_query_hits_the_cache(svc):
+    cold = svc.submit(pagerank_spec(tenant="alice"))
+    svc.run()
+    warm = svc.submit(pagerank_spec(tenant="bob"))
+    svc.run()
+    assert warm.from_cache and not cold.from_cache
+    assert np.array_equal(warm.values, cold.values)
+    assert svc.cache.hit_rate > 0.0
+    # >= 10x is the acceptance bar; lookup vs engine run is ~10000x
+    assert cold.consumed_ms / warm.consumed_ms >= 10.0
+
+
+def test_crash_in_one_tenant_never_perturbs_the_others(svc):
+    plan = FaultPlan.single(CRASH, superstep=1, node_id=0, repeat=3)
+    chaos = svc.submit(pagerank_spec(
+        tenant="chaos", use_cache=False,
+        runtime=RuntimeConfig.preset("resilient").with_(
+            fault_plan=plan)))
+    clean_pr = svc.submit(pagerank_spec(tenant="alice"))
+    clean_cc = svc.submit(JobSpec(graph="g", algorithm="cc",
+                                  tenant="bob"))
+    svc.run()
+    assert chaos.state == "done" and not chaos.fault_report.clean
+    assert clean_pr.fault_report.clean and clean_cc.fault_report.clean
+    # the isolation invariant: concurrent tenants' values are
+    # byte-identical to their solo runs despite the injected crashes
+    assert np.array_equal(clean_pr.values, solo_run(PageRank()).values)
+    assert np.array_equal(clean_cc.values,
+                          solo_run(ConnectedComponents(),
+                                   max_iter=None).values)
+
+
+def test_unrecoverable_job_fails_alone(svc):
+    # repeated crashes on the no-recovery baseline stack kill the job
+    plan = FaultPlan.single(CRASH, superstep=1, node_id=0, repeat=50)
+    doomed = svc.submit(pagerank_spec(
+        tenant="chaos", use_cache=False,
+        runtime=RuntimeConfig.preset("baseline").with_(
+            fault_plan=plan)))
+    bystander = svc.submit(pagerank_spec(tenant="alice"))
+    svc.run()
+    assert doomed.state == "failed"
+    assert doomed.error is not None
+    assert bystander.state == "done"
+    assert np.array_equal(bystander.values, solo_run(PageRank()).values)
+
+
+def test_cancel_pending_and_running(svc):
+    a = svc.submit(pagerank_spec(tenant="a", use_cache=False))
+    b = svc.submit(pagerank_spec(tenant="b", use_cache=False))
+    for _ in range(3):
+        svc.step()
+    assert svc.cancel(b.job_id)
+    assert b.state == "cancelled"
+    svc.run()
+    assert a.state == "done"
+    assert not svc.cancel(a.job_id)        # already finished
+    with pytest.raises(ServeError):
+        svc.cancel(999)
+    assert svc.store.get("g").attached == 0
+
+
+def test_cancelled_leader_hands_off_to_waiters(svc):
+    leader = svc.submit(pagerank_spec(tenant="a"))
+    follower = svc.submit(pagerank_spec(tenant="b"))
+    for _ in range(2):
+        svc.step()
+    assert svc.coalesced == 1
+    assert svc.cancel(leader.job_id)
+    svc.run()
+    assert leader.state == "cancelled"
+    assert follower.state == "done"
+    assert np.array_equal(follower.values, solo_run(PageRank()).values)
+
+
+def test_admission_budgets_serialize_excess_jobs():
+    svc = GraphService(SPEC, daemon_budget=2)   # one job's worth
+    svc.load_graph("g", dataset="wrn")
+    a = svc.submit(pagerank_spec(tenant="a", use_cache=False))
+    b = svc.submit(pagerank_spec(tenant="b", use_cache=False))
+    svc.run()
+    assert a.state == b.state == "done"
+    assert svc.admission.deferrals > 0
+    # serialized: b waited for a's daemons, so its latency includes
+    # a's full run
+    assert b.queue_ms >= a.consumed_ms
+
+
+def test_impossible_job_rejected_at_submit():
+    svc = GraphService(SPEC, memory_budget_mb=1e-6)
+    svc.load_graph("g", dataset="wrn")
+    with pytest.raises(AdmissionError, match="memory budget"):
+        svc.submit(pagerank_spec())
+    assert len(svc.queue) == 0                 # nothing stranded
+
+
+def test_per_job_traces_written(tmp_path, svc_factory=None):
+    svc = GraphService(SPEC, trace_dir=str(tmp_path))
+    svc.load_graph("g", dataset="wrn")
+    cold = svc.submit(JobSpec(graph="g", algorithm="pagerank",
+                              tenant="alice", max_iterations=4))
+    svc.run()
+    warm = svc.submit(JobSpec(graph="g", algorithm="pagerank",
+                              tenant="bob", max_iterations=4))
+    svc.run()
+    cold_doc = read_json(tmp_path / f"job-{cold.job_id}.json")
+    assert cold_doc["job"]["tenant"] == "alice"
+    assert cold_doc["job"]["from_cache"] is False
+    assert cold_doc["summary"]["algorithm"] == "pagerank"
+    assert len(cold_doc["iterations"]) == cold.result.iterations
+    assert cold_doc["summary"]["cluster_spec"]["nodes"] == 2
+    warm_doc = read_json(tmp_path / f"job-{warm.job_id}.json")
+    assert warm_doc["job"]["from_cache"] is True
+    assert "summary" not in warm_doc       # no engine run to record
+
+
+def test_metrics_snapshot(svc):
+    svc.submit(pagerank_spec(tenant="alice"))
+    svc.run()
+    m = svc.metrics()
+    assert m["jobs"] == {"done": 1}
+    assert m["latency"]["count"] == 1
+    assert m["store"]["graphs"]["g"]["attached"] == 0
+    assert m["cache"]["entries"] == 1
+    assert m["now_ms"] > 0
+
+
+def test_service_is_deterministic():
+    def session():
+        svc = GraphService(SPEC)
+        svc.load_graph("g", dataset="wrn")
+        jobs = [svc.submit(pagerank_spec(tenant=f"t{i}",
+                                         use_cache=False))
+                for i in range(3)]
+        svc.run()
+        return [(j.latency_ms, j.consumed_ms) for j in jobs], svc.now_ms
+
+    assert session() == session()

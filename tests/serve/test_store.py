@@ -1,0 +1,111 @@
+"""Graph store: versioning, attach lifecycle, partition memoization."""
+
+import pytest
+
+from repro.api import ClusterSpec
+from repro.engines import GraphXEngine, PowerGraphEngine
+from repro.errors import ServeError
+from repro.graph import load_dataset
+from repro.serve import GraphStore
+
+
+@pytest.fixture
+def store():
+    s = GraphStore()
+    s.load("g", dataset="wrn")
+    return s
+
+
+def test_load_requires_exactly_one_source(store):
+    with pytest.raises(ServeError):
+        store.load("x")
+    with pytest.raises(ServeError):
+        store.load("x", load_dataset("wrn"), dataset="wrn")
+
+
+def test_reload_bumps_version(store):
+    assert store.get("g").version == 1
+    store.load("g", dataset="wrn")
+    assert store.get("g").version == 2
+
+
+def test_reload_refused_while_attached(store):
+    store.attach("g")
+    with pytest.raises(ServeError, match="attached"):
+        store.load("g", dataset="wrn")
+    store.detach("g")
+    store.load("g", dataset="wrn")   # fine once drained
+
+
+def test_unknown_key_raises(store):
+    with pytest.raises(ServeError, match="unknown graph"):
+        store.get("nope")
+    with pytest.raises(ServeError):
+        store.detach("nope")
+
+
+def test_attach_detach_counting(store):
+    store.attach("g")
+    store.attach("g")
+    assert store.get("g").attached == 2
+    assert store.get("g").total_attaches == 2
+    store.detach("g")
+    store.detach("g")
+    assert store.get("g").attached == 0
+    with pytest.raises(ServeError):
+        store.detach("g")
+
+
+def test_partitions_are_memoized_per_engine_and_nodes(store):
+    cluster = ClusterSpec(nodes=2, gpus_per_node=1).build()
+    e1 = store.build_engine("g", PowerGraphEngine, cluster)
+    e2 = store.build_engine("g", PowerGraphEngine, cluster)
+    assert e2.pgraph is e1.pgraph          # shared immutable partition
+    assert e2 is not e1                    # fresh engine state
+    assert store.partition_builds == 1 and store.partition_hits == 1
+
+    # different strategy or node count -> its own partition
+    store.build_engine("g", GraphXEngine, cluster)
+    four = ClusterSpec(nodes=4, gpus_per_node=1).build()
+    e4 = store.build_engine("g", PowerGraphEngine, four)
+    assert e4.pgraph is not e1.pgraph
+    assert store.partition_builds == 3
+
+
+def test_reload_drops_memoized_partitions(store):
+    cluster = ClusterSpec(nodes=2, gpus_per_node=1).build()
+    e1 = store.build_engine("g", PowerGraphEngine, cluster)
+    store.load("g", dataset="wrn")
+    e2 = store.build_engine("g", PowerGraphEngine, cluster)
+    assert e2.pgraph is not e1.pgraph
+    assert store.partition_builds == 2
+
+
+def test_unload(store):
+    store.attach("g")
+    with pytest.raises(ServeError, match="attached"):
+        store.unload("g")
+    store.detach("g")
+    store.unload("g")
+    assert "g" not in store and len(store) == 0
+
+
+def test_bytes_accounting(store):
+    entry = store.get("g")
+    g = entry.graph
+    expected = (g.indptr.nbytes + g.src.nbytes + g.dst.nbytes
+                + g.weights.nbytes)
+    assert entry.nbytes == expected
+    assert store.total_bytes() == expected
+    assert store.attached_bytes() == 0     # nothing attached yet
+    store.attach("g")
+    assert store.attached_bytes() == expected
+    store.attach("g")                      # second job: counted once
+    assert store.attached_bytes() == expected
+
+
+def test_stats_shape(store):
+    stats = store.stats()
+    assert stats["graphs"]["g"]["version"] == 1
+    assert stats["total_bytes"] > 0
+    assert stats["partitions"] == 0

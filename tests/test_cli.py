@@ -91,7 +91,7 @@ def test_all_figures_registered():
     assert set(FIGURES) == {
         "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
         "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
-        "fault_soak", "straggler_soak", "topology_soak",
+        "fault_soak", "straggler_soak", "topology_soak", "serve_soak",
     }
 
 
@@ -192,3 +192,102 @@ def test_run_trace_export(tmp_path, capsys):
     import json as _json
     doc = _json.loads(json_path.read_text())
     assert doc["summary"]["iterations"] == 2
+
+
+# -- serving: submit + serve ------------------------------------------------------------
+
+def submit(jobs_file, *extra):
+    return main(["submit", "--jobs-file", str(jobs_file),
+                 "--graph", "wrn", "--max-iterations", "4", *extra])
+
+
+def test_submit_appends_job_lines(tmp_path, capsys):
+    jobs = tmp_path / "jobs.jsonl"
+    assert submit(jobs, "--tenant", "alice") == 0
+    assert submit(jobs, "--tenant", "bob", "--algorithm", "cc") == 0
+    lines = jobs.read_text().strip().splitlines()
+    assert len(lines) == 2
+    import json as _json
+    first = _json.loads(lines[0])
+    assert first["tenant"] == "alice" and first["graph"] == "wrn"
+
+
+def test_submit_validates_before_persisting(tmp_path, capsys):
+    jobs = tmp_path / "jobs.jsonl"
+    assert submit(jobs, "--algorithm", "nope") == 2
+    assert "unknown algorithm" in capsys.readouterr().err
+    assert submit(jobs, "--params", "not json") == 2
+    assert submit(jobs, "--params", "[1, 2]") == 2
+    assert not jobs.exists()
+
+
+def test_serve_drains_jobs_and_reports(tmp_path, capsys):
+    jobs = tmp_path / "jobs.jsonl"
+    submit(jobs, "--tenant", "alice")
+    submit(jobs, "--tenant", "bob")          # identical -> coalesces
+    capsys.readouterr()
+    rc = main(["serve", "--jobs-file", str(jobs), "--nodes", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "alice" in out and "bob" in out
+    assert "serving session" in out
+    assert "coalesced 1" in out
+
+
+def test_serve_cache_hits_across_waves_in_json(tmp_path, capsys):
+    jobs = tmp_path / "jobs.jsonl"
+    submit(jobs, "--tenant", "alice")
+    rc = main(["serve", "--jobs-file", str(jobs), "--nodes", "2"])
+    assert rc == 0
+    capsys.readouterr()
+    # same file again in one process: fresh service, cold cache
+    rc = main(["serve", "--jobs-file", str(jobs), "--nodes", "2",
+               "--json"])
+    assert rc == 0
+    import json as _json
+    doc = _json.loads(capsys.readouterr().out)
+    assert doc["jobs"][0]["state"] == "done"
+    assert doc["metrics"]["cache"]["misses"] >= 1
+
+
+def test_serve_with_injected_crash_isolates_tenants(tmp_path, capsys):
+    jobs = tmp_path / "jobs.jsonl"
+    submit(jobs, "--tenant", "chaos", "--preset", "resilient",
+           "--no-cache", "--fault-kind", "crash", "--fault-repeat", "2")
+    submit(jobs, "--tenant", "alice")
+    capsys.readouterr()
+    rc = main(["serve", "--jobs-file", str(jobs), "--nodes", "2",
+               "--trace-dir", str(tmp_path / "traces")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert out.count("done") >= 2
+    assert (tmp_path / "traces" / "job-1.json").exists()
+    assert (tmp_path / "traces" / "job-2.json").exists()
+
+
+def test_serve_rejects_bad_jobs_file(tmp_path, capsys):
+    missing = tmp_path / "none.jsonl"
+    assert main(["serve", "--jobs-file", str(missing)]) == 2
+    assert "bad jobs file" in capsys.readouterr().err
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("\n")
+    assert main(["serve", "--jobs-file", str(empty)]) == 2
+    assert "no jobs" in capsys.readouterr().err
+
+
+def test_serve_rejects_bad_graph_clause(tmp_path, capsys):
+    jobs = tmp_path / "jobs.jsonl"
+    submit(jobs)
+    capsys.readouterr()
+    rc = main(["serve", "--jobs-file", str(jobs), "--graph", "noequals"])
+    assert rc == 2
+    assert "KEY=DATASET" in capsys.readouterr().err
+
+
+def test_serve_unknown_dataset_key_errors(tmp_path, capsys):
+    jobs = tmp_path / "jobs.jsonl"
+    main(["submit", "--jobs-file", str(jobs), "--graph", "mystery"])
+    capsys.readouterr()
+    rc = main(["serve", "--jobs-file", str(jobs)])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
