@@ -893,3 +893,112 @@ def run_serve_soak(dataset: str = "wrn", num_nodes: int = 2,
                      float(np.percentile(arr, 99)), svc.now_ms,
                      min(speedups) if speedups else 1.0, isolated))
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Serve chaos: crash at random points, recover, demand bit-identity
+# ---------------------------------------------------------------------------
+
+def run_serve_chaos(dataset: str = "wrn", num_nodes: int = 2,
+                    seeds: Sequence[int] = (11, 23, 47),
+                    max_iter: int = 10,
+                    journal_dir: Optional[str] = None) -> List[Tuple]:
+    """Rows: (seed, killed_at, jobs, pre_crash_done, resumed,
+    identical, steps_saved, replay_noop).
+
+    The crash-safety soak.  Per seed: a journaled no-crash baseline
+    serves the :data:`SERVE_MIX`; then an identical journaled run is
+    killed after a seeded-random number of scheduling rounds (the
+    process state is simply dropped — nothing is flushed beyond what
+    the write-ahead journal already holds); then
+    :meth:`~repro.serve.GraphService.recover` rebuilds the service
+    from the journal and drives it to completion.
+
+    * ``identical`` — every job's final values are byte-identical to
+      the no-crash baseline's (finished jobs restored from their
+      journaled sidecars, in-flight jobs resumed from checkpoints and
+      re-run);
+    * ``steps_saved`` — supersteps the checkpoint resumes avoided,
+      summed over resumed jobs (each must recompute *strictly fewer*
+      supersteps than its cold baseline run);
+    * ``replay_noop`` — recovering the finished journal a second time
+      re-queues nothing, preserves every terminal state, and appends
+      not a single record.
+    """
+    import os
+    import random
+    import tempfile
+
+    from ..serve import GraphService, JobSpec
+    from ..serve.journal import read_journal
+
+    graph = load_dataset(dataset)
+    spec = ClusterSpec(nodes=num_nodes, gpus_per_node=1)
+    base_dir = journal_dir or tempfile.mkdtemp(prefix="serve_chaos_")
+
+    def submit_mix(svc):
+        return [svc.submit(JobSpec(
+            graph=dataset, algorithm=algorithm, params=params,
+            tenant=f"t{tenant}", max_iterations=max_iter))
+            for tenant, (algorithm, params) in enumerate(SERVE_MIX)]
+
+    rows = []
+    for seed in seeds:
+        jdir = os.path.join(base_dir, f"seed{seed}")
+        os.makedirs(jdir, exist_ok=True)
+
+        # no-crash baseline, journaled too: journaling (and the forced
+        # checkpoint interval that rides with it) must never move values
+        base = GraphService(spec,
+                            journal=os.path.join(jdir, "base.jsonl"))
+        base.load_graph(dataset, graph)
+        bjobs = submit_mix(base)
+        base.run()
+        base_vals = {j.job_id: j.values.copy() for j in bjobs}
+        cold_steps = {j.job_id: len(j.result.stats) for j in bjobs}
+
+        # the crash run: a seeded-random number of scheduling rounds,
+        # then the process "dies" — the abandoned service is never
+        # drained, so the journal ends mid-flight
+        jpath = os.path.join(jdir, "crash.jsonl")
+        svc = GraphService(spec, journal=jpath)
+        svc.load_graph(dataset, graph)
+        submit_mix(svc)
+        kill_at = random.Random(seed).randrange(3, 15)
+        killed_at = 0
+        for _ in range(kill_at):
+            if not svc.step():
+                break
+            killed_at += 1
+        del svc
+
+        rec = GraphService.recover(jpath, graphs={dataset: graph})
+        resumed_ids = {j.job_id for j in rec.queue.jobs()
+                       if j.resume_from is not None}
+        pre_crash_done = len(bjobs) - rec.recovered_jobs
+        rec.run()
+
+        identical = True
+        steps_saved = 0
+        for job_id, expect in base_vals.items():
+            job = rec.job(job_id)
+            if job.state != "done" or not np.array_equal(job.values,
+                                                         expect):
+                identical = False
+            if job_id in resumed_ids and job.result is not None:
+                recomputed = len(job.result.stats)
+                if recomputed >= cold_steps[job_id]:
+                    identical = False  # resume bought nothing: a bug
+                steps_saved += cold_steps[job_id] - recomputed
+
+        before = len(read_journal(jpath))
+        rec2 = GraphService.recover(jpath, graphs={dataset: graph})
+        replay_noop = (rec2.recovered_jobs == 0
+                       and len(read_journal(jpath)) == before
+                       and all(rec2.job(i).state == "done"
+                               for i in base_vals))
+
+        rows.append((seed, killed_at, len(bjobs), pre_crash_done,
+                     len(resumed_ids), identical, steps_saved,
+                     replay_noop))
+    return rows

@@ -62,6 +62,7 @@ FIGURES = (
     "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
     "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
     "fault_soak", "straggler_soak", "topology_soak", "serve_soak",
+    "serve_chaos",
 )
 
 
@@ -165,6 +166,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "(full/baseline/resilient/network-resilient)")
     submit.add_argument("--no-cache", action="store_true",
                         help="bypass the result cache for this job")
+    submit.add_argument("--deadline-ms", type=float, default=None,
+                        help="submit-to-finish budget on the service "
+                             "clock; a job that blows it fails with "
+                             "'deadline exceeded'")
+    submit.add_argument("--max-retries", type=int, default=None,
+                        help="retry budget: failed runs resume from "
+                             "their last checkpoint up to N times "
+                             "before quarantine (default 0)")
+    submit.add_argument("--retry-backoff-ms", type=float, default=None,
+                        help="base of the exponential retry backoff "
+                             "(doubles per attempt; default 1.0)")
     submit.add_argument("--fault-kind", default=None,
                         help="inject a single fault into this job "
                              "(e.g. crash); other tenants are isolated")
@@ -174,8 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve", help="run a multi-tenant serving session to completion")
-    serve.add_argument("--jobs-file", metavar="PATH", required=True,
-                       help="JSON-lines file written by submit")
+    serve.add_argument("--jobs-file", metavar="PATH", default=None,
+                       help="JSON-lines file written by submit "
+                            "(required unless --recover)")
     serve.add_argument("--graph", action="append", metavar="KEY=DATASET",
                        default=None,
                        help="load DATASET into the store under KEY "
@@ -195,8 +208,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max concurrently running jobs (default 4)")
     serve.add_argument("--cache-entries", type=int, default=64,
                        help="result-cache capacity (default 64)")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       help="overload shed: refuse submissions once "
+                            "this many jobs are pending")
+    serve.add_argument("--max-pending-per-tenant", type=int,
+                       default=None,
+                       help="overload shed: per-tenant pending cap")
+    serve.add_argument("--waiter-timeout-ms", type=float, default=None,
+                       help="simulated ms a coalesced query waits for "
+                            "its singleflight leader before the group "
+                            "recomputes (default: wait forever)")
     serve.add_argument("--trace-dir", metavar="DIR", default=None,
                        help="write one per-job trace JSON into DIR")
+    serve.add_argument("--journal", metavar="PATH", default=None,
+                       help="write-ahead job journal; every lifecycle "
+                            "transition is durable before the service "
+                            "acts on it (see docs/serving.md)")
+    serve.add_argument("--recover", action="store_true",
+                       help="rebuild the service from --journal instead "
+                            "of starting fresh: finished jobs re-serve "
+                            "from their journaled results, in-flight "
+                            "jobs resume from their last checkpoint")
+    serve.add_argument("--drain-after", type=int, metavar="STEPS",
+                       default=None,
+                       help="run STEPS scheduling rounds, then drain: "
+                            "finish running jobs, shed pending ones, "
+                            "journal a clean-shutdown marker")
     serve.add_argument("--json", action="store_true",
                        help="print the final metrics as JSON")
 
@@ -440,6 +477,9 @@ def cmd_figure(name: str) -> int:
                        "cache hits", "hit rate", "coalesced", "p50 ms",
                        "p99 ms", "makespan ms", "cached speedup",
                        "isolated"],
+        "serve_chaos": ["seed", "killed at", "jobs", "pre-crash done",
+                        "resumed", "identical", "steps saved",
+                        "replay no-op"],
     }
     if name == "fig15":
         out = runner.run_fig15()
@@ -522,6 +562,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
         record["max_iterations"] = args.max_iterations
     if args.no_cache:
         record["use_cache"] = False
+    if args.deadline_ms is not None:
+        record["deadline_ms"] = args.deadline_ms
+    if args.max_retries is not None:
+        record["max_retries"] = args.max_retries
+    if args.retry_backoff_ms is not None:
+        record["retry_backoff_ms"] = args.retry_backoff_ms
     if args.fault_kind is not None:
         record["fault"] = {"kind": args.fault_kind,
                            "superstep": args.fault_superstep,
@@ -542,30 +588,56 @@ def cmd_submit(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import json
 
-    from .errors import ReproError
+    from .errors import AdmissionError, ReproError
     from .serve import GraphService, JobSpec
 
-    try:
-        with open(args.jobs_file, "r", encoding="utf-8") as f:
-            lines = [line for line in f if line.strip()]
-        specs = [JobSpec.from_dict(json.loads(line)) for line in lines]
-    except (OSError, json.JSONDecodeError, ReproError) as exc:
-        print(f"error: bad jobs file {args.jobs_file!r}: {exc}",
+    if args.recover and args.journal is None:
+        print("error: --recover replays a journal; it needs --journal",
               file=sys.stderr)
         return 2
-    if not specs:
-        print(f"error: no jobs in {args.jobs_file!r}", file=sys.stderr)
+    if args.jobs_file is None and not args.recover:
+        print("error: --jobs-file is required (unless --recover "
+              "re-queues journaled jobs)", file=sys.stderr)
+        return 2
+    if args.drain_after is not None and args.drain_after < 0:
+        print(f"error: --drain-after must be >= 0, got "
+              f"{args.drain_after}", file=sys.stderr)
         return 2
 
-    spec = ClusterSpec(nodes=args.nodes, gpus_per_node=args.gpus,
-                       topology=args.topology)
+    specs = []
+    if args.jobs_file is not None:
+        try:
+            with open(args.jobs_file, "r", encoding="utf-8") as f:
+                lines = [line for line in f if line.strip()]
+            specs = [JobSpec.from_dict(json.loads(line)) for line in lines]
+        except (OSError, json.JSONDecodeError, ReproError) as exc:
+            print(f"error: bad jobs file {args.jobs_file!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not specs and not args.recover:
+            print(f"error: no jobs in {args.jobs_file!r}",
+                  file=sys.stderr)
+            return 2
+
+    shed = []
     try:
-        service = GraphService(spec,
-                               memory_budget_mb=args.memory_budget_mb,
-                               daemon_budget=args.daemon_budget,
-                               max_running=args.max_running,
-                               cache_entries=args.cache_entries,
-                               trace_dir=args.trace_dir)
+        if args.recover:
+            service = GraphService.recover(args.journal,
+                                           trace_dir=args.trace_dir)
+        else:
+            spec = ClusterSpec(nodes=args.nodes, gpus_per_node=args.gpus,
+                               topology=args.topology)
+            service = GraphService(
+                spec,
+                memory_budget_mb=args.memory_budget_mb,
+                daemon_budget=args.daemon_budget,
+                max_running=args.max_running,
+                cache_entries=args.cache_entries,
+                trace_dir=args.trace_dir,
+                max_queue_depth=args.max_queue_depth,
+                max_pending_per_tenant=args.max_pending_per_tenant,
+                waiter_timeout_ms=args.waiter_timeout_ms,
+                journal=args.journal)
         graphs = {}
         for clause in args.graph or []:
             key, sep, dataset = clause.partition("=")
@@ -580,16 +652,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 graphs[job_spec.graph] = job_spec.graph  # dataset name
         for key, dataset in graphs.items():
             service.load_graph(key, dataset=dataset)
-        jobs = [service.submit(s) for s in specs]
-        service.run()
+        for s in specs:
+            try:
+                service.submit(s)
+            except AdmissionError as exc:
+                # overload sheds are load management, not config errors:
+                # record and keep draining the rest of the file
+                shed.append(str(exc))
+        if args.drain_after is not None:
+            for _ in range(args.drain_after):
+                if not service.step():
+                    break
+            service.drain()
+        else:
+            service.run()
+            if args.journal is not None and not args.recover:
+                service.drain()  # journal the clean-shutdown marker
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    jobs = service.jobs()
+    bad = [j for j in jobs if j.state in ("failed", "quarantined")]
     if args.json:
-        print(json.dumps({"jobs": [j.describe() for j in jobs],
+        print(json.dumps({"ok": not bad,
+                          "failed_jobs": [j.job_id for j in bad],
+                          "shed": shed,
+                          "jobs": [j.describe() for j in jobs],
                           "metrics": service.metrics()}, indent=2))
-        return 0
+        return 1 if bad else 0
     rows = [(j.job_id, j.spec.tenant, j.spec.algorithm, j.spec.graph,
              j.state, "yes" if j.from_cache else "no",
              round(j.queue_ms, 3) if j.queue_ms is not None else "-",
@@ -611,8 +702,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"  {tenant}: {row['consumed_ms']:.3f} ms over "
               f"{row['slices']} slices, {row['jobs_finished']} jobs "
               f"({row['cache_hits']} cached)")
-    failed = [j for j in jobs if j.state == "failed"]
-    return 1 if failed else 0
+    for line in shed:
+        print(f"shed: {line}")
+    if service.recovered_jobs:
+        print(f"recovered: {service.recovered_jobs} job(s) re-queued, "
+              f"{service.resumed_from_checkpoint} resumed from a "
+              f"checkpoint")
+    if bad:
+        print(f"{len(bad)} job(s) ended failed/quarantined: "
+              + ", ".join(f"#{j.job_id}" for j in bad))
+    return 1 if bad else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -357,6 +357,19 @@ class Agent:
             self._validate_partial(src_ids, dst_ids, weights, values,
                                    algorithm, partial)
 
+        # The authoritative message data is the monolithic gen+merge over
+        # the agent's triplets.  The blocked pipeline computes the same
+        # quantity (asserted above under ``config.validate``) but groups
+        # the floating-point reduction by block, and block boundaries move
+        # with every timing-adaptive input — cache hit ratios, straggler
+        # inflation, daemon shares.  Deriving the returned data from the
+        # triplets alone keeps the invariant that those knobs shape cost,
+        # never values, exact at the bit level; checkpoint-resume recovery
+        # (a fresh agent re-executing a warmed agent's superstep) depends
+        # on that.
+        partial = algorithm.msg_merge(
+            dst_ids, algorithm.msg_gen(src_ids, dst_ids, weights, values))
+
         result = EdgePassResult(
             partial=partial,
             elapsed_ms=elapsed,

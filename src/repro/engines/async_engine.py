@@ -54,7 +54,8 @@ class AsyncEngine(IterativeEngine):
         return cls(pgraph, cluster, middleware)
 
     def run_stepwise(self, algorithm: AlgorithmTemplate,
-                     max_iterations: Optional[int] = None):
+                     max_iterations: Optional[int] = None, *,
+                     resume_from=None):
         # the guard lives on the stepwise form so both run() and an
         # external scheduler driving run_stepwise() directly hit it
         if not algorithm.monotone:
@@ -64,4 +65,5 @@ class AsyncEngine(IterativeEngine):
                 f"algorithms; use GraphXEngine/PowerGraphEngine"
             )
         return super().run_stepwise(algorithm,
-                                    max_iterations=max_iterations)
+                                    max_iterations=max_iterations,
+                                    resume_from=resume_from)

@@ -119,6 +119,9 @@ class StepEvent:
     iteration: int             # engine iteration after this quantum
     sim_ms: float              # simulated ms this quantum charged
     converged: bool = False    # True on the final superstep of a run
+    #: True when this quantum saved a checkpoint — the signal the
+    #: serving layer uses to externalize a fresh durable resume point
+    checkpointed: bool = False
 
 
 @dataclass
@@ -279,9 +282,11 @@ class IterativeEngine:
     # -- main loop ----------------------------------------------------------------------
 
     def run(self, algorithm: AlgorithmTemplate,
-            max_iterations: Optional[int] = None) -> RunResult:
+            max_iterations: Optional[int] = None, *,
+            resume_from=None) -> RunResult:
         """Run ``algorithm`` to convergence (or the iteration cap)."""
-        stepper = self.run_stepwise(algorithm, max_iterations)
+        stepper = self.run_stepwise(algorithm, max_iterations,
+                                    resume_from=resume_from)
         while True:
             try:
                 next(stepper)
@@ -289,7 +294,8 @@ class IterativeEngine:
                 return stop.value
 
     def run_stepwise(self, algorithm: AlgorithmTemplate,
-                     max_iterations: Optional[int] = None):
+                     max_iterations: Optional[int] = None, *,
+                     resume_from=None):
         """Generator form of :meth:`run`: yields a :class:`StepEvent`
         after every superstep (and rollback) and returns the final
         :class:`RunResult` as the generator's return value.
@@ -298,6 +304,15 @@ class IterativeEngine:
         bit-identical values, stats and costs.  Suspending between
         yields lets the serving layer time-slice the daemon pool across
         several concurrent jobs at superstep granularity.
+
+        ``resume_from`` — a :class:`~repro.fault.checkpoint.Checkpoint`
+        (anything with ``iteration``/``values``/``active``): instead of
+        ``algorithm.init_state``, the run is seeded from that snapshot
+        and continues at the *absolute* iteration it captures.  Because
+        engine state is fully determined by ``(values, active,
+        iteration)``, a resumed run reproduces the tail of the original
+        bit-for-bit; ``RunResult.iterations`` stays absolute while
+        ``stats`` covers only the supersteps actually re-executed.
         """
         wall_start = perf_counter()
         self.wall_s = dict.fromkeys(WALL_PHASES, 0.0)
@@ -332,6 +347,10 @@ class IterativeEngine:
         total_ms = setup_ms
         converged = False
         iteration = 0
+        if resume_from is not None:
+            values = np.array(resume_from.values, copy=True)
+            active = np.array(resume_from.active, copy=True)
+            iteration = int(resume_from.iteration)
 
         # fault tolerance: periodic vertex-table checkpoints plus the
         # iteration-0 state, so an unrecoverable node fault rolls the run
@@ -344,10 +363,18 @@ class IterativeEngine:
                     mw.config.checkpoint_interval,
                     ms_per_cell=mw.config.checkpoint_ms_per_cell,
                     fixed_ms=mw.config.checkpoint_fixed_ms)
+                if resume_from is not None:
+                    # the resume point is already durable: install it as
+                    # the free full base so a mid-run rollback can reach
+                    # it before the first own checkpoint falls due
+                    store.seed(iteration, values, active)
             if mw.config.degrade_to_host:
                 origin = (values.copy(), active.copy())
             if any(a.degraded for a in mw.agents.values()):
                 use_async = False  # degraded nodes force the strict path
+        # external resume/peek handle for the serving layer (journal,
+        # checkpoint-resume retries); None when checkpointing is off
+        self.checkpoint_store = store
         rollbacks = 0
         wasted_ms = 0.0
         rebalance_events = 0
@@ -462,7 +489,8 @@ class IterativeEngine:
                 pending_ckpt_ms = 0.0
             if changed_ids.size:
                 changed_accum.append(changed_ids)
-            if store is not None and store.due(iteration):
+            took_checkpoint = store is not None and store.due(iteration)
+            if took_checkpoint:
                 changed = (np.concatenate(changed_accum) if changed_accum
                            else np.empty(0, dtype=np.int64))
                 save_ms = store.save(
@@ -543,7 +571,7 @@ class IterativeEngine:
             if algorithm.is_converged(changed_total, iteration):
                 converged = True
             yield StepEvent("superstep", iteration, total_ms - step_ms0,
-                            converged)
+                            converged, checkpointed=took_checkpoint)
             if converged:
                 break
 

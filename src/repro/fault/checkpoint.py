@@ -187,6 +187,50 @@ class CheckpointStore:
             return self._deltas[-1].iteration
         return self._checkpoints[-1].iteration if self._checkpoints else None
 
+    def peek(self) -> Optional[Checkpoint]:
+        """The newest saved state, reconstructed without side effects.
+
+        Like :meth:`restore` but free: no restore is counted, no cost
+        is modeled (``cost_ms`` is 0) and the next save is *not* forced
+        full — the engine's run is not perturbed.  This is what the
+        serving layer uses to externalize a job's resume point after a
+        failure or into a durable journal.  Returns ``None`` before the
+        first save.
+        """
+        if not self._checkpoints:
+            return None
+        base = self._checkpoints[-1]
+        values = np.array(base.values, copy=True)
+        active = np.array(base.active, copy=True)
+        iteration = base.iteration
+        for delta in self._deltas:
+            values[delta.ids] = delta.rows
+            active[delta.active_flips] = ~active[delta.active_flips]
+            iteration = delta.iteration
+        return Checkpoint(iteration=iteration, values=values,
+                          active=active, cost_ms=0.0)
+
+    def seed(self, iteration: int, values: np.ndarray,
+             active: np.ndarray) -> None:
+        """Install pre-existing state as the base full snapshot, free.
+
+        A resumed run (``run_stepwise(..., resume_from=ckpt)``) starts
+        from state that is *already durable* — it was read back from a
+        checkpoint — so the store begins life holding it as the full
+        base, at zero simulated cost and without counting a save.  A
+        mid-run rollback can then restore to the resume point even
+        before the resumed run's first own checkpoint falls due.
+        """
+        if self._checkpoints or self._deltas:
+            raise CheckpointError("seed on a non-empty checkpoint store")
+        self._checkpoints.append(Checkpoint(
+            iteration=int(iteration),
+            values=np.array(values, copy=True),
+            active=np.array(active, copy=True),
+            cost_ms=0.0,
+        ))
+        self._last_active = np.array(active, copy=True)
+
     def restore(self) -> Checkpoint:
         """The newest saved state plus its (charged) read-back cost.
 

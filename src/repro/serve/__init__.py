@@ -7,6 +7,11 @@ control, a fair-share scheduler time-slices the daemon pool across
 them at superstep granularity, and a version-keyed :class:`ResultCache`
 answers repeated queries at lookup cost.  :class:`GraphService` is the
 facade tying the four pieces together.
+
+The service is crash-safe when given a journal path: the write-ahead
+:class:`JobJournal` records every lifecycle transition, and
+``GraphService.recover(path)`` rebuilds a crashed service by idempotent
+replay, resuming in-flight jobs from their last durable checkpoint.
 """
 
 from .cache import CACHE_LOOKUP_MS, CachedResult, ResultCache, params_fingerprint
@@ -17,10 +22,18 @@ from .job import (
     ENGINES as JOB_ENGINES,
     FAILED,
     PENDING,
+    QUARANTINED,
     RUNNING,
     STATES,
     Job,
     JobSpec,
+)
+from .journal import (
+    JOURNAL_VERSION,
+    JobJournal,
+    JournalState,
+    read_journal,
+    replay_journal,
 )
 from .queue import AdmissionControl, JobQueue, ResourceUsage
 from .scheduler import FairShareLedger, FairShareScheduler, RunningJob
@@ -45,6 +58,12 @@ __all__ = [
     "DONE",
     "FAILED",
     "CANCELLED",
+    "QUARANTINED",
+    "JobJournal",
+    "JournalState",
+    "JOURNAL_VERSION",
+    "read_journal",
+    "replay_journal",
     "AdmissionControl",
     "JobQueue",
     "ResourceUsage",

@@ -127,6 +127,25 @@ class ResultCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def put_entry(self, key: CacheKey, entry: CachedResult) -> bool:
+        """Install an already-built entry if the key is absent.
+
+        The journal-recovery path: replaying a ``finished`` record must
+        be idempotent, so an entry that is already present (an earlier
+        replay, or a fresher recompute) is left untouched.  Returns
+        True if the entry was installed.
+        """
+        if key in self._entries:
+            return False
+        self._entries[key] = CachedResult(
+            entry.values.copy(), entry.iterations, entry.converged,
+            entry.compute_ms, entry.engine, entry.algorithm)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return True
+
     def invalidate_graph(self, graph_key: str) -> int:
         """Drop every entry for ``graph_key`` (any version).
 

@@ -13,6 +13,7 @@ from the result cache.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
@@ -25,10 +26,11 @@ from ..algorithms import (
     PageRank,
     WidestPath,
 )
-from ..core.config import RuntimeConfig
+from ..core.config import MiddlewareConfig, RuntimeConfig, StragglerConfig
 from ..engines import AsyncEngine, GraphXEngine, PowerGraphEngine
 from ..errors import ServeError
 from ..fault import FaultPlan
+from ..fault.inject import FaultEvent
 
 #: Submittable algorithms, by wire name.
 ALGORITHMS = {
@@ -54,7 +56,9 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
-STATES = (PENDING, RUNNING, DONE, FAILED, CANCELLED)
+#: exhausted its retry budget: poison — recorded reason, never retried
+QUARANTINED = "quarantined"
+STATES = (PENDING, RUNNING, DONE, FAILED, CANCELLED, QUARANTINED)
 
 
 @dataclass(frozen=True)
@@ -71,6 +75,14 @@ class JobSpec:
     max_iterations: Optional[int] = None
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
     use_cache: bool = True
+    #: submit-to-finish budget on the service clock; a job that blows
+    #: it fails terminally with "deadline exceeded" (None = no deadline)
+    deadline_ms: Optional[float] = None
+    #: failed runs are retried (resuming from the last checkpoint) up
+    #: to this many times before the job is quarantined as poison
+    max_retries: int = 0
+    #: base of the exponential retry backoff (doubles per attempt)
+    retry_backoff_ms: float = 1.0
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -83,6 +95,25 @@ class JobSpec:
         if self.priority < 1:
             raise ServeError(
                 f"priority must be >= 1, got {self.priority}")
+        if self.deadline_ms is not None and not (
+                isinstance(self.deadline_ms, (int, float))
+                and not isinstance(self.deadline_ms, bool)
+                and self.deadline_ms > 0):
+            raise ServeError(
+                f"deadline_ms must be a positive number, "
+                f"got {self.deadline_ms!r}")
+        if not isinstance(self.max_retries, int) \
+                or isinstance(self.max_retries, bool) \
+                or self.max_retries < 0:
+            raise ServeError(
+                f"max_retries must be an int >= 0, "
+                f"got {self.max_retries!r}")
+        if not isinstance(self.retry_backoff_ms, (int, float)) \
+                or isinstance(self.retry_backoff_ms, bool) \
+                or self.retry_backoff_ms < 0:
+            raise ServeError(
+                f"retry_backoff_ms must be a number >= 0, "
+                f"got {self.retry_backoff_ms!r}")
 
     def build_algorithm(self):
         """Instantiate the algorithm with this spec's parameters.
@@ -121,15 +152,22 @@ class JobSpec:
 
         Recognized keys: ``graph`` (required), ``algorithm``,
         ``params``, ``engine``, ``tenant``, ``priority``,
-        ``max_iterations``, ``use_cache``, ``preset`` (a
+        ``max_iterations``, ``use_cache``, ``deadline_ms``,
+        ``max_retries``, ``retry_backoff_ms``, ``preset`` (a
         :data:`~repro.core.config.PRESETS` name), and ``fault`` — a
         ``{kind, superstep, node, repeat}`` single-fault shorthand
         armed onto the preset's runtime.
+
+        Unknown keys and malformed deadline/retry fields raise
+        :class:`~repro.errors.ServeError` here — a bad jobs-file line
+        fails at submit, not mid-serve.
         """
         doc = dict(doc)
         unknown = set(doc) - {"graph", "algorithm", "params", "engine",
                               "tenant", "priority", "max_iterations",
-                              "use_cache", "preset", "fault"}
+                              "use_cache", "preset", "fault",
+                              "deadline_ms", "max_retries",
+                              "retry_backoff_ms"}
         if unknown:
             raise ServeError(f"unknown job keys: {sorted(unknown)}")
         if "graph" not in doc:
@@ -153,7 +191,81 @@ class JobSpec:
                    priority=doc.get("priority", 1),
                    max_iterations=doc.get("max_iterations"),
                    runtime=runtime,
-                   use_cache=doc.get("use_cache", True))
+                   use_cache=doc.get("use_cache", True),
+                   deadline_ms=doc.get("deadline_ms"),
+                   max_retries=doc.get("max_retries", 0),
+                   retry_backoff_ms=doc.get("retry_backoff_ms", 1.0))
+
+    # -- journal round-trip ------------------------------------------------
+
+    def to_doc(self) -> Dict[str, Any]:
+        """Lossless plain-dict form for the durable job journal.
+
+        Unlike :meth:`from_dict`'s jobs-file shorthand, this captures
+        the *resolved* :class:`~repro.core.config.RuntimeConfig` (every
+        middleware knob plus the full fault plan), so a recovered
+        service re-runs the job under exactly the submitted
+        configuration.
+        """
+        return {
+            "graph": self.graph,
+            "algorithm": self.algorithm,
+            "params": dict(self.params),
+            "engine": self.engine,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "max_iterations": self.max_iterations,
+            "use_cache": self.use_cache,
+            "deadline_ms": self.deadline_ms,
+            "max_retries": self.max_retries,
+            "retry_backoff_ms": self.retry_backoff_ms,
+            "runtime": runtime_to_doc(self.runtime),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, Any]) -> "JobSpec":
+        """Inverse of :meth:`to_doc` (journal recovery path)."""
+        doc = dict(doc)
+        runtime = runtime_from_doc(doc.get("runtime") or {})
+        return cls(graph=doc["graph"],
+                   algorithm=doc.get("algorithm", "pagerank"),
+                   params=doc.get("params", {}),
+                   engine=doc.get("engine", "powergraph"),
+                   tenant=doc.get("tenant", "default"),
+                   priority=doc.get("priority", 1),
+                   max_iterations=doc.get("max_iterations"),
+                   runtime=runtime,
+                   use_cache=doc.get("use_cache", True),
+                   deadline_ms=doc.get("deadline_ms"),
+                   max_retries=doc.get("max_retries", 0),
+                   retry_backoff_ms=doc.get("retry_backoff_ms", 1.0))
+
+
+def runtime_to_doc(runtime: RuntimeConfig) -> Dict[str, Any]:
+    """Serialize a :class:`RuntimeConfig` to plain JSON types.
+
+    ``dataclasses.asdict`` flattens the nested frozen dataclasses
+    (:class:`StragglerConfig`, :class:`FaultPlan` and its events) into
+    dicts of scalars; :func:`runtime_from_doc` rebuilds them.
+    """
+    return dataclasses.asdict(runtime.config)
+
+
+def runtime_from_doc(doc: Mapping[str, Any]) -> RuntimeConfig:
+    """Inverse of :func:`runtime_to_doc`."""
+    fields = dict(doc)
+    straggler = fields.pop("straggler", None)
+    if straggler is not None:
+        fields["straggler"] = StragglerConfig(**straggler)
+    plan = fields.pop("fault_plan", None)
+    if plan is not None:
+        fields["fault_plan"] = FaultPlan(events=tuple(
+            FaultEvent(**event) for event in plan.get("events", ())))
+    try:
+        return RuntimeConfig(config=MiddlewareConfig(**fields))
+    except TypeError as exc:
+        raise ServeError(
+            f"bad journaled runtime config: {exc}") from None
 
 
 class Job:
@@ -176,10 +288,19 @@ class Job:
         self.error: Optional[str] = None
         self.from_cache = False
         self.fault_report = None
+        #: failed runs so far (bounded by ``spec.max_retries``)
+        self.retries = 0
+        #: Checkpoint to seed the next dispatch from (retry / recovery)
+        self.resume_from = None
+        #: service-clock instant before which a retry must not dispatch
+        #: (exponential backoff); None = dispatchable immediately
+        self.not_before_ms: Optional[float] = None
+        #: why the job was quarantined (None unless state QUARANTINED)
+        self.quarantine_reason: Optional[str] = None
 
     @property
     def finished(self) -> bool:
-        return self.state in (DONE, FAILED, CANCELLED)
+        return self.state in (DONE, FAILED, CANCELLED, QUARANTINED)
 
     @property
     def values(self):
@@ -220,6 +341,9 @@ class Job:
             "consumed_ms": round(self.consumed_ms, 6),
             "slices": self.slices,
             "error": self.error,
+            "deadline_ms": spec.deadline_ms,
+            "retries": self.retries,
+            "quarantine_reason": self.quarantine_reason,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,332 @@
+"""Durable write-ahead journal for the serving layer's job lifecycle.
+
+The :class:`~repro.serve.service.GraphService` of PR 6 kept every queued
+and in-flight job in process memory: a crash of the serving loop lost
+the queue, the running steppers and the result cache all at once.  This
+module gives the service a **write-ahead journal** in the
+recovery-by-replay shape GraphX uses for lineage (PAPERS.md): every job
+lifecycle transition is appended to a JSONL log *before* the service
+acts on it, bulk state (delta checkpoints of in-flight vertex tables,
+finished results) lands in an npz sidecar directory next to the log,
+and ``GraphService.recover()`` rebuilds the whole service by idempotent
+replay — finished jobs re-serve from the result cache, in-flight jobs
+resume from their last durable checkpoint instead of recomputing from
+iteration 0.
+
+Record kinds (one JSON object per line, ``rec`` discriminates)::
+
+    service_start   cluster spec + service budgets (first line)
+    graph_loaded    {key, dataset, version}; reloads append again
+    submitted       {job_id, spec, submitted_ms}
+    admitted        {job_id, resume_iteration}
+    slice           {job_id, iteration} — one per superstep quantum
+    checkpointed    {job_id, iteration, file} — durable resume point
+    finished        {job_id, from_cache, cache_key, file}
+    failed          {job_id, error, reason}
+    retry           {job_id, attempt, backoff_ms, resume_iteration}
+    quarantined     {job_id, reason}
+    cancelled       {job_id}
+    shed            {tenant, reason} — overload/deadline admission refusals
+    shutdown        {clean: true} — drain() wrote a clean-shutdown marker
+
+Every record also carries ``now_ms`` (the service clock at append time)
+so a replay can restore clock continuity.  Appends are flushed line by
+line and sidecar files are written via ``os.replace`` so a kill between
+any two operations never leaves a torn record — a partially written
+trailing line is detected and ignored by :func:`read_journal`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ServeError
+from ..fault.checkpoint import Checkpoint
+
+#: Journal format version, recorded in the ``service_start`` record.
+JOURNAL_VERSION = 1
+
+#: Record kinds a journal may contain (the wire vocabulary).
+RECORD_KINDS = (
+    "service_start", "graph_loaded", "submitted", "admitted", "slice",
+    "checkpointed", "finished", "failed", "retry", "quarantined",
+    "cancelled", "shed", "shutdown",
+)
+
+#: Terminal job record kinds — replay stops tracking a job after one.
+TERMINAL_KINDS = ("finished", "failed", "quarantined", "cancelled")
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively coerce a value into plain JSON types.
+
+    Tuples become lists and numpy scalars become Python scalars, so a
+    journaled spec round-trips through ``json`` without a custom
+    encoder; ``JobSpec.build_algorithm`` already re-tuples lists.
+    """
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+class JobJournal:
+    """Append-only JSONL lifecycle log plus an npz state sidecar dir.
+
+    The journal file holds small metadata records; bulk arrays (delta
+    checkpoints of in-flight jobs, finished result values) live in
+    ``<path>.d/`` and are referenced by filename, mirroring the
+    metadata-WAL / bulk-snapshot split of real serving systems.
+    """
+
+    def __init__(self, path: str, *, fresh: bool = False) -> None:
+        self.path = str(path)
+        self.state_dir = self.path + ".d"
+        os.makedirs(self.state_dir, exist_ok=True)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._f = open(self.path, "w" if fresh else "a", encoding="utf-8")
+        self.records_written = 0
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, rec: str, now_ms: float, **fields: Any) -> None:
+        """Durably append one lifecycle record."""
+        if rec not in RECORD_KINDS:
+            raise ServeError(f"unknown journal record kind {rec!r}")
+        if self._f.closed:
+            raise ServeError(f"journal {self.path!r} is closed")
+        doc = {"rec": rec, "now_ms": round(float(now_ms), 6)}
+        doc.update(_jsonify(fields))
+        self._f.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._f.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if not self._f.closed:
+            self._f.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._f.closed
+
+    # -- bulk state sidecars -----------------------------------------------
+
+    def _write_npz(self, name: str, arrays: Dict[str, np.ndarray]) -> str:
+        """Atomically write an npz sidecar; returns the bare filename."""
+        final = os.path.join(self.state_dir, name)
+        tmp = final + ".tmp"
+        with open(tmp, "wb") as f:
+            np.savez(f, **arrays)
+        os.replace(tmp, final)
+        return name
+
+    def save_checkpoint(self, job_id: int, ckpt: Checkpoint) -> str:
+        """Persist a job's latest delta-reconstructed checkpoint.
+
+        Overwrites the previous checkpoint for the job — recovery only
+        ever resumes from the newest durable state.
+        """
+        return self._write_npz(
+            f"job-{job_id}-ckpt.npz",
+            {"iteration": np.asarray(ckpt.iteration, dtype=np.int64),
+             "values": ckpt.values, "active": ckpt.active})
+
+    def load_checkpoint(self, job_id: int) -> Optional[Checkpoint]:
+        path = os.path.join(self.state_dir, f"job-{job_id}-ckpt.npz")
+        if not os.path.exists(path):
+            return None
+        with np.load(path) as doc:
+            return Checkpoint(iteration=int(doc["iteration"]),
+                              values=doc["values"].copy(),
+                              active=doc["active"].copy(),
+                              cost_ms=0.0)
+
+    def save_result(self, job_id: int, values: np.ndarray,
+                    iterations: int, converged: bool, compute_ms: float,
+                    engine: str, algorithm: str) -> str:
+        """Persist a finished job's answer for replay re-serving."""
+        return self._write_npz(
+            f"job-{job_id}-result.npz",
+            {"values": np.asarray(values),
+             "iterations": np.asarray(int(iterations), dtype=np.int64),
+             "converged": np.asarray(bool(converged)),
+             "compute_ms": np.asarray(float(compute_ms)),
+             "engine": np.asarray(engine),
+             "algorithm": np.asarray(algorithm)})
+
+    def load_result(self, job_id: int):
+        """The journaled answer as a :class:`~repro.serve.cache
+        .CachedResult` (None if the sidecar is missing)."""
+        from .cache import CachedResult
+        path = os.path.join(self.state_dir, f"job-{job_id}-result.npz")
+        if not os.path.exists(path):
+            return None
+        with np.load(path) as doc:
+            return CachedResult(values=doc["values"].copy(),
+                                iterations=int(doc["iterations"]),
+                                converged=bool(doc["converged"]),
+                                compute_ms=float(doc["compute_ms"]),
+                                engine=str(doc["engine"]),
+                                algorithm=str(doc["algorithm"]))
+
+
+def read_journal(path: str) -> List[Dict[str, Any]]:
+    """Parse a journal file into its records, oldest first.
+
+    A torn trailing line (the service was killed mid-append) is
+    silently dropped; a torn line anywhere *else* is corruption and
+    raises — replay must never skip committed history.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as exc:
+        raise ServeError(f"cannot read journal {path!r}: {exc}") from None
+    records: List[Dict[str, Any]] = []
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn trailing append from the crash
+            raise ServeError(
+                f"journal {path!r} is corrupt at line {i + 1}")
+        if not isinstance(doc, dict) or "rec" not in doc:
+            raise ServeError(
+                f"journal {path!r} line {i + 1} is not a record")
+        records.append(doc)
+    return records
+
+
+@dataclass
+class JobReplay:
+    """Everything replay learned about one journaled job."""
+
+    job_id: int
+    spec_doc: Dict[str, Any]
+    submitted_ms: float = 0.0
+    state: str = "pending"
+    error: Optional[str] = None
+    quarantine_reason: Optional[str] = None
+    from_cache: bool = False
+    cache_key: Optional[Tuple] = None
+    retries: int = 0
+    #: highest journaled superstep (the progress watermark)
+    last_iteration: int = 0
+    #: superstep of the newest durable checkpoint (None = none taken)
+    checkpoint_iteration: Optional[int] = None
+    result_file: Optional[str] = None
+    finished_ms: Optional[float] = None
+    consumed_ms: float = 0.0
+    slices: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed", "quarantined", "cancelled")
+
+
+@dataclass
+class JournalState:
+    """The outcome of replaying a journal: service + per-job state."""
+
+    meta: Optional[Dict[str, Any]] = None
+    #: (key, dataset) graph loads in journal order (reloads repeat)
+    graph_loads: List[Tuple[str, Optional[str]]] = field(
+        default_factory=list)
+    jobs: Dict[int, JobReplay] = field(default_factory=dict)
+    clean_shutdown: bool = False
+    now_ms: float = 0.0
+    sheds: int = 0
+
+    @property
+    def unfinished(self) -> List[JobReplay]:
+        """Jobs the crash left pending or in flight, submit order."""
+        return [j for j in sorted(self.jobs.values(),
+                                  key=lambda j: j.job_id)
+                if not j.terminal]
+
+
+def replay_journal(records: List[Dict[str, Any]]) -> JournalState:
+    """Fold a record stream into the final per-job lifecycle state.
+
+    Replay is a pure fold — no service is touched — and idempotent by
+    construction: the same records always produce the same state.
+    """
+    state = JournalState()
+    for doc in records:
+        rec = doc["rec"]
+        state.now_ms = max(state.now_ms, float(doc.get("now_ms", 0.0)))
+        if rec == "service_start":
+            state.meta = doc
+            continue
+        if rec == "graph_loaded":
+            state.graph_loads.append((doc["key"], doc.get("dataset")))
+            continue
+        if rec == "shutdown":
+            state.clean_shutdown = bool(doc.get("clean", False))
+            continue
+        if rec == "shed":
+            state.sheds += 1
+            continue
+        job_id = int(doc["job_id"])
+        if rec == "submitted":
+            state.jobs[job_id] = JobReplay(
+                job_id=job_id, spec_doc=doc["spec"],
+                submitted_ms=float(doc.get("submitted_ms", 0.0)))
+            continue
+        job = state.jobs.get(job_id)
+        if job is None:
+            raise ServeError(
+                f"journal records {rec!r} for job #{job_id} before its "
+                f"submitted record")
+        if rec == "admitted":
+            job.state = "running"
+        elif rec == "slice":
+            job.last_iteration = max(job.last_iteration,
+                                     int(doc["iteration"]))
+            job.slices += 1
+        elif rec == "checkpointed":
+            job.checkpoint_iteration = int(doc["iteration"])
+        elif rec == "retry":
+            job.retries = int(doc["attempt"])
+            job.state = "pending"
+        elif rec == "finished":
+            job.state = "done"
+            job.from_cache = bool(doc.get("from_cache", False))
+            key = doc.get("cache_key")
+            job.cache_key = tuple(key) if key is not None else None
+            job.result_file = doc.get("file")
+            job.finished_ms = float(doc["now_ms"])
+            job.consumed_ms = float(doc.get("consumed_ms", 0.0))
+        elif rec == "failed":
+            job.state = "failed"
+            job.error = doc.get("error")
+            job.finished_ms = float(doc["now_ms"])
+        elif rec == "quarantined":
+            job.state = "quarantined"
+            job.quarantine_reason = doc.get("reason")
+            job.error = doc.get("error", doc.get("reason"))
+            job.finished_ms = float(doc["now_ms"])
+        elif rec == "cancelled":
+            job.state = "cancelled"
+            job.finished_ms = float(doc["now_ms"])
+        else:  # pragma: no cover - read_journal validated kinds
+            raise ServeError(f"unknown journal record kind {rec!r}")
+    return state

@@ -16,6 +16,12 @@ or one job needs more daemons than exist — are rejected at submit time
 with :class:`~repro.errors.AdmissionError` instead of deadlocking the
 queue.  Jobs that merely cannot fit *now* wait.
 
+On top of the feasibility budgets sits **overload protection**: a max
+queue depth, per-tenant pending caps, and deadline-aware admission
+(a job whose deadline cannot be met given the current backlog's
+estimated wait is refused up front).  Every refusal is a *shed* with a
+recorded reason — load is dropped loudly, never silently.
+
 Dequeue order is strict priority, FIFO within a priority class, with
 one refinement: a job that fits may overtake a higher-priority job
 that does not (backfilling), so a big job waiting for memory never
@@ -48,18 +54,75 @@ class AdmissionControl:
     def __init__(self, memory_budget_bytes: Optional[int] = None,
                  daemon_budget: Optional[int] = None,
                  max_running: Optional[int] = None,
-                 daemons_per_job: int = 0) -> None:
+                 daemons_per_job: int = 0,
+                 max_queue_depth: Optional[int] = None,
+                 max_pending_per_tenant: Optional[int] = None) -> None:
         for name, value in (("memory_budget_bytes", memory_budget_bytes),
                             ("daemon_budget", daemon_budget),
-                            ("max_running", max_running)):
+                            ("max_running", max_running),
+                            ("max_queue_depth", max_queue_depth),
+                            ("max_pending_per_tenant",
+                             max_pending_per_tenant)):
             if value is not None and value <= 0:
                 raise ServeError(f"{name} must be positive, got {value}")
         self.memory_budget_bytes = memory_budget_bytes
         self.daemon_budget = daemon_budget
         self.max_running = max_running
         self.daemons_per_job = daemons_per_job
+        self.max_queue_depth = max_queue_depth
+        self.max_pending_per_tenant = max_pending_per_tenant
         self.deferrals = 0
         self.rejections = 0
+        #: overload/deadline refusals, with their recorded reasons
+        self.sheds = 0
+        self.shed_reasons: List[str] = []
+
+    def shed(self, job: Job, reason: str) -> AdmissionError:
+        """Record an overload refusal and build its error (not raised
+        here — the caller journals the shed first)."""
+        self.sheds += 1
+        self.shed_reasons.append(
+            f"job #{job.job_id} ({job.spec.tenant}): {reason}")
+        del self.shed_reasons[:-50]        # keep the tail bounded
+        return AdmissionError(
+            f"job #{job.job_id} ({job.spec.tenant}) shed: {reason}")
+
+    def overload_reason(self, job: Job, pending: List[Job],
+                        running: int) -> Optional[str]:
+        """Why admitting ``job`` would overload the service (None = ok).
+
+        ``pending`` is the current queue contents; ``running`` the
+        running-set size (a tenant's running jobs don't count against
+        its *pending* cap).
+        """
+        if (self.max_queue_depth is not None
+                and len(pending) >= self.max_queue_depth):
+            return (f"queue depth {len(pending)}/"
+                    f"{self.max_queue_depth} (overload)")
+        if self.max_pending_per_tenant is not None:
+            mine = sum(1 for p in pending
+                       if p.spec.tenant == job.spec.tenant)
+            if mine >= self.max_pending_per_tenant:
+                return (f"tenant {job.spec.tenant!r} has {mine}/"
+                        f"{self.max_pending_per_tenant} jobs pending")
+        return None
+
+    def deadline_reason(self, job: Job,
+                        estimated_wait_ms: Optional[float]
+                        ) -> Optional[str]:
+        """Refuse a deadline the backlog already makes unmeetable.
+
+        ``estimated_wait_ms`` is the service's queue-wait estimate
+        (None when it has no completed-job history yet — then nothing
+        is refused: shedding on a guess would be worse than queueing).
+        """
+        deadline = job.spec.deadline_ms
+        if deadline is None or estimated_wait_ms is None:
+            return None
+        if estimated_wait_ms > deadline:
+            return (f"deadline {deadline:g} ms unmeetable: estimated "
+                    f"queue wait {estimated_wait_ms:.3f} ms")
+        return None
 
     def check_feasible(self, job: Job, graph_bytes: int) -> None:
         """Raise :class:`AdmissionError` if ``job`` can never run.
@@ -126,15 +189,25 @@ class JobQueue:
         return None
 
     def pop_admissible(self, usage: ResourceUsage,
-                       graph_bytes: Dict[str, int]) -> Optional[Job]:
+                       graph_bytes: Dict[str, int],
+                       now_ms: Optional[float] = None) -> Optional[Job]:
         """Highest-priority job that fits now; backfills past misfits.
 
         ``graph_bytes`` maps each pending job's graph key to its
         resident size.  Records the head-of-queue defer reason in
-        :attr:`last_defer_reason` for observability.
+        :attr:`last_defer_reason` for observability.  When ``now_ms``
+        is given, jobs still inside their retry backoff window
+        (``job.not_before_ms``) are skipped over.
         """
         self.last_defer_reason = None
         for i, job in enumerate(self._pending):
+            if (now_ms is not None and job.not_before_ms is not None
+                    and job.not_before_ms > now_ms):
+                if i == 0:
+                    self.last_defer_reason = (
+                        f"job #{job.job_id}: in retry backoff until "
+                        f"{job.not_before_ms:.3f} ms")
+                continue
             reason = self.admission.defer_reason(
                 job, graph_bytes[job.spec.graph], usage)
             if reason is None:
@@ -144,6 +217,14 @@ class JobQueue:
                 self.last_defer_reason = (f"job #{job.job_id}: {reason}")
             self.admission.deferrals += 1
         return None
+
+    def next_not_before(self, now_ms: float) -> Optional[float]:
+        """Earliest future backoff release among pending jobs, so an
+        otherwise-idle service can advance its clock straight to it."""
+        future = [j.not_before_ms for j in self._pending
+                  if j.not_before_ms is not None
+                  and j.not_before_ms > now_ms]
+        return min(future) if future else None
 
     def jobs(self) -> List[Job]:
         return list(self._pending)
@@ -156,5 +237,7 @@ class JobQueue:
             "pending": len(self._pending),
             "deferrals": self.admission.deferrals,
             "rejections": self.admission.rejections,
+            "sheds": self.admission.sheds,
+            "shed_reasons": list(self.admission.shed_reasons),
             "last_defer_reason": self.last_defer_reason,
         }

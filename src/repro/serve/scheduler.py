@@ -40,6 +40,9 @@ class RunningJob:
         self.engine = engine
         self.stepper = stepper
         self.cache_key = cache_key
+        #: False once singleflight waiters timed out and handed off —
+        #: new identical queries must not park behind this leader again
+        self.coalesce = True
         self.weight = float(job.spec.priority)
         #: simulated ms charged to this job so far (real service time)
         self.charged_ms = 0.0

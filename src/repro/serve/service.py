@@ -25,6 +25,17 @@ middleware; only the immutable graph and its memoized partitions are
 shared.  One tenant's injected crash burns that tenant's simulated
 time through its own rollback path; everyone else's values are
 untouched.
+
+The service itself is crash-safe when given a ``journal`` path: every
+lifecycle transition is appended to a write-ahead journal
+(:mod:`repro.serve.journal`) *before* the service acts on it, and
+:meth:`GraphService.recover` rebuilds a crashed service by idempotent
+replay — finished jobs re-serve from the result cache, in-flight jobs
+resume from their last durable checkpoint via the engines'
+``run_stepwise(resume_from=...)`` entry point instead of recomputing
+from iteration 0.  Per-job deadlines, bounded checkpoint-resume
+retries with quarantine, overload shedding and a :meth:`drain`
+lifecycle round out the resilience story.
 """
 
 from __future__ import annotations
@@ -46,10 +57,12 @@ from .job import (
     DONE,
     FAILED,
     PENDING,
+    QUARANTINED,
     RUNNING,
     Job,
     JobSpec,
 )
+from .journal import JOURNAL_VERSION, JobJournal, read_journal, replay_journal
 from .queue import AdmissionControl, JobQueue, ResourceUsage
 from .scheduler import FairShareLedger, FairShareScheduler, RunningJob
 from .store import GraphStore
@@ -63,7 +76,12 @@ class GraphService:
                  daemon_budget: Optional[int] = None,
                  max_running: Optional[int] = 4,
                  cache_entries: int = 64,
-                 trace_dir: Optional[str] = None) -> None:
+                 trace_dir: Optional[str] = None,
+                 max_queue_depth: Optional[int] = None,
+                 max_pending_per_tenant: Optional[int] = None,
+                 waiter_timeout_ms: Optional[float] = None,
+                 journal: Optional[str] = None,
+                 journal_checkpoint_interval: int = 2) -> None:
         self.spec = spec if spec is not None else ClusterSpec()
         self.store = GraphStore()
         self.cache = ResultCache(cache_entries)
@@ -75,7 +93,9 @@ class GraphService:
             memory_budget_bytes=budget_bytes,
             daemon_budget=daemon_budget,
             max_running=max_running,
-            daemons_per_job=daemons_per_job)
+            daemons_per_job=daemons_per_job,
+            max_queue_depth=max_queue_depth,
+            max_pending_per_tenant=max_pending_per_tenant)
         self.queue = JobQueue(self.admission)
         self.scheduler = FairShareScheduler()
         self.ledger = FairShareLedger()
@@ -87,7 +107,52 @@ class GraphService:
         # request coalescing: cache key -> jobs waiting on the one
         # in-flight computation of that exact query
         self._waiters: Dict[Any, List[Job]] = {}
+        #: when each waiter group first parked (hung-leader timeout)
+        self._waiter_parked_ms: Dict[Any, float] = {}
         self.coalesced = 0
+        #: singleflight hand-offs after a hung leader timed out
+        self.handoffs = 0
+        #: checkpoint-resume retries performed
+        self.retries = 0
+        #: True once :meth:`drain` started — new submissions are shed
+        self.draining = False
+        #: simulated ms a job waits for a singleflight leader before the
+        #: group abandons it and recomputes (None = wait forever)
+        if waiter_timeout_ms is not None and waiter_timeout_ms <= 0:
+            raise ServeError(
+                f"waiter_timeout_ms must be positive, "
+                f"got {waiter_timeout_ms}")
+        self.waiter_timeout_ms = waiter_timeout_ms
+        # EWMA of completed engine-run service times, feeding the
+        # deadline-aware admission's queue-wait estimate
+        self._ewma_service_ms: Optional[float] = None
+        #: checkpoint interval forced onto jobs that disabled
+        #: checkpointing, when journaling — without a checkpoint there
+        #: is nothing to resume from (costs change, values never do)
+        self.journal_checkpoint_interval = journal_checkpoint_interval
+        #: jobs re-queued by the last :meth:`recover` (observability)
+        self.recovered_jobs = 0
+        self.resumed_from_checkpoint = 0
+        self.journal: Optional[JobJournal] = None
+        if journal is not None:
+            self.journal = JobJournal(journal)
+            self.journal.append(
+                "service_start", self.now_ms,
+                version=JOURNAL_VERSION,
+                cluster=self.spec.to_dict(),
+                memory_budget_mb=memory_budget_mb,
+                daemon_budget=daemon_budget,
+                max_running=max_running,
+                cache_entries=cache_entries,
+                trace_dir=trace_dir,
+                max_queue_depth=max_queue_depth,
+                max_pending_per_tenant=max_pending_per_tenant,
+                waiter_timeout_ms=waiter_timeout_ms,
+                journal_checkpoint_interval=journal_checkpoint_interval)
+
+    def _journal_append(self, rec: str, **fields: Any) -> None:
+        if self.journal is not None and not self.journal.closed:
+            self.journal.append(rec, self.now_ms, **fields)
 
     # -- graphs -------------------------------------------------------------------------
 
@@ -97,12 +162,16 @@ class GraphService:
         entry = self.store.load(key, graph, dataset=dataset)
         if entry.version > 1:
             self.cache.invalidate_graph(key)
+        self._journal_append("graph_loaded", key=key, dataset=dataset,
+                             version=entry.version)
         return entry
 
     # -- submission ---------------------------------------------------------------------
 
     def submit(self, spec: JobSpec) -> Job:
-        """Queue a job; raises if it could never run.
+        """Queue a job; raises if it could never run — or would
+        overload the service (queue depth, per-tenant cap, unmeetable
+        deadline): those refusals are *sheds*, recorded with reasons.
 
         Returns the live :class:`Job` record — the caller keeps it and
         reads result/latency off it after :meth:`run`.
@@ -113,10 +182,44 @@ class GraphService:
                 f"{self.store.keys()}")
         job = Job(self._next_job_id, spec, submitted_ms=self.now_ms)
         self._next_job_id += 1
+        if self.draining:
+            err = self.admission.shed(job, "service is draining")
+            self._journal_append("shed", tenant=spec.tenant,
+                                 reason="service is draining")
+            raise err
         self.admission.check_feasible(job, self.store.get(spec.graph).nbytes)
+        reason = self.admission.overload_reason(
+            job, self.queue.jobs(), running=len(self.scheduler))
+        if reason is None:
+            reason = self.admission.deadline_reason(
+                job, self._estimate_wait_ms())
+        if reason is not None:
+            err = self.admission.shed(job, reason)
+            self._journal_append("shed", tenant=spec.tenant, reason=reason)
+            raise err
         self._jobs[job.job_id] = job
+        self._journal_append("submitted", job_id=job.job_id,
+                             spec=spec.to_doc(),
+                             submitted_ms=job.submitted_ms)
         self.queue.push(job)
         return job
+
+    def _estimate_wait_ms(self) -> Optional[float]:
+        """Deterministic queue-wait estimate for deadline admission.
+
+        EWMA of completed engine-run service times, scaled by the
+        backlog over the concurrency the service can actually deliver.
+        None until the first engine run completes — the service refuses
+        nothing on zero history.
+        """
+        if self._ewma_service_ms is None:
+            return None
+        backlog = len(self.queue) + len(self.scheduler)
+        if backlog == 0:
+            return 0.0
+        parallelism = self.admission.max_running or backlog
+        return self._ewma_service_ms * backlog / max(1, min(parallelism,
+                                                            backlog))
 
     def cancel(self, job_id: int) -> bool:
         """Cancel a pending or running job; True if anything changed."""
@@ -129,6 +232,7 @@ class GraphService:
             pulled = self.queue.cancel(job_id)
             if pulled is not None:
                 pulled.finished_ms = self.now_ms
+                self._journal_append("cancelled", job_id=job_id)
                 return True
             return False
         rj = self.scheduler.find(job_id)
@@ -136,6 +240,7 @@ class GraphService:
             rj.stepper.close()
             job.state = CANCELLED
             job.finished_ms = self.now_ms
+            self._journal_append("cancelled", job_id=job_id)
             self._teardown(rj)
             self._redispatch_waiters(rj.cache_key)
             return True
@@ -145,8 +250,10 @@ class GraphService:
                 waiters.remove(job)
                 if not waiters:
                     del self._waiters[ckey]
+                    self._waiter_parked_ms.pop(ckey, None)
                 job.state = CANCELLED
                 job.finished_ms = self.now_ms
+                self._journal_append("cancelled", job_id=job_id)
                 self.store.detach(job.spec.graph)
                 return True
         return False  # pragma: no cover - state machine guard
@@ -161,18 +268,40 @@ class GraphService:
         """
         while True:
             job = self.queue.pop_admissible(self._usage(),
-                                            self._graph_bytes())
+                                            self._graph_bytes(),
+                                            now_ms=self.now_ms)
             if job is None:
                 break
+            if self._deadline_blown(job):
+                self._fail_before_start(job, "deadline exceeded while "
+                                             "queued")
+                continue
             self._dispatch(job)
+        self._check_waiter_timeouts()
         rj = self.scheduler.pick()
         if rj is not None:
             self._slice(rj)
             return True
-        if len(self.queue):  # pragma: no cover - feasibility guard
-            # check_feasible() guarantees any job can run on an idle
-            # service, so an empty running set always admits something
-            raise ServeError(
+        if self._waiters:
+            # wedge guard: waiters parked but no leader is running
+            # (it died without serving them) — recompute instead of
+            # waiting forever
+            for ckey in list(self._waiters):
+                if not any(r.cache_key == ckey
+                           for r in self.scheduler.running):
+                    self._redispatch_waiters(ckey)
+            if self.scheduler.running:
+                return True
+        if len(self.queue):
+            # nothing running and nothing admissible: if the head-of-
+            # queue blockage is a retry backoff window, the idle service
+            # jumps its clock to the release instant (virtual time —
+            # nothing else would advance it)
+            release = self.queue.next_not_before(self.now_ms)
+            if release is not None:
+                self.now_ms = release
+                return True
+            raise ServeError(  # pragma: no cover - feasibility guard
                 f"admission deadlock: {len(self.queue)} pending jobs, "
                 f"none admissible ({self.queue.last_defer_reason})")
         return False
@@ -182,6 +311,135 @@ class GraphService:
         while self.step():
             pass
         return [j for j in self._jobs.values() if j.finished]
+
+    def drain(self) -> List[Job]:
+        """Graceful shutdown: finish running jobs, shed pending ones,
+        refuse new submissions, journal a clean-shutdown marker.
+
+        After drain the journal is closed; a subsequent
+        :meth:`recover` of it sees the clean marker and rebuilds a
+        fully terminal service (replay is a no-op).
+        """
+        self.draining = True
+        for job in list(self.queue.jobs()):
+            pulled = self.queue.cancel(job.job_id)
+            if pulled is None:  # pragma: no cover - queue race guard
+                continue
+            job.error = "shed: service draining"
+            job.finished_ms = self.now_ms
+            self.admission.sheds += 1
+            self.admission.shed_reasons.append(
+                f"job #{job.job_id} ({job.spec.tenant}): pending at "
+                f"drain")
+            self._journal_append("cancelled", job_id=job.job_id)
+        finished = self.run()
+        if self.journal is not None and not self.journal.closed:
+            self.journal.append("shutdown", self.now_ms, clean=True)
+            self.journal.close()
+        return finished
+
+    # -- recovery -----------------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, journal_path: str, *,
+                graphs: Optional[Dict[str, Any]] = None,
+                trace_dir: Optional[str] = None) -> "GraphService":
+        """Rebuild a crashed service by replaying its journal.
+
+        Reconstructs the service (cluster spec and budgets come from
+        the journal's ``service_start`` record), reloads every graph in
+        journal order, restores terminal jobs verbatim — finished jobs'
+        answers re-enter the result cache from their npz sidecars, with
+        no duplicate entries and no trace rewrites — and re-queues
+        unfinished jobs seeded with their last durable checkpoint, so
+        :meth:`run` continues them from the last journaled superstep
+        instead of iteration 0.
+
+        Replay appends nothing to the journal, so recovering the same
+        journal twice (or recovering a cleanly drained one) is a no-op:
+        identical state, untouched file.  ``graphs`` supplies graph
+        objects for keys that were loaded without a dataset name;
+        ``trace_dir`` overrides the journaled one.
+        """
+        records = read_journal(journal_path)
+        state = replay_journal(records)
+        meta = state.meta
+        if meta is None:
+            raise ServeError(
+                f"journal {journal_path!r} has no service_start record")
+        svc = cls(
+            ClusterSpec(**meta["cluster"]),
+            memory_budget_mb=meta.get("memory_budget_mb"),
+            daemon_budget=meta.get("daemon_budget"),
+            max_running=meta.get("max_running"),
+            cache_entries=meta.get("cache_entries", 64),
+            trace_dir=(trace_dir if trace_dir is not None
+                       else meta.get("trace_dir")),
+            max_queue_depth=meta.get("max_queue_depth"),
+            max_pending_per_tenant=meta.get("max_pending_per_tenant"),
+            waiter_timeout_ms=meta.get("waiter_timeout_ms"),
+            journal=None,
+            journal_checkpoint_interval=meta.get(
+                "journal_checkpoint_interval", 2))
+        jrn = JobJournal(journal_path)   # append mode: writes nothing
+        for key, dataset in state.graph_loads:
+            if graphs is not None and key in graphs:
+                svc.store.load(key, graphs[key])
+            elif dataset is not None:
+                svc.store.load(key, dataset=dataset)
+            else:
+                raise ServeError(
+                    f"graph {key!r} was journaled without a dataset "
+                    f"name; pass it via graphs={{{key!r}: <Graph>}}")
+            if svc.store.get(key).version > 1:
+                svc.cache.invalidate_graph(key)
+        svc.now_ms = state.now_ms
+        for jr in sorted(state.jobs.values(), key=lambda j: j.job_id):
+            spec = JobSpec.from_doc(jr.spec_doc)
+            job = Job(jr.job_id, spec, submitted_ms=jr.submitted_ms)
+            svc._jobs[job.job_id] = job
+            svc._next_job_id = max(svc._next_job_id, jr.job_id + 1)
+            job.retries = jr.retries
+            if jr.state == "done":
+                result = jrn.load_result(jr.job_id)
+                if result is not None:
+                    job.state = DONE
+                    job.result = result
+                    job.from_cache = jr.from_cache
+                    job.finished_ms = jr.finished_ms
+                    job.consumed_ms = jr.consumed_ms
+                    job.slices = jr.slices
+                    if (spec.use_cache and jr.cache_key is not None
+                            and not jr.from_cache):
+                        svc.cache.put_entry(jr.cache_key, result)
+                    continue
+                # finished record without its sidecar (should not
+                # happen: the sidecar lands first) — recompute
+                jr.state = "pending"
+            elif jr.state == "failed":
+                job.state = FAILED
+                job.error = jr.error
+                job.finished_ms = jr.finished_ms
+                continue
+            elif jr.state == "quarantined":
+                job.state = QUARANTINED
+                job.error = jr.error
+                job.quarantine_reason = jr.quarantine_reason
+                job.finished_ms = jr.finished_ms
+                continue
+            elif jr.state == "cancelled":
+                job.state = CANCELLED
+                job.finished_ms = jr.finished_ms
+                continue
+            # pending or in flight at the crash: re-queue, seeded with
+            # the last durable checkpoint if one was journaled
+            job.resume_from = jrn.load_checkpoint(jr.job_id)
+            if job.resume_from is not None:
+                svc.resumed_from_checkpoint += 1
+            svc.recovered_jobs += 1
+            svc.queue.push(job)
+        svc.journal = jrn
+        return svc
 
     # -- internals ----------------------------------------------------------------------
 
@@ -198,6 +456,19 @@ class GraphService:
             running=len(self.scheduler),
             attached_graphs=attached)
 
+    def _deadline_blown(self, job: Job) -> bool:
+        deadline = job.spec.deadline_ms
+        return (deadline is not None
+                and self.now_ms - job.submitted_ms > deadline)
+
+    def _fail_before_start(self, job: Job, reason: str) -> None:
+        """Terminal failure of a job that never (re)dispatched."""
+        job.state = FAILED
+        job.error = reason
+        job.finished_ms = self.now_ms
+        self._journal_append("failed", job_id=job.job_id, error=reason)
+        self._write_trace(job)
+
     def _dispatch(self, job: Job) -> None:
         """Start an admitted job: cache fast path or engine stepper."""
         spec = job.spec
@@ -207,6 +478,10 @@ class GraphService:
         entry = self.store.attach(spec.graph)
         ckey = self.cache.key(spec.graph, entry.version, spec.algorithm,
                               spec.cache_params())
+        self._journal_append(
+            "admitted", job_id=job.job_id,
+            resume_iteration=(job.resume_from.iteration
+                              if job.resume_from is not None else 0))
         if spec.use_cache:
             hit = self.cache.get(ckey)
             if hit is not None:
@@ -216,18 +491,29 @@ class GraphService:
             # park this job and serve it from the leader's answer
             # instead of burning daemons on a duplicate run
             leader = next((r for r in self.scheduler.running
-                           if r.cache_key == ckey
+                           if r.cache_key == ckey and r.coalesce
                            and r.job.spec.use_cache), None)
             if leader is not None:
                 self._waiters.setdefault(ckey, []).append(job)
+                self._waiter_parked_ms.setdefault(ckey, self.now_ms)
                 self.coalesced += 1
                 return
+        runtime = spec.runtime
+        if (self.journal is not None
+                and runtime.config.checkpoint_interval == 0
+                and self.journal_checkpoint_interval > 0):
+            # journaling needs periodic checkpoints to have a durable
+            # resume point; the override changes simulated cost only,
+            # never values
+            runtime = runtime.with_(
+                checkpoint_interval=self.journal_checkpoint_interval)
         cluster = self.spec.build()
-        middleware = GXPlug(cluster, spec.runtime)
+        middleware = GXPlug(cluster, runtime)
         engine = self.store.build_engine(spec.graph, spec.engine_cls(),
                                          cluster, middleware)
         stepper = engine.run_stepwise(spec.build_algorithm(),
-                                      spec.max_iterations)
+                                      spec.max_iterations,
+                                      resume_from=job.resume_from)
         rj = RunningJob(job, middleware, engine, stepper, cache_key=ckey)
         self.scheduler.add(rj)
 
@@ -244,6 +530,46 @@ class GraphService:
             return
         self._charge(rj, event.sim_ms)
         job.slices += 1
+        self._journal_append("slice", job_id=job.job_id,
+                             iteration=event.iteration)
+        if event.checkpointed and self.journal is not None:
+            self._journal_checkpoint(rj)
+        if self._deadline_blown(job):
+            # terminal, never retried: the budget is gone either way
+            rj.stepper.close()
+            self._fail(rj, ServeError(
+                f"deadline exceeded: {self.now_ms - job.submitted_ms:.3f}"
+                f" ms elapsed of {job.spec.deadline_ms:g} ms budget"),
+                retryable=False)
+
+    def _journal_checkpoint(self, rj: RunningJob) -> None:
+        """Externalize the engine's newest checkpoint as the job's
+        durable resume point."""
+        store = getattr(rj.engine, "checkpoint_store", None)
+        ckpt = store.peek() if store is not None else None
+        if ckpt is None:
+            return
+        name = self.journal.save_checkpoint(rj.job.job_id, ckpt)
+        self._journal_append("checkpointed", job_id=rj.job.job_id,
+                             iteration=ckpt.iteration, file=name)
+
+    def _check_waiter_timeouts(self) -> None:
+        """Hung-leader handoff: a waiter group that has been parked
+        longer than ``waiter_timeout_ms`` abandons its leader and
+        recomputes (the first waiter becomes the new leader)."""
+        if self.waiter_timeout_ms is None:
+            return
+        for ckey in list(self._waiters):
+            parked = self._waiter_parked_ms.get(ckey)
+            if parked is None \
+                    or self.now_ms - parked <= self.waiter_timeout_ms:
+                continue
+            leader = next((r for r in self.scheduler.running
+                           if r.cache_key == ckey and r.coalesce), None)
+            if leader is not None:
+                leader.coalesce = False
+            self.handoffs += 1
+            self._redispatch_waiters(ckey)
 
     def _charge(self, rj: RunningJob, ms: float) -> None:
         rj.charged_ms += ms
@@ -265,6 +591,16 @@ class GraphService:
         job.finished_ms = self.now_ms
         self.ledger.finish(job.spec.tenant, from_cache=True)
         self.store.detach(job.spec.graph)
+        if self.journal is not None:
+            # the sidecar makes the job self-contained on recovery even
+            # if the shared cache entry is evicted before a crash
+            name = self.journal.save_result(
+                job.job_id, hit.values, hit.iterations, hit.converged,
+                hit.compute_ms, hit.engine, hit.algorithm)
+            self._journal_append("finished", job_id=job.job_id,
+                                 from_cache=True, cache_key=None,
+                                 file=name,
+                                 consumed_ms=job.consumed_ms)
         self._write_trace(job)
 
     def _finish(self, rj: RunningJob, result) -> None:
@@ -282,18 +618,80 @@ class GraphService:
         if job.spec.use_cache:
             self.cache.put(rj.cache_key, result)
         self.ledger.finish(job.spec.tenant)
+        ewma = self._ewma_service_ms
+        self._ewma_service_ms = (result.total_ms if ewma is None
+                                 else 0.5 * result.total_ms + 0.5 * ewma)
         self._teardown(rj)
+        if self.journal is not None:
+            name = self.journal.save_result(
+                job.job_id, result.values, result.iterations,
+                result.converged, result.total_ms, result.engine_name,
+                result.algorithm_name)
+            self._journal_append(
+                "finished", job_id=job.job_id, from_cache=False,
+                cache_key=(list(rj.cache_key) if job.spec.use_cache
+                           else None),
+                file=name, consumed_ms=job.consumed_ms)
         self._write_trace(job)
         for waiter in self._waiters.pop(rj.cache_key, []):
             hit = self.cache.get(rj.cache_key)
             self._serve_from_cache(waiter, hit)
+        self._waiter_parked_ms.pop(rj.cache_key, None)
 
-    def _fail(self, rj: RunningJob, exc: ReproError) -> None:
+    def _fail(self, rj: RunningJob, exc: ReproError, *,
+              retryable: bool = True) -> None:
+        """A running job's engine raised: retry, quarantine, or fail.
+
+        With a retry budget (``spec.max_retries``), the job goes back
+        to the queue seeded with its last checkpoint and an exponential
+        backoff window; a job that exhausts the budget is quarantined
+        as poison — recorded reason, never retried again.  Deadline
+        failures are terminal regardless (``retryable=False``).
+        """
         job = rj.job
-        job.state = FAILED
-        job.error = f"{type(exc).__name__}: {exc}"
-        job.finished_ms = self.now_ms
+        reason = f"{type(exc).__name__}: {exc}"
         job.fault_report = rj.middleware.fault_report()
+        if retryable and job.retries < job.spec.max_retries:
+            job.retries += 1
+            self.retries += 1
+            backoff = (job.spec.retry_backoff_ms
+                       * (2 ** (job.retries - 1)))
+            store = getattr(rj.engine, "checkpoint_store", None)
+            ckpt = store.peek() if store is not None else None
+            if ckpt is not None:
+                job.resume_from = ckpt
+                if self.journal is not None:
+                    name = self.journal.save_checkpoint(job.job_id, ckpt)
+                    self._journal_append(
+                        "checkpointed", job_id=job.job_id,
+                        iteration=ckpt.iteration, file=name)
+            job.state = PENDING
+            job.not_before_ms = self.now_ms + backoff
+            self._journal_append(
+                "retry", job_id=job.job_id, attempt=job.retries,
+                backoff_ms=backoff, error=reason,
+                resume_iteration=(ckpt.iteration if ckpt is not None
+                                  else 0))
+            self._teardown(rj)
+            self.queue.push(job)
+            # coalesced waiters stay parked: the retry is still the
+            # one in-flight computation of their query
+            return
+        if retryable and job.spec.max_retries > 0:
+            job.state = QUARANTINED
+            job.quarantine_reason = (
+                f"poison: failed {job.retries + 1} times "
+                f"(budget {job.spec.max_retries}); last error: {reason}")
+            job.error = reason
+            self._journal_append("quarantined", job_id=job.job_id,
+                                 reason=job.quarantine_reason,
+                                 error=reason)
+        else:
+            job.state = FAILED
+            job.error = reason
+            self._journal_append("failed", job_id=job.job_id,
+                                 error=reason)
+        job.finished_ms = self.now_ms
         self._teardown(rj)
         self._write_trace(job)
         self._redispatch_waiters(rj.cache_key)
@@ -304,7 +702,9 @@ class GraphService:
         The first re-dispatched waiter becomes the new leader, the
         rest coalesce behind it again.
         """
-        for waiter in self._waiters.pop(cache_key, []):
+        waiters = self._waiters.pop(cache_key, [])
+        self._waiter_parked_ms.pop(cache_key, None)
+        for waiter in waiters:
             self.store.detach(waiter.spec.graph)
             self._dispatch(waiter)
 
@@ -364,6 +764,11 @@ class GraphService:
             "queue": self.queue.stats(),
             "cache": self.cache.stats(),
             "coalesced": self.coalesced,
+            "handoffs": self.handoffs,
+            "retries": self.retries,
+            "draining": self.draining,
+            "recovered_jobs": self.recovered_jobs,
+            "resumed_from_checkpoint": self.resumed_from_checkpoint,
             "store": self.store.stats(),
             "tenants": self.ledger.snapshot(),
             "latency": self.latency_percentiles(),

@@ -141,3 +141,90 @@ def test_stats_track_hits_misses_and_rate():
     stats = cache.stats()
     assert stats["hits"] == 1 and stats["misses"] == 1
     assert stats["hit_rate"] == 0.5
+
+
+# -- singleflight coalescing edge cases -------------------------------------------------
+
+def _service(**kw):
+    svc = GraphService(ClusterSpec(nodes=2, gpus_per_node=1), **kw)
+    svc.load_graph("g", dataset="wrn")
+    return svc
+
+
+def _query(tenant):
+    return JobSpec(graph="g", algorithm="pagerank", tenant=tenant,
+                   max_iterations=6)
+
+
+def test_cancelled_leader_with_multiple_waiters_hands_off():
+    svc = _service()
+    leader = svc.submit(_query("a"))
+    w1 = svc.submit(_query("b"))
+    w2 = svc.submit(_query("c"))
+    for _ in range(2):
+        svc.step()
+    assert svc.coalesced == 2                   # both parked behind a
+    assert svc.cancel(leader.job_id)
+    svc.run()
+    assert leader.state == "cancelled" and leader.values is None
+    # the group recomputed: one waiter became the new leader, the
+    # other coalesced onto it — everyone still gets the answer
+    assert w1.state == w2.state == "done"
+    assert np.array_equal(w1.values, w2.values)
+    assert w2.from_cache or svc.coalesced >= 2
+
+
+def test_waiter_cancelled_while_coalesced_leaves_group_intact():
+    svc = _service()
+    leader = svc.submit(_query("a"))
+    doomed = svc.submit(_query("b"))
+    kept = svc.submit(_query("c"))
+    for _ in range(2):
+        svc.step()
+    assert svc.cancel(doomed.job_id)
+    assert doomed.state == "cancelled"
+    svc.run()
+    assert leader.state == "done" and kept.state == "done"
+    assert np.array_equal(kept.values, leader.values)
+    assert doomed.values is None                # never served
+    assert kept.consumed_ms < leader.consumed_ms  # still coalesced
+
+
+def test_hung_leader_times_out_and_waiters_recompute():
+    from repro.fault import HANG, FaultPlan
+
+    # the leader's run carries a long mid-run daemon hang; the waiter
+    # group abandons it after waiter_timeout_ms and recomputes
+    hang = FaultPlan.single(HANG, superstep=2, node_id=0,
+                            duration_ms=50_000.0)
+    svc = _service(waiter_timeout_ms=500.0)
+    leader = svc.submit(JobSpec(
+        graph="g", algorithm="pagerank", tenant="slow",
+        max_iterations=6,
+        runtime=RuntimeConfig.preset("resilient").with_(
+            fault_plan=hang)))
+    waiter = svc.submit(_query("b"))
+    svc.run()
+    assert svc.handoffs == 1
+    assert waiter.state == "done" and leader.state == "done"
+    assert np.array_equal(waiter.values, leader.values)
+    # the waiter abandoned the hung leader and recomputed on its own;
+    # it was not served from the stale leader's publish
+    assert not waiter.from_cache
+
+
+def test_put_entry_is_idempotent_and_defensive():
+    result = run_result()
+    cache = ResultCache(4)
+    key = cache.key("g", 1, "pagerank", {})
+    from repro.serve import CachedResult
+    entry = CachedResult(result.values.copy(), 4, True, 10.0,
+                         "powergraph", "pagerank")
+    assert cache.put_entry(key, entry)
+    assert not cache.put_entry(key, CachedResult(
+        result.values * 2, 9, False, 1.0, "graphx", "pagerank"))
+    hit = cache.get(key)                        # first write wins
+    assert hit.iterations == 4 and hit.engine == "powergraph"
+    np.testing.assert_array_equal(hit.values, result.values)
+    entry.values[:] = -1.0                      # caller-side mutation
+    np.testing.assert_array_equal(cache.get(key).values, result.values)

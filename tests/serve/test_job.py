@@ -83,3 +83,50 @@ def test_job_latency_properties():
     assert job.queue_ms == 5.0 and job.latency_ms == 30.0
     doc = job.describe()
     assert doc["tenant"] == "default" and doc["latency_ms"] == 30.0
+
+
+def test_deadline_and_retry_fields_validate_eagerly():
+    for bad in (0, -1.0, True, "soon"):
+        with pytest.raises(ServeError, match="deadline_ms"):
+            JobSpec(graph="g", deadline_ms=bad)
+    for bad in (-1, True, 1.5, "two"):
+        with pytest.raises(ServeError, match="max_retries"):
+            JobSpec(graph="g", max_retries=bad)
+    for bad in (-0.5, True, "fast"):
+        with pytest.raises(ServeError, match="retry_backoff_ms"):
+            JobSpec(graph="g", retry_backoff_ms=bad)
+    # the happy path keeps them verbatim
+    spec = JobSpec(graph="g", deadline_ms=250.0, max_retries=3,
+                   retry_backoff_ms=0.0)
+    assert spec.deadline_ms == 250.0 and spec.max_retries == 3
+    assert spec.retry_backoff_ms == 0.0
+
+
+def test_from_dict_accepts_deadline_and_retry_keys():
+    spec = JobSpec.from_dict({"graph": "g", "deadline_ms": 90.0,
+                              "max_retries": 2,
+                              "retry_backoff_ms": 5.0})
+    assert spec.deadline_ms == 90.0
+    assert spec.max_retries == 2 and spec.retry_backoff_ms == 5.0
+    with pytest.raises(ServeError, match="deadline_ms"):
+        JobSpec.from_dict({"graph": "g", "deadline_ms": -3})
+
+
+def test_to_doc_from_doc_roundtrip_is_lossless():
+    spec = JobSpec.from_dict({
+        "graph": "g", "algorithm": "sssp-bf",
+        "params": {"sources": [0, 1]}, "tenant": "alice",
+        "priority": 2, "max_iterations": 6, "use_cache": False,
+        "deadline_ms": 400.0, "max_retries": 2,
+        "retry_backoff_ms": 7.5, "preset": "resilient",
+        "fault": {"kind": "crash", "superstep": 2, "node": 1,
+                  "repeat": 3}})
+    back = JobSpec.from_doc(spec.to_doc())
+    assert back == spec
+    # the resolved runtime survives, fault plan included
+    assert back.runtime == spec.runtime
+    assert back.runtime.middleware().fault_plan is not None
+    # and the doc is JSON-clean (journal lines are json.dumps'd)
+    import json
+    assert JobSpec.from_doc(
+        json.loads(json.dumps(spec.to_doc()))) == spec

@@ -1,0 +1,220 @@
+"""Unit tests for the write-ahead job journal and its replay fold."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.fault.checkpoint import Checkpoint
+from repro.serve.journal import (
+    JOURNAL_VERSION,
+    JobJournal,
+    read_journal,
+    replay_journal,
+)
+
+
+@pytest.fixture
+def jpath(tmp_path):
+    return str(tmp_path / "svc.jsonl")
+
+
+def test_append_read_roundtrip(jpath):
+    jrn = JobJournal(jpath)
+    jrn.append("service_start", 0.0, version=JOURNAL_VERSION,
+               cluster={"nodes": 2})
+    jrn.append("submitted", 0.0, job_id=1, spec={"graph": "g"},
+               submitted_ms=0.0)
+    jrn.append("admitted", 1.5, job_id=1, resume_iteration=0)
+    jrn.close()
+    records = read_journal(jpath)
+    assert [r["rec"] for r in records] == ["service_start", "submitted",
+                                           "admitted"]
+    assert records[2]["now_ms"] == 1.5
+    assert jrn.records_written == 3
+
+
+def test_append_jsonifies_tuples_and_numpy(jpath):
+    jrn = JobJournal(jpath)
+    jrn.append("finished", np.float64(3.0), job_id=np.int64(1),
+               cache_key=("g", 1, "pagerank", "abc"),
+               consumed_ms=np.float64(2.5), from_cache=np.bool_(False))
+    jrn.close()
+    (rec,) = read_journal(jpath)
+    assert rec["cache_key"] == ["g", 1, "pagerank", "abc"]
+    assert rec["job_id"] == 1 and rec["consumed_ms"] == 2.5
+    assert rec["from_cache"] is False
+
+
+def test_unknown_kind_and_closed_journal_raise(jpath):
+    jrn = JobJournal(jpath)
+    with pytest.raises(ServeError, match="unknown journal record kind"):
+        jrn.append("reticulated", 0.0)
+    jrn.close()
+    assert jrn.closed
+    with pytest.raises(ServeError, match="closed"):
+        jrn.append("shutdown", 0.0, clean=True)
+
+
+def test_torn_trailing_line_is_dropped(jpath):
+    jrn = JobJournal(jpath)
+    jrn.append("service_start", 0.0, version=JOURNAL_VERSION)
+    jrn.append("submitted", 0.0, job_id=1, spec={})
+    jrn.close()
+    with open(jpath, "a", encoding="utf-8") as f:
+        f.write('{"rec": "admitted", "job_id')  # killed mid-append
+    records = read_journal(jpath)
+    assert [r["rec"] for r in records] == ["service_start", "submitted"]
+
+
+def test_mid_file_corruption_raises(jpath):
+    jrn = JobJournal(jpath)
+    jrn.append("service_start", 0.0, version=JOURNAL_VERSION)
+    jrn.append("submitted", 0.0, job_id=1, spec={})
+    jrn.close()
+    lines = open(jpath, encoding="utf-8").readlines()
+    lines[0] = lines[0][:20] + "\n"
+    open(jpath, "w", encoding="utf-8").writelines(lines)
+    with pytest.raises(ServeError, match="corrupt at line 1"):
+        read_journal(jpath)
+
+
+def test_non_record_line_raises(jpath):
+    with open(jpath, "w", encoding="utf-8") as f:
+        f.write(json.dumps({"no_rec": True}) + "\n")
+        f.write(json.dumps({"rec": "shutdown"}) + "\n")
+    with pytest.raises(ServeError, match="not a record"):
+        read_journal(jpath)
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(ServeError, match="cannot read journal"):
+        read_journal(str(tmp_path / "nope.jsonl"))
+
+
+def test_checkpoint_sidecar_roundtrip(jpath):
+    jrn = JobJournal(jpath)
+    ckpt = Checkpoint(iteration=4,
+                      values=np.array([1.0, 2.5, -3.0]),
+                      active=np.array([True, False, True]),
+                      cost_ms=7.0)
+    name = jrn.save_checkpoint(7, ckpt)
+    assert name == "job-7-ckpt.npz"
+    back = jrn.load_checkpoint(7)
+    assert back.iteration == 4
+    np.testing.assert_array_equal(back.values, ckpt.values)
+    np.testing.assert_array_equal(back.active, ckpt.active)
+    assert back.cost_ms == 0.0  # resume seeding is free
+    assert jrn.load_checkpoint(99) is None
+    # overwrite: only the newest durable state survives
+    jrn.save_checkpoint(7, Checkpoint(iteration=6, values=ckpt.values,
+                                      active=ckpt.active, cost_ms=0.0))
+    assert jrn.load_checkpoint(7).iteration == 6
+    jrn.close()
+
+
+def test_result_sidecar_roundtrip(jpath):
+    jrn = JobJournal(jpath)
+    values = np.linspace(0.0, 1.0, 17)
+    jrn.save_result(3, values, iterations=9, converged=True,
+                    compute_ms=123.5, engine="powergraph",
+                    algorithm="pagerank")
+    back = jrn.load_result(3)
+    np.testing.assert_array_equal(back.values, values)
+    assert back.iterations == 9 and back.converged
+    assert back.compute_ms == 123.5
+    assert back.engine == "powergraph" and back.algorithm == "pagerank"
+    assert jrn.load_result(4) is None
+    jrn.close()
+
+
+def test_append_mode_preserves_history(jpath):
+    jrn = JobJournal(jpath)
+    jrn.append("service_start", 0.0, version=JOURNAL_VERSION)
+    jrn.close()
+    again = JobJournal(jpath)  # recovery reopens in append mode
+    again.append("submitted", 1.0, job_id=1, spec={})
+    again.close()
+    assert [r["rec"] for r in read_journal(jpath)] == ["service_start",
+                                                       "submitted"]
+    # fresh=True truncates instead
+    JobJournal(jpath, fresh=True).close()
+    assert read_journal(jpath) == []
+
+
+def _lifecycle_records():
+    return [
+        {"rec": "service_start", "now_ms": 0.0, "version": 1,
+         "cluster": {"nodes": 2}},
+        {"rec": "graph_loaded", "now_ms": 0.0, "key": "g",
+         "dataset": "wrn", "version": 1},
+        {"rec": "submitted", "now_ms": 0.0, "job_id": 1,
+         "spec": {"graph": "g"}, "submitted_ms": 0.0},
+        {"rec": "submitted", "now_ms": 0.0, "job_id": 2,
+         "spec": {"graph": "g"}, "submitted_ms": 0.0},
+        {"rec": "admitted", "now_ms": 1.0, "job_id": 1,
+         "resume_iteration": 0},
+        {"rec": "slice", "now_ms": 2.0, "job_id": 1, "iteration": 1},
+        {"rec": "slice", "now_ms": 3.0, "job_id": 1, "iteration": 2},
+        {"rec": "checkpointed", "now_ms": 3.0, "job_id": 1,
+         "iteration": 2, "file": "job-1-ckpt.npz"},
+        {"rec": "shed", "now_ms": 3.5, "tenant": "t9",
+         "reason": "queue depth 2/2 (overload)"},
+    ]
+
+
+def test_replay_tracks_progress_and_checkpoints():
+    state = replay_journal(_lifecycle_records())
+    assert state.meta["version"] == 1
+    assert state.graph_loads == [("g", "wrn")]
+    assert state.now_ms == 3.5
+    assert state.sheds == 1
+    assert not state.clean_shutdown
+    one, two = state.jobs[1], state.jobs[2]
+    assert one.state == "running" and not one.terminal
+    assert one.last_iteration == 2 and one.slices == 2
+    assert one.checkpoint_iteration == 2
+    assert two.state == "pending" and two.checkpoint_iteration is None
+    assert [j.job_id for j in state.unfinished] == [1, 2]
+
+
+def test_replay_terminal_states_and_retry():
+    records = _lifecycle_records() + [
+        {"rec": "retry", "now_ms": 4.0, "job_id": 1, "attempt": 1,
+         "backoff_ms": 1.0, "error": "boom", "resume_iteration": 2},
+        {"rec": "admitted", "now_ms": 5.0, "job_id": 1,
+         "resume_iteration": 2},
+        {"rec": "finished", "now_ms": 9.0, "job_id": 1,
+         "from_cache": False, "cache_key": ["g", 1, "pagerank", "x"],
+         "file": "job-1-result.npz", "consumed_ms": 8.5},
+        {"rec": "admitted", "now_ms": 9.0, "job_id": 2,
+         "resume_iteration": 0},
+        {"rec": "quarantined", "now_ms": 12.0, "job_id": 2,
+         "reason": "poison: failed 3 times"},
+        {"rec": "shutdown", "now_ms": 12.0, "clean": True},
+    ]
+    state = replay_journal(records)
+    one, two = state.jobs[1], state.jobs[2]
+    assert one.state == "done" and one.terminal
+    assert one.retries == 1
+    assert one.cache_key == ("g", 1, "pagerank", "x")
+    assert one.result_file == "job-1-result.npz"
+    assert one.finished_ms == 9.0 and one.consumed_ms == 8.5
+    assert two.state == "quarantined" and two.terminal
+    assert two.quarantine_reason == "poison: failed 3 times"
+    assert state.unfinished == []
+    assert state.clean_shutdown
+
+
+def test_replay_is_idempotent():
+    records = _lifecycle_records()
+    first = replay_journal(records)
+    second = replay_journal(records)
+    assert first == second
+
+
+def test_replay_rejects_orphan_records():
+    with pytest.raises(ServeError, match="before its submitted record"):
+        replay_journal([{"rec": "slice", "now_ms": 1.0, "job_id": 5,
+                         "iteration": 1}])

@@ -231,3 +231,200 @@ def test_service_is_deterministic():
         return [(j.latency_ms, j.consumed_ms) for j in jobs], svc.now_ms
 
     assert session() == session()
+
+
+# -- deadlines, retries, quarantine (crash-safe serving) ---------------------------------
+
+def test_deadline_blown_while_running_fails_terminally(svc):
+    job = svc.submit(pagerank_spec(tenant="alice", use_cache=False,
+                                   deadline_ms=0.5, max_retries=3))
+    svc.run()
+    # the deadline is terminal even with a retry budget left
+    assert job.state == "failed"
+    assert "deadline exceeded" in job.error
+    assert job.retries == 0
+
+
+def test_deadline_blown_while_queued_fails_before_dispatch():
+    svc = GraphService(SPEC, daemon_budget=2)   # one job at a time
+    svc.load_graph("g", dataset="wrn")
+    first = svc.submit(pagerank_spec(tenant="a", use_cache=False))
+    starved = svc.submit(pagerank_spec(tenant="b", use_cache=False,
+                                       deadline_ms=1.0))
+    svc.run()
+    assert first.state == "done"
+    assert starved.state == "failed"
+    assert "deadline exceeded while queued" in starved.error
+    assert starved.consumed_ms == 0.0           # never dispatched
+
+
+def test_unmeetable_deadline_shed_at_admission():
+    svc = GraphService(SPEC, daemon_budget=2)
+    svc.load_graph("g", dataset="wrn")
+    svc.submit(pagerank_spec(tenant="warmup", use_cache=False))
+    svc.run()                                   # seeds the EWMA
+    svc.submit(pagerank_spec(tenant="a", use_cache=False))
+    svc.submit(JobSpec(graph="g", algorithm="cc", tenant="b",
+                       use_cache=False))
+    with pytest.raises(AdmissionError, match="deadline .* unmeetable"):
+        svc.submit(pagerank_spec(tenant="c", deadline_ms=0.001))
+    assert svc.admission.sheds == 1
+    assert any("unmeetable" in r for r in svc.admission.shed_reasons)
+    svc.run()                                   # backlog still drains
+
+
+def test_overload_sheds_on_queue_depth_and_tenant_cap():
+    svc = GraphService(SPEC, daemon_budget=2, max_queue_depth=3,
+                       max_pending_per_tenant=1)
+    svc.load_graph("g", dataset="wrn")
+    svc.submit(pagerank_spec(tenant="a", use_cache=False))
+    svc.submit(pagerank_spec(tenant="b", use_cache=False))
+    with pytest.raises(AdmissionError, match="has 1/1 jobs pending"):
+        svc.submit(pagerank_spec(tenant="b", use_cache=False))
+    svc.submit(JobSpec(graph="g", algorithm="cc", tenant="c"))
+    with pytest.raises(AdmissionError, match="queue depth 3/3"):
+        svc.submit(pagerank_spec(tenant="d", use_cache=False))
+    assert svc.admission.sheds == 2
+    assert len(svc.queue) == 3                  # sheds left no residue
+
+
+def test_transient_failure_retries_from_checkpoint(svc):
+    runtime = RuntimeConfig().with_(checkpoint_interval=2)
+    job = svc.submit(pagerank_spec(tenant="alice", use_cache=False,
+                                   max_retries=2, retry_backoff_ms=4.0,
+                                   runtime=runtime))
+    for _ in range(5):                          # past the iteration-4 ckpt
+        svc.step()
+    rj = svc.scheduler.find(job.job_id)
+    rj.stepper.close()
+    svc._fail(rj, ServeError("transient glitch"))  # simulated blip
+    assert job.state == "pending" and job.retries == 1
+    assert job.resume_from is not None
+    assert job.not_before_ms == svc.now_ms + 4.0   # backoff window
+    resumed_at = job.resume_from.iteration
+    svc.run()
+    assert job.state == "done"
+    assert svc.retries == 1 and svc.metrics()["retries"] == 1
+    # the retry resumed mid-run, recomputing only the tail
+    assert len(job.result.stats) == job.result.iterations - resumed_at
+    assert np.array_equal(job.values, solo_run(PageRank()).values)
+
+
+def test_poison_job_quarantined_after_retry_budget(svc):
+    plan = FaultPlan.single(CRASH, superstep=1, node_id=0, repeat=50)
+    doomed = svc.submit(pagerank_spec(
+        tenant="chaos", use_cache=False, max_retries=2,
+        runtime=RuntimeConfig.preset("baseline").with_(
+            fault_plan=plan)))
+    bystander = svc.submit(pagerank_spec(tenant="alice"))
+    svc.run()
+    assert doomed.state == "quarantined"
+    assert doomed.retries == 2
+    assert "poison: failed 3 times (budget 2)" in \
+        doomed.quarantine_reason
+    assert bystander.state == "done"
+    assert np.array_equal(bystander.values, solo_run(PageRank()).values)
+    assert svc.metrics()["jobs"] == {"done": 1, "quarantined": 1}
+
+
+# -- drain and journal recovery ----------------------------------------------------------
+
+def test_drain_finishes_running_sheds_pending(tmp_path):
+    jpath = str(tmp_path / "svc.jsonl")
+    svc = GraphService(SPEC, daemon_budget=2, journal=jpath)
+    svc.load_graph("g", dataset="wrn")
+    running = svc.submit(pagerank_spec(tenant="a", use_cache=False))
+    pending = svc.submit(pagerank_spec(tenant="b", use_cache=False))
+    svc.step()                                  # a is in flight
+    svc.drain()
+    assert running.state == "done"
+    assert pending.state == "cancelled"
+    assert pending.error == "shed: service draining"
+    assert svc.admission.sheds == 1
+    with pytest.raises(AdmissionError, match="draining"):
+        svc.submit(pagerank_spec(tenant="late"))
+    assert svc.journal.closed
+    from repro.serve import replay_journal, read_journal
+    state = replay_journal(read_journal(jpath))
+    assert state.clean_shutdown
+    assert state.unfinished == []
+
+
+def test_recover_resumes_inflight_jobs_bit_identically(tmp_path):
+    def submit_all(service):
+        return [service.submit(pagerank_spec(
+                    tenant="a", use_cache=False, max_iterations=10)),
+                service.submit(JobSpec(graph="g", algorithm="cc",
+                                       tenant="b", use_cache=False))]
+
+    base = GraphService(SPEC, journal=str(tmp_path / "base.jsonl"))
+    base.load_graph("g", dataset="wrn")
+    base_jobs = submit_all(base)
+    base.run()
+    cold_steps = [len(j.result.stats) for j in base_jobs]
+
+    jpath = str(tmp_path / "crash.jsonl")
+    svc = GraphService(SPEC, journal=jpath)
+    svc.load_graph("g", dataset="wrn")
+    submit_all(svc)
+    for _ in range(9):                          # killed mid-flight
+        svc.step()
+    del svc                                     # nothing is flushed
+
+    rec = GraphService.recover(jpath)
+    assert rec.recovered_jobs == 2
+    assert rec.resumed_from_checkpoint >= 1
+    resumed = {j.job_id for j in rec.queue.jobs()
+               if j.resume_from is not None}
+    rec.run()
+    for base_job, steps in zip(base_jobs, cold_steps):
+        job = rec.job(base_job.job_id)
+        assert job.state == "done"
+        assert np.array_equal(job.values, base_job.values)
+        if job.job_id in resumed:
+            assert len(job.result.stats) < steps
+
+
+def test_recover_restores_terminal_jobs_and_cache(tmp_path):
+    jpath = str(tmp_path / "svc.jsonl")
+    svc = GraphService(SPEC, journal=jpath)
+    svc.load_graph("g", dataset="wrn")
+    done = svc.submit(pagerank_spec(tenant="a"))
+    svc.run()
+    svc.submit(pagerank_spec(tenant="late", deadline_ms=0.5,
+                             use_cache=False))
+    svc.run()                                   # fails on its deadline
+    from repro.serve import read_journal
+    before = len(read_journal(jpath))
+
+    rec = GraphService.recover(jpath)
+    # replay appended nothing — recovery is idempotent
+    assert len(read_journal(jpath)) == before
+    assert rec.recovered_jobs == 0              # nothing to re-queue
+    assert rec.job(done.job_id).state == "done"
+    assert np.array_equal(rec.job(done.job_id).values, done.values)
+    assert rec.job(2).state == "failed"
+    assert "deadline exceeded" in rec.job(2).error
+    # the finished answer re-entered the result cache from its sidecar:
+    # an identical query is served at lookup cost, byte-identically
+    warm = rec.submit(pagerank_spec(tenant="b"))
+    rec.run()
+    assert warm.from_cache
+    assert np.array_equal(warm.values, done.values)
+
+
+def test_journaling_never_moves_values(tmp_path):
+    def session(journal):
+        svc = GraphService(SPEC, journal=journal)
+        svc.load_graph("g", dataset="wrn")
+        jobs = [svc.submit(pagerank_spec(tenant=f"t{i}",
+                                         use_cache=False))
+                for i in range(2)]
+        svc.run()
+        return jobs
+
+    plain = session(None)
+    logged = session(str(tmp_path / "svc.jsonl"))
+    for a, b in zip(plain, logged):
+        # the forced checkpoint interval costs time, never values
+        assert np.array_equal(a.values, b.values)

@@ -92,6 +92,7 @@ def test_all_figures_registered():
         "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
         "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
         "fault_soak", "straggler_soak", "topology_soak", "serve_soak",
+        "serve_chaos",
     }
 
 
@@ -291,3 +292,90 @@ def test_serve_unknown_dataset_key_errors(tmp_path, capsys):
     rc = main(["serve", "--jobs-file", str(jobs)])
     assert rc == 2
     assert "error" in capsys.readouterr().err
+
+
+def test_serve_exits_nonzero_when_a_job_fails(tmp_path, capsys):
+    jobs = tmp_path / "jobs.jsonl"
+    submit(jobs, "--tenant", "chaos", "--preset", "baseline",
+           "--no-cache", "--fault-kind", "crash", "--fault-repeat", "50")
+    submit(jobs, "--tenant", "alice")
+    capsys.readouterr()
+    rc = main(["serve", "--jobs-file", str(jobs), "--nodes", "2"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "1 job(s) ended failed/quarantined: #1" in out
+
+
+def test_serve_json_reports_not_ok_on_quarantine(tmp_path, capsys):
+    jobs = tmp_path / "jobs.jsonl"
+    submit(jobs, "--tenant", "chaos", "--preset", "baseline",
+           "--no-cache", "--fault-kind", "crash",
+           "--fault-repeat", "50", "--max-retries", "1")
+    capsys.readouterr()
+    rc = main(["serve", "--jobs-file", str(jobs), "--nodes", "2",
+               "--json"])
+    import json as _json
+    doc = _json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert doc["ok"] is False
+    assert doc["failed_jobs"] == [1]
+    assert doc["jobs"][0]["state"] == "quarantined"
+    assert doc["metrics"]["retries"] == 1
+
+
+def test_submit_records_deadline_and_retry_fields(tmp_path, capsys):
+    jobs = tmp_path / "jobs.jsonl"
+    assert submit(jobs, "--deadline-ms", "500", "--max-retries", "2",
+                  "--retry-backoff-ms", "3.5") == 0
+    import json as _json
+    rec = _json.loads(jobs.read_text().strip())
+    assert rec["deadline_ms"] == 500.0
+    assert rec["max_retries"] == 2 and rec["retry_backoff_ms"] == 3.5
+    # bad values are rejected before anything is persisted
+    assert submit(jobs, "--deadline-ms", "-1") == 2
+    assert "deadline_ms" in capsys.readouterr().err
+    assert len(jobs.read_text().strip().splitlines()) == 1
+
+
+def test_serve_recover_requires_journal(capsys):
+    assert main(["serve", "--recover"]) == 2
+    assert "--journal" in capsys.readouterr().err
+    assert main(["serve", "--recover", "--journal", "j.jsonl",
+                 "--drain-after", "-1"]) == 2
+    assert "--drain-after" in capsys.readouterr().err
+
+
+def test_serve_journal_then_recover_is_a_noop(tmp_path, capsys):
+    jobs = tmp_path / "jobs.jsonl"
+    jpath = tmp_path / "svc.jsonl"
+    submit(jobs, "--tenant", "alice")
+    capsys.readouterr()
+    rc = main(["serve", "--jobs-file", str(jobs), "--nodes", "2",
+               "--journal", str(jpath)])
+    assert rc == 0
+    before = jpath.read_text()
+    capsys.readouterr()
+    rc = main(["serve", "--recover", "--journal", str(jpath), "--json"])
+    import json as _json
+    doc = _json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert doc["ok"] is True
+    assert doc["jobs"][0]["state"] == "done"
+    assert doc["metrics"]["recovered_jobs"] == 0
+    # replaying a finished journal appends nothing
+    assert jpath.read_text() == before
+
+
+def test_serve_drain_after_sheds_pending_jobs(tmp_path, capsys):
+    jobs = tmp_path / "jobs.jsonl"
+    submit(jobs, "--tenant", "alice")
+    submit(jobs, "--tenant", "bob", "--algorithm", "cc")
+    capsys.readouterr()
+    rc = main(["serve", "--jobs-file", str(jobs), "--nodes", "2",
+               "--journal", str(tmp_path / "j.jsonl"),
+               "--drain-after", "0", "--json"])
+    import json as _json
+    doc = _json.loads(capsys.readouterr().out)
+    assert rc == 0  # shed jobs are load management, not failures
+    assert all(j["state"] == "cancelled" for j in doc["jobs"])
+    assert all("draining" in j["error"] for j in doc["jobs"])
