@@ -40,10 +40,18 @@ DEFAULT_EDGES = 120_000
 
 #: Named parameter sets.  ``default`` is the acceptance shape whose
 #: trajectory BENCH_hotpath.json tracks; ``smoke`` is the tiny graph the
-#: CI ``bench-smoke`` job gates on.
+#: CI ``bench-smoke`` job gates on.  The ``scheduler`` profiles run the
+#: event-loop bench (:mod:`repro.bench.schedbench`) instead of the
+#: numeric hot path: ``scheduler`` is the 1000-node acceptance twin,
+#: ``sched-smoke`` the trimmed shape the ``sched-bench-smoke`` CI job
+#: gates on.
 PROFILES = {
     "default": {"vertices": DEFAULT_VERTICES, "edges": DEFAULT_EDGES},
     "smoke": {"vertices": 2_000, "edges": 10_000},
+    "scheduler": {"kind": "scheduler", "nodes": 1_000, "fragments": 48,
+                  "rounds": 5},
+    "sched-smoke": {"kind": "scheduler", "nodes": 120, "fragments": 16,
+                    "rounds": 4},
 }
 
 #: The acceptance workloads (§V-A's compute-intensive trio, minus LP
@@ -192,6 +200,17 @@ def write_bench_json(doc: Dict, path: str) -> None:
         fh.write("\n")
 
 
+def _throughput(aggregate: Dict) -> tuple:
+    """The ``(metric key, value)`` of a bench aggregate: edges/s for the
+    hot-path bench, events/s for the scheduler bench."""
+    for key in ("edges_per_sec", "events_per_sec"):
+        if key in aggregate:
+            return key, aggregate[key]
+    raise BenchmarkError(
+        f"bench aggregate has no throughput metric "
+        f"(keys: {', '.join(sorted(aggregate)) or 'none'})")
+
+
 def merge_entry(doc: Optional[Dict], name: str, payload: Dict) -> Dict:
     """Insert/replace entry ``name`` in a bench document (created if
     needed); keeps every other entry (including ``pre_pr``) intact so the
@@ -202,9 +221,11 @@ def merge_entry(doc: Optional[Dict], name: str, payload: Dict) -> Dict:
     entries[name] = payload
     pre = entries.get("pre_pr")
     if pre is not None and name != "pre_pr":
-        cur = payload["aggregate"]["edges_per_sec"]
-        old = pre["aggregate"]["edges_per_sec"]
-        if old > 0:
+        cur_key, cur = _throughput(payload["aggregate"])
+        old_key, old = _throughput(pre["aggregate"])
+        # cross-metric speedups are meaningless (scheduler entries vs
+        # the edges/s pre_pr baseline), so only annotate like-for-like
+        if cur_key == old_key and old > 0:
             payload["speedup_vs_pre_pr"] = round(cur / old, 2)
     return doc
 
@@ -215,20 +236,26 @@ def check_regression(doc: Dict, name: str, payload: Dict,
 
     Returns a human-readable verdict; raises :class:`BenchmarkError`
     when aggregate throughput regressed by more than ``max_regression``
-    (a fraction, e.g. 0.3 = 30%).
+    (a fraction, e.g. 0.3 = 30%).  Works for both bench families —
+    the metric (edges/s or events/s) is taken from the committed entry.
     """
     entries = doc.get("entries", {})
     if name not in entries:
         raise BenchmarkError(
             f"no committed bench entry {name!r} to check against "
             f"(have: {', '.join(sorted(entries)) or 'none'})")
-    old = entries[name]["aggregate"]["edges_per_sec"]
-    new = payload["aggregate"]["edges_per_sec"]
+    key, old = _throughput(entries[name]["aggregate"])
+    if key not in payload["aggregate"]:
+        raise BenchmarkError(
+            f"bench payload has no {key!r} to check against entry "
+            f"{name!r} (did the profile change bench family?)")
+    new = payload["aggregate"][key]
+    unit = key.replace("_per_sec", "") + "/s"
     if old <= 0:
         raise BenchmarkError(f"committed entry {name!r} has no throughput")
     ratio = new / old
     verdict = (f"throughput check [{name}]: {new:,.0f} vs committed "
-               f"{old:,.0f} edges/s ({ratio:.2f}x)")
+               f"{old:,.0f} {unit} ({ratio:.2f}x)")
     if ratio < 1.0 - max_regression:
         raise BenchmarkError(
             f"{verdict} — regressed beyond the {max_regression:.0%} gate")

@@ -79,6 +79,10 @@ def run_summary(result: RunResult) -> Dict:
         "online_rebalances": result.online_rebalances,
         "link_verdicts": result.link_verdicts,
         "link_slow_ms": round(result.link_slow_ms, 6),
+        "sched_events": result.sched_events,
+        "sched_batches": result.sched_batches,
+        "sched_max_batch": result.sched_max_batch,
+        "sched_heap_peak": result.sched_heap_peak,
         "breakdown": {k: round(v, 6)
                       for k, v in sorted(result.breakdown.items())},
     }

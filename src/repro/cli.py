@@ -107,6 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-pipeline", action="store_true")
     run.add_argument("--no-cache", action="store_true")
     run.add_argument("--no-skip", action="store_true")
+    run.add_argument("--per-event-loop", action="store_true",
+                     help="drive the protocol with the per-event "
+                          "scheduler oracle instead of the batched "
+                          "event heap (same results, slower wall "
+                          "clock; for debugging/verification)")
     run.add_argument("--block-size", type=int, default=None)
     run.add_argument("--trace-json", metavar="PATH", default=None,
                      help="write per-iteration telemetry as JSON")
@@ -241,7 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="wall-clock hot-path throughput benchmark")
     bench.add_argument("--profile", choices=sorted(PROFILES),
                        default="default",
-                       help="named R-MAT shape (default/smoke)")
+                       help="named bench shape: R-MAT hot path "
+                            "(default/smoke) or event-loop twin "
+                            "(scheduler/sched-smoke)")
     bench.add_argument("--vertices", type=int, default=None,
                        help="override the profile's |V|")
     bench.add_argument("--edges", type=int, default=None,
@@ -370,6 +377,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             sync_cache=not no_cache,
             lazy_upload=not no_cache,
             sync_skip=not (no_cache or args.no_skip),
+            batch_events=not args.per_event_loop,
         )
         if args.fault_seed is not None:
             kinds = (tuple(args.fault_kinds) if args.fault_kinds
@@ -433,6 +441,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     print_table(["component", "simulated ms"], rows, title="breakdown")
     if middleware is not None:
         print(f"middleware ratio: {result.middleware_ratio:.1%}")
+    if result.sched_events:
+        print(f"event loop : {result.sched_events} events in "
+              f"{result.sched_batches} batches "
+              f"(max cohort {result.sched_max_batch}, "
+              f"heap peak {result.sched_heap_peak})")
     if middleware is not None and middleware.injector is not None:
         print(middleware.fault_report(result).summary())
     if args.trace_json:
@@ -499,20 +512,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from .errors import BenchmarkError
 
     profile = PROFILES[args.profile]
-    vertices = args.vertices if args.vertices is not None \
-        else profile["vertices"]
-    edges = args.edges if args.edges is not None else profile["edges"]
+    kind = profile.get("kind", "hotpath")
     try:
-        payload = run_hotpath_bench(
-            vertices=vertices, edges=edges,
-            algorithms=tuple(args.algorithms),
-            nodes=args.nodes, gpus=args.gpus,
-            cache_fraction=args.cache_fraction,
-            seed=args.seed, repeats=args.repeats)
+        if kind == "scheduler":
+            from .bench.schedbench import (format_scheduler_report,
+                                           run_scheduler_bench)
+            payload = run_scheduler_bench(
+                nodes=profile["nodes"], fragments=profile["fragments"],
+                rounds=profile["rounds"], repeats=args.repeats)
+            report = format_scheduler_report(payload)
+        else:
+            vertices = args.vertices if args.vertices is not None \
+                else profile["vertices"]
+            edges = args.edges if args.edges is not None \
+                else profile["edges"]
+            payload = run_hotpath_bench(
+                vertices=vertices, edges=edges,
+                algorithms=tuple(args.algorithms),
+                nodes=args.nodes, gpus=args.gpus,
+                cache_fraction=args.cache_fraction,
+                seed=args.seed, repeats=args.repeats)
+            report = format_report(payload)
     except BenchmarkError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    for line in format_report(payload):
+    for line in report:
         print(line)
     entry = args.entry or args.profile
     if args.check:

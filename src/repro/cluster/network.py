@@ -28,6 +28,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..errors import SimulationError
 from ..fault.monitor import CollectiveMonitor
 from ..fault.retry import RetryPolicy
@@ -156,9 +158,13 @@ class ResilientTransport:
         # delivery faults above; never corrupts values, only time.
         self._slow_links: Dict[int, List] = {}
         self._link_observer = None
-        # sequence-numbered delivery: per-peer next expected sequence
-        self._next_seq: Dict[int, int] = {}
-        self._delivered: Dict[int, int] = {}
+        # sequence-numbered delivery: per-peer next sequence to stamp
+        # and per-peer delivery high-water mark, SoA int64 arrays grown
+        # on demand so a clean collective round is one bulk assignment
+        # (:meth:`_record_fused_round`) instead of ``num_nodes`` dict
+        # round-trips
+        self._next_seq = np.zeros(0, dtype=np.int64)
+        self._delivered = np.full(0, -1, dtype=np.int64)
         # lifetime counters
         self.messages = 0
         self.retransmits = 0
@@ -228,9 +234,26 @@ class ResilientTransport:
 
     # -- sequence-numbered delivery ----------------------------------------
 
+    def _ensure_peers(self, count: int) -> None:
+        """Grow the per-peer sequence arrays to hold ``count`` peers."""
+        cur = len(self._next_seq)
+        if count <= cur:
+            return
+        size = max(count, cur * 2, 8)
+        next_seq = np.zeros(size, dtype=np.int64)
+        delivered = np.full(size, -1, dtype=np.int64)
+        next_seq[:cur] = self._next_seq
+        delivered[:cur] = self._delivered
+        self._next_seq = next_seq
+        self._delivered = delivered
+
     def send(self, node_id: int) -> int:
         """Stamp one logical message from ``node_id``; returns its seq."""
-        seq = self._next_seq.get(node_id, 0)
+        node_id = int(node_id)
+        if node_id < 0:
+            raise SimulationError(f"negative peer id {node_id}")
+        self._ensure_peers(node_id + 1)
+        seq = int(self._next_seq[node_id])
         self._next_seq[node_id] = seq + 1
         self.messages += 1
         return seq
@@ -243,12 +266,31 @@ class ResilientTransport:
         Delivery is in-order per peer, so a high-water mark suffices —
         the dedupe window is O(nodes), not O(messages).
         """
-        mark = self._delivered.get(node_id, -1)
+        node_id = int(node_id)
+        if node_id < 0:
+            raise SimulationError(f"negative peer id {node_id}")
+        self._ensure_peers(node_id + 1)
+        mark = int(self._delivered[node_id])
         if seq <= mark:
             self.dup_drops += 1
             return False
         self._delivered[node_id] = seq
         return True
+
+    def _record_fused_round(self, num_nodes: int) -> None:
+        """Stamp and deliver one collective's worth of fragments in bulk.
+
+        Per-peer delivery is in-order and ``next_seq > delivered``
+        always holds, so a collective round — every peer delivering
+        exactly the fragment it just stamped — is two vectorized array
+        ops with counters and high-water marks identical to running the
+        per-fragment ``deliver(node, send(node))`` loop.
+        """
+        self._ensure_peers(num_nodes)
+        seqs = self._next_seq[:num_nodes]
+        self._delivered[:num_nodes] = seqs
+        seqs += 1
+        self.messages += num_nodes
 
     # -- collectives --------------------------------------------------------
 
@@ -289,34 +331,52 @@ class ResilientTransport:
         if not self._slow_links and (self._link_observer is None
                                      or self.topology is None):
             return 0.0
+        # fused timeline: one vectorized healthy-time array for the
+        # whole collective (elementwise over the topology's precomputed
+        # uplink arrays, bit-identical to per-fragment fragment_ms);
+        # only the faulted links split back to per-fragment handling
         if self.topology is not None:
             per_node = self.topology.node_bytes(total_bytes, bytes_by_node)
+            healthy_arr = self.topology.fragment_ms_many(per_node)
         else:
-            per_node = [total_bytes / max(num_nodes, 1)] * num_nodes
+            healthy_arr = None
+            healthy_flat = self.model.transfer_ms(
+                total_bytes / max(num_nodes, 1))
+        # tick the armed gray-faults in ascending node order — the same
+        # order (and thus float accumulation) as the per-node loop; an
+        # entry outside this collective stays armed untouched
+        factors: Dict[int, float] = {}
+        for node in sorted(self._slow_links):
+            if not 0 <= node < num_nodes:
+                continue
+            state = self._slow_links[node]
+            f, left, flaky, tick = state
+            state[3] = tick + 1
+            factors[node] = f if (not flaky or tick % 2 == 0) else 1.0
+            state[1] = left - 1
+            if state[1] <= 0:
+                del self._slow_links[node]
         extra = 0.0
-        for node in range(num_nodes):
-            nbytes = per_node[node]
-            if self.topology is not None:
-                healthy = self.topology.fragment_ms(node, nbytes)
-            else:
-                healthy = self.model.transfer_ms(nbytes)
-            factor = 1.0
-            state = self._slow_links.get(node)
-            if state is not None:
-                f, left, flaky, tick = state
-                state[3] = tick + 1
-                if not flaky or tick % 2 == 0:
-                    factor = f
-                state[1] = left - 1
-                if state[1] <= 0:
-                    del self._slow_links[node]
-            observed = healthy * factor
-            if factor > 1.0:
-                self.link_inflations += 1
-                extra += observed - healthy
-            if (self._link_observer is not None
-                    and self.topology is not None and healthy > 0):
-                self._link_observer.observe_link(node, observed, healthy)
+        if self._link_observer is not None and self.topology is not None:
+            # observer wired: every link reports observed vs healthy so
+            # the EWMA median reference sees clean links too
+            for node in range(num_nodes):
+                healthy = float(healthy_arr[node])
+                factor = factors.get(node, 1.0)
+                observed = healthy * factor
+                if factor > 1.0:
+                    self.link_inflations += 1
+                    extra += observed - healthy
+                if healthy > 0:
+                    self._link_observer.observe_link(node, observed, healthy)
+        else:
+            # no observer: only the faulted links need per-fragment work
+            for node, factor in factors.items():
+                healthy = (float(healthy_arr[node])
+                           if healthy_arr is not None else healthy_flat)
+                if factor > 1.0:
+                    self.link_inflations += 1
+                    extra += healthy * factor - healthy
         if extra > 0.0:
             self.net_wasted_ms += extra
             self.link_slow_ms += extra
@@ -328,8 +388,7 @@ class ResilientTransport:
         faults cost to survive.  Raises :class:`NodeUnreachable` when a
         partitioned node outlives the retransmission budget."""
         # every node contributes one sequence-numbered fragment
-        for node in range(num_nodes):
-            self.deliver(node, self.send(node))
+        self._record_fused_round(num_nodes)
         if not self.faults_armed:
             return base
         fragment = int(math.ceil(total_bytes / max(num_nodes, 1)))
@@ -343,7 +402,8 @@ class ResilientTransport:
         # duplicates: the copy crosses the wire, the dedupe window eats it
         dups, self._dups = self._dups, []
         for node in dups:
-            seq = self._delivered.get(node, 0)
+            self._ensure_peers(node + 1)
+            seq = max(int(self._delivered[node]), 0)
             self.deliver(node, seq)            # re-delivery: returns False
             extra += self.substrate.transfer_ms(fragment)
 
@@ -364,8 +424,7 @@ class ResilientTransport:
             for _ in range(rounds):
                 extra += self.substrate.p2p_fallback_ms(num_nodes,
                                                         total_bytes)
-                for node in range(num_nodes):
-                    self.deliver(node, self.send(node))
+                self._record_fused_round(num_nodes)
                 self.collective_fallbacks += 1
                 self.retransmits += num_nodes
 

@@ -32,6 +32,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import SimulationError
 from .network import DEFAULT_NETWORK, NetworkModel
 
@@ -116,6 +118,23 @@ class Topology:
                         f"node {end}")
         self.root = 0
         self._root_rack = self._rack_of[self.root]
+        # fused uplink timelines: links are fixed at construction, so
+        # every node's full uplink path collapses to one precomputed
+        # (latency, ms/byte) pair and the payload-free tree-latency term
+        # is a constant — collectives read these instead of re-walking
+        # the link tables.  The scalars keep the exact summation the
+        # per-node methods used, so the arrays are bit-identical inputs.
+        self._uplink_latency: List[float] = [
+            sum(leg.latency_ms for leg in self.uplink_legs(n))
+            for n in range(self.num_nodes)]
+        self._uplink_mspb: List[float] = [
+            sum(leg.ms_per_byte for leg in self.uplink_legs(n))
+            for n in range(self.num_nodes)]
+        self._uplink_latency_arr = np.array(self._uplink_latency,
+                                            dtype=np.float64)
+        self._uplink_mspb_arr = np.array(self._uplink_mspb,
+                                         dtype=np.float64)
+        self._latency_term_ms = self._latency_term()
 
     @property
     def num_racks(self) -> int:
@@ -155,7 +174,9 @@ class Topology:
     def path_ms_per_byte(self, node: int) -> float:
         """Per-byte cost of the node's full uplink path — the quantity
         Lemma-2 shares fold in via ``balance.network_coefficients``."""
-        return sum(leg.ms_per_byte for leg in self.uplink_legs(node))
+        if not 0 <= node < self.num_nodes:
+            raise SimulationError(f"unknown node {node}")
+        return self._uplink_mspb[node]
 
     def fragment_ms(self, node: int, nbytes: int) -> float:
         """Healthy wire time for one ``nbytes`` fragment from ``node``
@@ -163,9 +184,27 @@ class Topology:
         the per-link EWMA detector observes."""
         if nbytes < 0:
             raise SimulationError(f"negative fragment size {nbytes}")
-        legs = self.uplink_legs(node)
-        return (sum(leg.latency_ms for leg in legs)
-                + nbytes * self.path_ms_per_byte(node))
+        if not 0 <= node < self.num_nodes:
+            raise SimulationError(f"unknown node {node}")
+        return (self._uplink_latency[node]
+                + nbytes * self._uplink_mspb[node])
+
+    def fragment_ms_many(self, per_node_bytes: Sequence[float]) -> np.ndarray:
+        """Healthy wire times for one fragment per node, in one shot.
+
+        Vectorized over the precomputed uplink arrays; purely
+        elementwise (no reductions), so every entry is bit-identical to
+        calling :meth:`fragment_ms` node by node — the fused collective
+        timeline and the per-fragment path agree to the last ulp.
+        """
+        arr = np.asarray(per_node_bytes, dtype=np.float64)
+        if arr.shape != (self.num_nodes,):
+            raise SimulationError(
+                f"per_node_bytes has shape {arr.shape} for "
+                f"{self.num_nodes} nodes")
+        if arr.size and float(arr.min()) < 0:
+            raise SimulationError("negative fragment size")
+        return self._uplink_latency_arr + arr * self._uplink_mspb_arr
 
     def node_bytes(self, total_bytes: int,
                    bytes_by_node: Optional[Sequence[float]] = None
@@ -304,7 +343,7 @@ class Topology:
                 f"{num_nodes} nodes")
         if bytes_by_node is not None and min(bytes_by_node) < 0:
             raise SimulationError("bytes_by_node weights must be >= 0")
-        return (self._latency_term()
+        return (self._latency_term_ms
                 + self._reduction_bandwidth_ms(total_bytes, bytes_by_node)
                 + self.base.coord_ms_per_node * num_nodes)
 
@@ -316,7 +355,7 @@ class Topology:
         per_byte = self._max_intra_mspb()
         if self.num_racks > 1:
             per_byte += self._max_cross_mspb()
-        return self._latency_term() + nbytes * per_byte
+        return self._latency_term_ms + nbytes * per_byte
 
     def transfer_ms(self, nbytes: int, src: Optional[int] = None,
                     dst: Optional[int] = None) -> float:
@@ -332,9 +371,8 @@ class Topology:
         turn over its full uplink path — one path latency per node and
         every fragment paying its per-byte path cost."""
         self._check(num_nodes, total_bytes)
-        lats = [sum(leg.latency_ms for leg in self.uplink_legs(n))
-                for n in range(self.num_nodes)]
-        rates = [self.path_ms_per_byte(n) for n in range(self.num_nodes)]
+        lats = self._uplink_latency
+        rates = self._uplink_mspb
         latency = (lats[0] * num_nodes if len(set(lats)) == 1
                    else sum(lats))
         if len(set(rates)) == 1:

@@ -32,7 +32,8 @@ from ..errors import (
 from ..fault.monitor import HeartbeatMonitor
 from ..fault.retry import RetryPolicy
 from ..fault.straggler import StragglerDetector
-from ..ipc import Channel, Join, Now, Recv, Scheduler, Send, Sleep, Spawn
+from ..ipc import (BatchedScheduler, Channel, Join, Now, Recv, Scheduler,
+                   Send, Sleep, Spawn)
 from ..ipc.shm import ShmRegistry
 from .blocks import TripletBlock, build_blocks
 from .config import MiddlewareConfig
@@ -130,6 +131,11 @@ class Agent:
         self.retries = 0
         self.recovered_passes = 0
         self.heartbeat_verdicts = 0
+        # event-loop telemetry accumulated across every pass's scheduler
+        self.sched_events = 0
+        self.sched_batches = 0
+        self.sched_max_batch = 0
+        self.sched_heap_peak = 0
 
     def _bind_detector(self) -> None:
         """Point every daemon at the agent's current detector (daemons
@@ -394,7 +400,7 @@ class Agent:
         shares = self._daemon_shares()
         bounds = np.floor(np.cumsum(shares) * d).astype(np.int64)
         bounds[-1] = d
-        sched = Scheduler()
+        sched = BatchedScheduler() if self.config.batch_events else Scheduler()
         monitor: Optional[HeartbeatMonitor] = None
         if self.config.pipeline and self.config.monitor_heartbeats:
             monitor = HeartbeatMonitor(self.config.heartbeat_interval_ms,
@@ -472,6 +478,12 @@ class Agent:
             raise
         finally:
             self._settle_speculation(sched.clock.now)
+            self.sched_events += sched.events_popped
+            self.sched_batches += sched.batches
+            if sched.max_batch > self.sched_max_batch:
+                self.sched_max_batch = sched.max_batch
+            if sched.heap_peak > self.sched_heap_peak:
+                self.sched_heap_peak = sched.heap_peak
 
         partial = algorithm.combine_many(
             [block_partial for collector in collectors

@@ -140,6 +140,19 @@ class GXPlug:
     def total_middleware_ms(self) -> float:
         return sum(a.total_middleware_ms for a in self.agents.values())
 
+    def scheduler_counters(self) -> Dict[str, int]:
+        """Event-loop telemetry summed across every agent's passes:
+        events popped, cohort batches, largest cohort, heap peak."""
+        agents = self.agents.values()
+        return {
+            "sched_events": sum(a.sched_events for a in agents),
+            "sched_batches": sum(a.sched_batches for a in agents),
+            "sched_max_batch": max(
+                (a.sched_max_batch for a in agents), default=0),
+            "sched_heap_peak": max(
+                (a.sched_heap_peak for a in agents), default=0),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"GXPlug({len(self.agents)} agents, "
                 f"connected={self.connected})")

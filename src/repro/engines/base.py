@@ -182,6 +182,16 @@ class RunResult:
     #: time measures this Python implementation's hot path.
     wall_total_s: float = 0.0
     wall_s: Dict[str, float] = field(default_factory=dict)
+    # event-loop telemetry across every agent pass scheduler
+    #: resume events popped (identical under both scheduler cores)
+    sched_events: int = 0
+    #: cohort batches the event loop executed (== events under the
+    #: per-event oracle; smaller under ``batch_events``)
+    sched_batches: int = 0
+    #: largest same-timestamp cohort executed in one loop iteration
+    sched_max_batch: int = 0
+    #: peak number of pending events in any pass's event heap
+    sched_heap_peak: int = 0
 
     @property
     def computation_iterations(self) -> int:
@@ -583,6 +593,9 @@ class IterativeEngine:
             total_ms += pending_ckpt_ms
         net_totals = self._net_counters()
         det = getattr(mw, "straggler", None) if mw is not None else None
+        sched_counters = (mw.scheduler_counters() if mw is not None
+                          and hasattr(mw, "scheduler_counters")
+                          else {})
         return RunResult(
             values=values,
             iterations=iteration,
@@ -619,6 +632,10 @@ class IterativeEngine:
                           else 0.0),
             wall_total_s=perf_counter() - wall_start,
             wall_s=dict(self.wall_s),
+            sched_events=sched_counters.get("sched_events", 0),
+            sched_batches=sched_counters.get("sched_batches", 0),
+            sched_max_batch=sched_counters.get("sched_max_batch", 0),
+            sched_heap_peak=sched_counters.get("sched_heap_peak", 0),
         )
 
     # -- fault tolerance ---------------------------------------------------------------

@@ -1,0 +1,141 @@
+"""Vectorized event storage for the batched discrete-event scheduler.
+
+The per-event :class:`~repro.ipc.scheduler.Scheduler` keeps one Python
+tuple per pending resume event in a ``heapq``.  That is fine for a few
+daemons but caps twin size: a 1000-node collective wakes a thousand
+processes per phase, and every wake pays a tuple allocation plus a
+log-depth sift through interpreted comparisons.
+
+:class:`EventHeap` is the batched alternative — a hybrid of two lanes
+sharing one ``(time, seq)`` total order:
+
+* a **heapq lane** for trickle pushes (a lone ``Sleep`` resume, a
+  watchdog wake), so single-event traffic never regresses;
+* sorted **runs** for bulk pushes: one :func:`push_many` turns a whole
+  batch of deliveries into structure-of-arrays ``time``/``seq`` numpy
+  vectors sorted once, consumed through a cursor with no per-event
+  heap traffic at all.
+
+Pops are *cohorts*: :meth:`pop_cohort` slices every event sharing the
+minimum timestamp out of the lane and every run (one ``searchsorted``
+per run) and returns them in global ``seq`` order, so the batched
+scheduler replays exactly the per-event scheduler's interleaving —
+ties still break by scheduling order, runs are fully reproducible, and
+the per-event core stays usable as a bit-identity oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class _Run(object):
+    """One sorted bulk push: SoA times/seqs plus a payload list."""
+
+    __slots__ = ("times", "seqs", "payloads", "cursor")
+
+    def __init__(self, times: np.ndarray, seqs: np.ndarray,
+                 payloads: List[Any]) -> None:
+        self.times = times
+        self.seqs = seqs
+        self.payloads = payloads
+        self.cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.payloads) - self.cursor
+
+    def head_time(self) -> float:
+        return float(self.times[self.cursor])
+
+    def take_at(self, t: float) -> List[Tuple[int, Any]]:
+        """Pop every leading event whose time equals ``t`` (the global
+        minimum, so they are all at the cursor) in one sorted slice."""
+        lo = self.cursor
+        hi = int(np.searchsorted(self.times, t, side="right"))
+        if hi <= lo:
+            return []
+        self.cursor = hi
+        seqs = self.seqs
+        payloads = self.payloads
+        return [(int(seqs[i]), payloads[i]) for i in range(lo, hi)]
+
+
+class EventHeap:
+    """Hybrid ``(time, seq)``-ordered event store with cohort pops."""
+
+    __slots__ = ("_lane", "_runs", "_len", "peak")
+
+    def __init__(self) -> None:
+        self._lane: List[Tuple[float, int, Any]] = []
+        self._runs: List[_Run] = []
+        self._len = 0
+        #: high-water mark of pending events (scheduler telemetry)
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, t: float, seq: int, payload: Any) -> None:
+        """Single-event push through the heapq lane."""
+        heapq.heappush(self._lane, (t, seq, payload))
+        self._len += 1
+        if self._len > self.peak:
+            self.peak = self._len
+
+    def push_many(self, times: Sequence[float], seq0: int,
+                  payloads: List[Any]) -> None:
+        """Bulk push: payload ``i`` gets sequence ``seq0 + i``.
+
+        The batch is sorted once (stable, so equal timestamps keep their
+        sequence order) into an SoA run; no per-event heap traffic.
+        """
+        k = len(payloads)
+        if k == 0:
+            return
+        if k == 1:
+            self.push(float(times[0]), seq0, payloads[0])
+            return
+        tarr = np.asarray(times, dtype=np.float64)
+        seqs = np.arange(seq0, seq0 + k, dtype=np.int64)
+        order = np.argsort(tarr, kind="stable")
+        self._runs.append(_Run(tarr[order], seqs[order],
+                               [payloads[i] for i in order]))
+        self._len += k
+        if self._len > self.peak:
+            self.peak = self._len
+
+    def min_time(self) -> float:
+        """Timestamp of the next cohort (heap must be non-empty)."""
+        t = self._lane[0][0] if self._lane else np.inf
+        for run in self._runs:
+            ht = run.head_time()
+            if ht < t:
+                t = ht
+        return t
+
+    def pop_cohort(self) -> Tuple[float, List[Tuple[int, Any]]]:
+        """Pop every event at the minimum timestamp, in ``seq`` order."""
+        t = self.min_time()
+        batch: List[Tuple[int, Any]] = []
+        lane = self._lane
+        while lane and lane[0][0] == t:
+            _, seq, payload = heapq.heappop(lane)
+            batch.append((seq, payload))
+        if self._runs:
+            live: List[_Run] = []
+            for run in self._runs:
+                batch.extend(run.take_at(t))
+                if len(run):
+                    live.append(run)
+            if len(live) != len(self._runs):
+                self._runs = live
+        self._len -= len(batch)
+        batch.sort(key=_seq_key)
+        return t, batch
+
+
+def _seq_key(entry: Tuple[int, Any]) -> int:
+    return entry[0]

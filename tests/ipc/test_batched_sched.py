@@ -1,0 +1,349 @@
+"""Unit tests for the batched event core.
+
+Covers the :class:`EventHeap` cohort storage, ``SendMany`` fault parity
+with sequential sends, ``DrainReady`` bulk consumption, scheduler event
+counters, and the enriched ``DeadlockError`` park labels.
+"""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.ipc import (
+    Barrier,
+    BatchedScheduler,
+    Channel,
+    DrainReady,
+    EventHeap,
+    Join,
+    Now,
+    Recv,
+    Scheduler,
+    Send,
+    SendMany,
+    Sleep,
+    Spawn,
+    WaitBarrier,
+)
+
+
+# -- EventHeap ------------------------------------------------------------
+
+
+def test_eventheap_orders_by_time_then_seq():
+    heap = EventHeap()
+    heap.push(5.0, 2, "b")
+    heap.push(1.0, 1, "a")
+    heap.push(5.0, 3, "c")
+    t, batch = heap.pop_cohort()
+    assert (t, batch) == (1.0, [(1, "a")])
+    t, batch = heap.pop_cohort()
+    assert (t, batch) == (5.0, [(2, "b"), (3, "c")])
+    assert len(heap) == 0
+
+
+def test_eventheap_bulk_run_merges_with_lane():
+    heap = EventHeap()
+    heap.push(2.0, 1, "lane")
+    heap.push_many([2.0, 1.0, 3.0], 2, ["r2", "r1", "r3"])
+    t, batch = heap.pop_cohort()
+    assert (t, batch) == (1.0, [(3, "r1")])
+    t, batch = heap.pop_cohort()
+    # lane entry (seq 1) and run entry (seq 2) share t=2.0: seq order
+    assert (t, batch) == (2.0, [(1, "lane"), (2, "r2")])
+    t, batch = heap.pop_cohort()
+    assert (t, batch) == (3.0, [(4, "r3")])
+
+
+def test_eventheap_stable_on_equal_times():
+    heap = EventHeap()
+    heap.push_many([7.0] * 4, 10, list("abcd"))
+    t, batch = heap.pop_cohort()
+    assert t == 7.0
+    assert batch == [(10, "a"), (11, "b"), (12, "c"), (13, "d")]
+
+
+def test_eventheap_tracks_peak():
+    heap = EventHeap()
+    heap.push_many([1.0, 2.0, 3.0], 1, ["a", "b", "c"])
+    heap.pop_cohort()
+    heap.push(0.5, 4, "d")
+    assert heap.peak == 3
+    assert len(heap) == 3
+
+
+# -- SendMany fault parity ------------------------------------------------
+
+
+def _run_sends(sched_cls, bulk, arm):
+    """Send 6 messages (bulk or sequential) with faults armed; return
+    (received messages with times, channel fault counters)."""
+    sched = sched_cls()
+    ch = Channel("c", latency=1.0)
+    arm(ch)
+    msgs = [f"m{i}" for i in range(6)]
+
+    def sender():
+        if bulk:
+            yield SendMany(ch, msgs)
+        else:
+            for m in msgs:
+                yield Send(ch, m)
+
+    def receiver(expect):
+        got = []
+        for _ in range(expect):
+            m = yield Recv(ch)
+            got.append((m, (yield Now())))
+        return got
+
+    expect = 6 - (2 if ch.drop_pending else 0)
+    sched.spawn(sender(), name="tx")
+    rx = sched.spawn(receiver(expect), name="rx")
+    sched.run()
+    return rx.result, (ch.messages_sent, ch.messages_dropped,
+                       ch.messages_delayed)
+
+
+@pytest.mark.parametrize("arm", [
+    lambda ch: None,
+    lambda ch: ch.arm_drop(2),
+    lambda ch: ch.arm_delay(25.0),
+], ids=["clean", "drop2", "delay"])
+@pytest.mark.parametrize("sched_cls", [Scheduler, BatchedScheduler],
+                         ids=["per-event", "batched"])
+def test_send_many_matches_sequential_sends(sched_cls, arm):
+    bulk_out = _run_sends(sched_cls, bulk=True, arm=arm)
+    seq_out = _run_sends(sched_cls, bulk=False, arm=arm)
+    assert bulk_out == seq_out
+
+
+def test_send_many_to_parked_single_waiters():
+    # waiters parked on Recv each get exactly one message, in order
+    for cls in (Scheduler, BatchedScheduler):
+        sched = cls()
+        ch = Channel("c", latency=0.5)
+        results = []
+
+        def waiter(i):
+            m = yield Recv(ch)
+            results.append((i, m))
+
+        def sender():
+            yield Sleep(1.0)
+            yield SendMany(ch, ["a", "b", "c"])
+
+        for i in range(3):
+            sched.spawn(waiter(i), name=f"w{i}")
+        sched.spawn(sender(), name="tx")
+        sched.run()
+        assert results == [(0, "a"), (1, "b"), (2, "c")]
+        results.clear()
+
+
+# -- DrainReady -----------------------------------------------------------
+
+
+def test_drain_ready_takes_whole_queue():
+    for cls in (Scheduler, BatchedScheduler):
+        sched = cls()
+        ch = Channel("c", latency=2.0)
+
+        def sender():
+            yield SendMany(ch, [1, 2, 3])
+
+        def drainer():
+            batch = yield DrainReady(ch)
+            t = yield Now()
+            return batch, t
+
+        sched.spawn(sender(), name="tx")
+        d = sched.spawn(drainer(), name="rx")
+        sched.run()
+        batch, t = d.result
+        assert batch == [1, 2, 3]
+        assert t == 2.0  # one wake at the latest delivery time
+
+
+def test_parked_drainer_absorbs_bulk_send():
+    for cls in (Scheduler, BatchedScheduler):
+        sched = cls()
+        ch = Channel("c", latency=1.0)
+
+        def drainer():
+            return (yield DrainReady(ch))
+
+        def sender():
+            yield Sleep(5.0)
+            yield SendMany(ch, ["x", "y"])
+
+        d = sched.spawn(drainer(), name="rx")
+        sched.spawn(sender(), name="tx")
+        sched.run()
+        assert d.result == ["x", "y"]
+
+
+def test_drain_then_single_send_wakes_with_list():
+    sched = Scheduler()
+    ch = Channel("c")
+
+    def drainer():
+        return (yield DrainReady(ch))
+
+    def sender():
+        yield Sleep(1.0)
+        yield Send(ch, "solo")
+
+    d = sched.spawn(drainer(), name="rx")
+    sched.spawn(sender(), name="tx")
+    sched.run()
+    assert d.result == ["solo"]
+
+
+# -- counters -------------------------------------------------------------
+
+
+def test_per_event_scheduler_counts_singleton_batches():
+    sched = Scheduler()
+
+    def proc():
+        yield Sleep(1.0)
+        yield Sleep(1.0)
+
+    sched.spawn(proc(), name="p")
+    sched.run()
+    assert sched.events_popped == 3  # spawn step + two sleep resumes
+    assert sched.batches == sched.events_popped
+    assert sched.max_batch == 1
+    assert sched.heap_peak >= 1
+
+
+def test_batched_scheduler_pops_cohorts():
+    sched = BatchedScheduler()
+    bar = Barrier(4, name="b")
+
+    def proc():
+        yield Sleep(10.0)
+        yield WaitBarrier(bar)
+
+    for i in range(4):
+        sched.spawn(proc(), name=f"p{i}")
+    sched.run()
+    assert sched.max_batch == 4        # all four wake at t=10 together
+    assert sched.batches < sched.events_popped
+    assert sched.heap_peak >= 4
+
+
+def test_batched_counters_match_per_event_event_totals():
+    def build(sched):
+        ch = Channel("c", latency=1.0)
+
+        def sender():
+            for i in range(5):
+                yield Send(ch, i)
+                yield Sleep(0.5)
+
+        def receiver():
+            for _ in range(5):
+                yield Recv(ch)
+
+        sched.spawn(sender(), name="tx")
+        sched.spawn(receiver(), name="rx")
+        sched.run()
+        return sched
+
+    a = build(Scheduler())
+    b = build(BatchedScheduler())
+    assert a.events_popped == b.events_popped
+    assert b.batches <= a.batches
+
+
+# -- horizon / re-run semantics ------------------------------------------
+
+
+def test_batched_run_until_preserves_pending_events():
+    sched = BatchedScheduler()
+
+    def proc():
+        yield Sleep(10.0)
+        yield Sleep(50.0)
+        return "done"
+
+    h = sched.spawn(proc(), name="p")
+    assert sched.run(until=30.0) == 30.0
+    assert not h.done
+    assert sched.run() == 60.0
+    assert h.result == "done"
+
+
+def test_batched_live_zero_stops_mid_cohort():
+    # a non-daemon finishing mid-cohort stops the run exactly as the
+    # per-event scheduler does, leaving the cohort tail pending
+    def build(sched):
+        done = []
+
+        def fast():
+            yield Sleep(5.0)
+            done.append("fast")
+
+        def daemon():
+            yield Sleep(5.0)
+            done.append("daemon")
+            yield Sleep(100.0)
+            done.append("late")
+
+        sched.spawn(fast(), name="fast")
+        sched.spawn(daemon(), name="bg", daemon=True)
+        end = sched.run()
+        return end, done
+
+    a = build(Scheduler())
+    b = build(BatchedScheduler())
+    assert a == b
+
+
+# -- DeadlockError labels -------------------------------------------------
+
+
+@pytest.mark.parametrize("sched_cls", [Scheduler, BatchedScheduler],
+                         ids=["per-event", "batched"])
+def test_deadlock_names_channel(sched_cls):
+    sched = sched_cls()
+    ch = Channel("orders")
+
+    def stuck():
+        yield Recv(ch)
+
+    sched.spawn(stuck(), name="worker")
+    with pytest.raises(DeadlockError, match=r"worker \(waiting on recv\(orders\)\)"):
+        sched.run()
+
+
+def test_deadlock_names_barrier_and_join():
+    sched = Scheduler()
+    bar = Barrier(3, name="superstep")
+
+    def barrier_waiter():
+        yield WaitBarrier(bar)
+
+    def joiner(handle):
+        yield Join(handle)
+
+    h = sched.spawn(barrier_waiter(), name="bw")
+    sched.spawn(joiner(h), name="jw")
+    with pytest.raises(DeadlockError) as exc:
+        sched.run()
+    msg = str(exc.value)
+    assert "bw (waiting on barrier(superstep, 3 parties))" in msg
+    assert "jw (waiting on join(bw))" in msg
+
+
+def test_deadlock_names_drain():
+    sched = BatchedScheduler()
+    ch = Channel("blocks")
+
+    def drainer():
+        yield DrainReady(ch)
+
+    sched.spawn(drainer(), name="d0")
+    with pytest.raises(DeadlockError, match=r"d0 \(waiting on drain\(blocks\)\)"):
+        sched.run()
