@@ -1002,3 +1002,225 @@ def run_serve_chaos(dataset: str = "wrn", num_nodes: int = 2,
                      len(resumed_ids), identical, steps_saved,
                      replay_noop))
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Wire chaos: kill the socket server mid-stream, clients reconnect
+# ---------------------------------------------------------------------------
+
+def run_wire_chaos(dataset: str = "wrn", num_nodes: int = 2,
+                   seeds: Sequence[int] = (5, 17, 29),
+                   max_iter: int = 10, kills: int = 3,
+                   journal_dir: Optional[str] = None) -> List[Tuple]:
+    """Rows: (seed, kills, generations, jobs, resumed, deduped,
+    reconnects, identical, exactly_once, strictly_fewer, steps_saved).
+
+    The wire protocol's end-to-end robustness soak: everything a
+    client observes must survive the server being killed out from
+    under it.  Per seed:
+
+    * a journaled **baseline** generation serves the
+      :data:`SERVE_MIX` over a real socket, uninterrupted, and the
+      client records every job's values as received over the wire;
+    * then a fresh journal is stream-served with the server **killed**
+      after a seeded number of scheduling rounds, ``kills`` times
+      (abrupt: no drain, no goodbye — the journal ends mid-flight);
+      after each kill the service is rebuilt with
+      :meth:`~repro.serve.GraphService.recover`, a new server
+      generation binds the *same* port, and the client reconnects and
+      resubmits every job under its original idempotency key.
+
+    Checks (one boolean each per row):
+
+    * ``identical`` — every job's final wire-delivered values are
+      bit-identical to the uninterrupted baseline's;
+    * ``exactly_once`` — the journal holds exactly one ``submitted``
+      record per idempotency key (resubmits deduped, never re-ran);
+    * ``strictly_fewer`` — every checkpoint-resumed job recomputed
+      strictly fewer supersteps than its cold baseline run
+      (``steps_saved`` totals the supersteps the resumes avoided).
+    """
+    import os
+    import random
+    import tempfile
+    import time as _time
+
+    from ..errors import WireError
+    from ..serve import GraphService, JobSpec
+    from ..serve.client import GraphClient
+    from ..serve.journal import read_journal
+    from ..serve.wire import GraphServiceServer
+
+    graph = load_dataset(dataset)
+    spec = ClusterSpec(nodes=num_nodes, gpus_per_node=1)
+    base_dir = journal_dir or tempfile.mkdtemp(prefix="wire_chaos_")
+
+    mix = [(f"k{i}", algorithm, params)
+           for i, (algorithm, params) in enumerate(SERVE_MIX)]
+
+    def spec_for(key, algorithm, params):
+        return JobSpec(graph=dataset, algorithm=algorithm,
+                       params=params, tenant=f"t:{key}",
+                       max_iterations=max_iter)
+
+    def submit_all(client, ids=None):
+        """(Re)submit the whole mix under stable keys: key -> job id.
+
+        Tolerates the server dying mid-stream (the soak's kills land
+        wherever they land, including between two submits): already-
+        acknowledged ids are kept and the missing keys are simply
+        resubmitted by the next generation's call — idempotency keys
+        make the replay safe either way.
+        """
+        ids = dict(ids or {})
+        for key, algorithm, params in mix:
+            try:
+                resp = client.submit(spec_for(key, algorithm, params),
+                                     idempotency_key=key)
+            except (WireError, OSError):
+                break  # server died; the next generation resubmits
+            ids[key] = resp["job_id"]
+        return ids
+
+    def wait_all(client, ids):
+        vals = {}
+        for key, job_id in ids.items():
+            doc = client.wait(job_id, timeout_s=60)
+            if doc["state"] != "done":
+                raise WireError(f"job for {key} ended {doc['state']!r}")
+            vals[key] = client.result_values(job_id)
+        return vals
+
+    rows = []
+    for seed in seeds:
+        jdir = os.path.join(base_dir, f"seed{seed}")
+        os.makedirs(jdir, exist_ok=True)
+        rng = random.Random(seed)
+
+        # -- baseline: one uninterrupted socket-served generation ---------------
+        base_svc = GraphService(spec,
+                                journal=os.path.join(jdir, "base.jsonl"))
+        base_svc.load_graph(dataset, graph)
+        base_server = GraphServiceServer(base_svc)
+        base_thread = base_server.serve_in_thread()
+        host, port = base_server.address
+        with GraphClient(host, port, client_name="wire-chaos-base",
+                         jitter_seed=seed) as client:
+            base_ids = submit_all(client)
+            base_vals = wait_all(client, base_ids)
+            cold_steps = {key: len(base_svc.job(job_id).result.stats)
+                          for key, job_id in base_ids.items()}
+            client.drain()
+        base_thread.join(timeout=30)
+
+        # -- chaos: same mix, server killed `kills` times mid-stream ------------
+        jpath = os.path.join(jdir, "crash.jsonl")
+        kill_after = [rng.randrange(3, 9) for _ in range(kills)]
+        svc = GraphService(spec, journal=jpath)
+        svc.load_graph(dataset, graph)
+        server = GraphServiceServer(svc, host, 0,
+                                    crash_after_steps=kill_after[0])
+        thread = server.serve_in_thread()
+        chaos_port = server.address[1]
+
+        client = GraphClient(host, chaos_port,
+                             client_name="wire-chaos", jitter_seed=seed,
+                             connect_attempts=8, backoff_base_s=0.01,
+                             timeout_s=10.0)
+        resumed_keys = set()      # keys checkpoint-resumed at least once
+        outstanding = set()       # resumed, not yet finished+accounted
+        strictly_fewer = True
+        steps_saved = 0
+        deduped = 0
+        generations = 1
+
+        def settle_resumes(service, ids):
+            """Credit resumes that finished in ``service``'s lifetime.
+
+            A resumed job's ``result.stats`` covers only the slices it
+            recomputed after its checkpoint, so its length against the
+            cold baseline is exactly the resume's savings.  Settled
+            keys leave ``outstanding`` so later generations (where the
+            job is a sidecar-restored terminal) never recount them.
+            """
+            nonlocal steps_saved, strictly_fewer
+            for key in sorted(outstanding):
+                job = service._jobs.get(ids.get(key))
+                if job is None or job.state != "done" \
+                        or job.result is None or job.from_cache:
+                    continue
+                recomputed = len(job.result.stats)
+                steps_saved += cold_steps[key] - recomputed
+                if recomputed >= cold_steps[key]:
+                    strictly_fewer = False
+                outstanding.discard(key)
+
+        def await_kill(server, thread):
+            """Wait for the seeded kill; if the mix finished before
+            the threshold, the idle server would never die — kill it
+            cold (recovery then restores only terminals, also valid)."""
+            deadline = _time.monotonic() + 60
+            while thread.is_alive() and _time.monotonic() < deadline:
+                thread.join(timeout=0.02)
+                if thread.is_alive() and not server._service_busy():
+                    server.crash()
+            thread.join(timeout=30)
+
+        try:
+            ids = submit_all(client)
+
+            for gen in range(kills):
+                await_kill(server, thread)
+                settle_resumes(svc, ids)
+
+                # next generation: recover from the torn journal and
+                # rebind the same port; the client reconnects into it
+                id_to_key = {job_id: key for key, job_id in ids.items()}
+                svc = GraphService.recover(jpath,
+                                           graphs={dataset: graph})
+                resumed_now = {
+                    id_to_key[j.job_id] for j in svc.queue.jobs()
+                    if j.resume_from is not None
+                    and j.job_id in id_to_key}
+                resumed_keys |= resumed_now
+                outstanding |= resumed_now
+                server = GraphServiceServer(
+                    svc, host, chaos_port,
+                    crash_after_steps=(kill_after[gen + 1]
+                                       if gen + 1 < kills else None))
+                thread = server.serve_in_thread()
+                generations += 1
+
+                before = dict(ids)
+                ids = submit_all(client, ids)
+                deduped += sum(ids[key] == before[key]
+                               for key in ids if key in before)
+
+            final_vals = wait_all(client, ids)
+            settle_resumes(svc, ids)
+            client.drain()
+            thread.join(timeout=30)
+        finally:
+            client.close()
+
+        identical = all(key in final_vals
+                        and np.array_equal(final_vals[key],
+                                           base_vals[key])
+                        for key in base_vals)
+        submitted_by_key: Dict[int, str] = {}
+        submits = 0
+        for doc in read_journal(jpath):
+            if doc.get("rec") == "submitted":
+                submits += 1
+            if doc.get("rec") == "idempotency":
+                submitted_by_key[int(doc["job_id"])] = str(doc["key"])
+        exactly_once = (submits == len(mix)
+                        and len(set(ids.values())) == len(mix)
+                        and all(submitted_by_key.get(job_id) == key
+                                for key, job_id in ids.items()))
+
+        rows.append((seed, kills, generations, len(mix),
+                     len(resumed_keys), deduped, client.reconnects,
+                     identical, exactly_once, strictly_fewer,
+                     steps_saved))
+    return rows

@@ -62,7 +62,7 @@ FIGURES = (
     "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
     "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
     "fault_soak", "straggler_soak", "topology_soak", "serve_soak",
-    "serve_chaos",
+    "serve_chaos", "wire_chaos",
 )
 
 
@@ -150,8 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     submit = sub.add_parser(
         "submit", help="append a tenant job to a serving jobs file")
-    submit.add_argument("--jobs-file", metavar="PATH", required=True,
-                        help="JSON-lines file the serve command consumes")
+    submit.add_argument("--jobs-file", metavar="PATH", default=None,
+                        help="JSON-lines file the serve command consumes "
+                             "(required unless --connect)")
     submit.add_argument("--graph", required=True,
                         help="graph store key the job attaches to")
     submit.add_argument("--algorithm", default="pagerank",
@@ -182,6 +183,20 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--retry-backoff-ms", type=float, default=None,
                         help="base of the exponential retry backoff "
                              "(doubles per attempt; default 1.0)")
+    submit.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="submit over the wire protocol to a "
+                             "'serve --listen' server instead of "
+                             "appending to --jobs-file")
+    submit.add_argument("--idempotency-key", metavar="KEY", default=None,
+                        help="with --connect: client-chosen key making "
+                             "the submit exactly-once across "
+                             "reconnects and server crashes")
+    submit.add_argument("--wait", action="store_true",
+                        help="with --connect: block until the job is "
+                             "terminal and report its final state")
+    submit.add_argument("--timeout-s", type=float, default=10.0,
+                        help="with --connect: per-request timeout "
+                             "(default 10s)")
     submit.add_argument("--fault-kind", default=None,
                         help="inject a single fault into this job "
                              "(e.g. crash); other tenants are isolated")
@@ -241,6 +256,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "journal a clean-shutdown marker")
     serve.add_argument("--json", action="store_true",
                        help="print the final metrics as JSON")
+    serve.add_argument("--listen", metavar="HOST:PORT", default=None,
+                       help="serve the wire protocol on HOST:PORT "
+                            "(JSONL over TCP) instead of draining a "
+                            "jobs file; SIGTERM drains gracefully")
+    serve.add_argument("--lease-ms", type=float, default=30_000.0,
+                       help="with --listen: session lease; a client "
+                            "silent this long is reaped as half-open")
 
     bench = sub.add_parser(
         "bench", help="wall-clock hot-path throughput benchmark")
@@ -493,6 +515,9 @@ def cmd_figure(name: str) -> int:
         "serve_chaos": ["seed", "killed at", "jobs", "pre-crash done",
                         "resumed", "identical", "steps saved",
                         "replay no-op"],
+        "wire_chaos": ["seed", "kills", "generations", "jobs",
+                       "resumed", "deduped", "reconnects", "identical",
+                       "exactly once", "strictly fewer", "steps saved"],
     }
     if name == "fig15":
         out = runner.run_fig15()
@@ -562,11 +587,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def parse_hostport(text: str) -> "tuple":
+    """Split a ``HOST:PORT`` clause; raises ``ValueError`` when bad."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
     import json
 
     from .errors import ServeError
     from .serve.job import JobSpec
+
+    if args.connect is None and args.jobs_file is None:
+        print("error: submit needs --jobs-file (file handoff) or "
+              "--connect HOST:PORT (wire protocol)", file=sys.stderr)
+        return 2
 
     record = {"graph": args.graph, "algorithm": args.algorithm,
               "engine": args.engine, "tenant": args.tenant,
@@ -598,15 +636,82 @@ def cmd_submit(args: argparse.Namespace) -> int:
                            "node": args.fault_node,
                            "repeat": args.fault_repeat}
     try:
-        JobSpec.from_dict(record)  # validate before persisting
+        spec = JobSpec.from_dict(record)  # validate before persisting
     except ServeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.connect is not None:
+        from .errors import WireError, WireShed, WireUnavailable
+        from .serve.client import GraphClient
+        try:
+            host, port = parse_hostport(args.connect)
+        except ValueError as exc:
+            print(f"error: --connect: {exc}", file=sys.stderr)
+            return 2
+        try:
+            with GraphClient(host, port, client_name=f"cli:{args.tenant}",
+                             timeout_s=args.timeout_s) as client:
+                resp = client.submit(
+                    spec, idempotency_key=args.idempotency_key)
+                verb = "deduped to" if resp["deduped"] else "submitted as"
+                print(f"{args.tenant}: {args.algorithm} on "
+                      f"{args.graph!r} {verb} job #{resp['job_id']} "
+                      f"({resp['state']})")
+                if args.wait:
+                    doc = client.wait(resp["job_id"])
+                    print(f"job #{doc['job_id']} {doc['state']}"
+                          + (f": {doc['error']}" if doc["error"] else ""))
+                    return 0 if doc["state"] == "done" else 1
+            return 0
+        except WireShed as exc:
+            print(f"shed: {exc} (retry after "
+                  f"{exc.retry_after_ms:.0f} ms"
+                  + (", draining)" if exc.draining else ")"),
+                  file=sys.stderr)
+            return 1
+        except WireUnavailable as exc:
+            print(f"error: {exc}; backoff applied: "
+                  f"{[round(d, 3) for d in exc.backoff_schedule]}",
+                  file=sys.stderr)
+            return 1
+        except WireError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
     with open(args.jobs_file, "a", encoding="utf-8") as f:
         f.write(json.dumps(record) + "\n")
     print(f"queued {args.tenant}: {args.algorithm} on {args.graph!r} "
           f"-> {args.jobs_file}")
     return 0
+
+
+class _GracefulShutdown(Exception):
+    """Raised by the serve CLI's signal handler to unwind into drain."""
+
+    def __init__(self, signame: str) -> None:
+        super().__init__(signame)
+        self.signame = signame
+
+
+def _install_drain_signals(handler) -> None:
+    """Best-effort SIGTERM/SIGINT registration.
+
+    ``signal.signal`` only works on the main thread; tests drive the
+    CLI from worker threads, where serving simply runs unguarded.
+    """
+    import signal as signal_mod
+
+    for signame in ("SIGTERM", "SIGINT"):
+        signum = getattr(signal_mod, signame, None)
+        if signum is None:  # pragma: no cover - platform-specific
+            continue
+        try:
+            signal_mod.signal(
+                signum,
+                lambda _num, _frm, name=signame: handler(name))
+        except ValueError:  # not the main thread
+            return
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -619,10 +724,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("error: --recover replays a journal; it needs --journal",
               file=sys.stderr)
         return 2
-    if args.jobs_file is None and not args.recover:
+    if args.jobs_file is None and not args.recover \
+            and args.listen is None:
         print("error: --jobs-file is required (unless --recover "
-              "re-queues journaled jobs)", file=sys.stderr)
+              "re-queues journaled jobs or --listen serves sockets)",
+              file=sys.stderr)
         return 2
+    listen_addr = None
+    if args.listen is not None:
+        try:
+            listen_addr = parse_hostport(args.listen)
+        except ValueError as exc:
+            print(f"error: --listen: {exc}", file=sys.stderr)
+            return 2
     if args.drain_after is not None and args.drain_after < 0:
         print(f"error: --drain-after must be >= 0, got "
               f"{args.drain_after}", file=sys.stderr)
@@ -638,7 +752,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(f"error: bad jobs file {args.jobs_file!r}: {exc}",
                   file=sys.stderr)
             return 2
-        if not specs and not args.recover:
+        if not specs and not args.recover and listen_addr is None:
             print(f"error: no jobs in {args.jobs_file!r}",
                   file=sys.stderr)
             return 2
@@ -683,15 +797,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 # overload sheds are load management, not config errors:
                 # record and keep draining the rest of the file
                 shed.append(str(exc))
-        if args.drain_after is not None:
+        if listen_addr is not None:
+            from .serve.wire import PROTOCOL_VERSION, GraphServiceServer
+            server = GraphServiceServer(service, listen_addr[0],
+                                        listen_addr[1],
+                                        lease_ms=args.lease_ms)
+            # SIGTERM suspends in-flight jobs at their checkpoints so
+            # a restart + --recover resumes them; clients see a
+            # 'draining' event, never a reset socket
+            _install_drain_signals(
+                lambda name: server.request_drain(reason=name.lower(),
+                                                  mode="now"))
+            host, port = server.address
+            print(f"listening on {host}:{port} "
+                  f"(protocol v{PROTOCOL_VERSION})", file=sys.stderr)
+            server.serve_forever()
+        elif args.drain_after is not None:
             for _ in range(args.drain_after):
                 if not service.step():
                     break
             service.drain()
         else:
-            service.run()
-            if args.journal is not None and not args.recover:
-                service.drain()  # journal the clean-shutdown marker
+            def _raise_shutdown(name: str) -> None:
+                raise _GracefulShutdown(name)
+
+            _install_drain_signals(_raise_shutdown)
+            try:
+                service.run()
+                if args.journal is not None and not args.recover:
+                    service.drain()  # journal the clean-shutdown marker
+            except _GracefulShutdown as exc:
+                # finish what's running, shed the rest, journal a clean
+                # shutdown naming the signal; then report as usual so
+                # the nonzero-on-failed-jobs convention still holds
+                service.drain(reason=exc.signame.lower())
+                shed.append(f"shutdown on {exc.signame}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -699,11 +839,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     jobs = service.jobs()
     bad = [j for j in jobs if j.state in ("failed", "quarantined")]
     if args.json:
-        print(json.dumps({"ok": not bad,
-                          "failed_jobs": [j.job_id for j in bad],
-                          "shed": shed,
-                          "jobs": [j.describe() for j in jobs],
-                          "metrics": service.metrics()}, indent=2))
+        payload = {"ok": not bad,
+                   "failed_jobs": [j.job_id for j in bad],
+                   "shed": shed,
+                   "jobs": [j.describe() for j in jobs],
+                   "metrics": service.metrics(),
+                   "recovery": service.recovery_stats()}
+        if listen_addr is not None:
+            payload["wire"] = server.wire_stats()
+        print(json.dumps(payload, indent=2))
         return 1 if bad else 0
     rows = [(j.job_id, j.spec.tenant, j.spec.algorithm, j.spec.graph,
              j.state, "yes" if j.from_cache else "no",
@@ -728,10 +872,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"({row['cache_hits']} cached)")
     for line in shed:
         print(f"shed: {line}")
-    if service.recovered_jobs:
-        print(f"recovered: {service.recovered_jobs} job(s) re-queued, "
-              f"{service.resumed_from_checkpoint} resumed from a "
-              f"checkpoint")
+    recovery = service.recovery_stats()
+    if recovery["recovered"]:
+        print(f"recovered: {recovery['recovered']} job(s) from the "
+              f"journal ({recovery['requeued']} re-queued, "
+              f"{recovery['resumed']} resumed from a checkpoint, "
+              f"{recovery['handoffs']} handoffs)")
+    if listen_addr is not None:
+        wire = server.wire_stats()
+        print(f"wire: {wire['connections_accepted']} connection(s), "
+              f"{wire['sessions_opened']} session(s) "
+              f"({wire['sessions_reaped']} reaped), "
+              f"{wire['frames_in']} frames in / "
+              f"{wire['frames_out']} out, "
+              f"{wire['deduped_submits']} deduped submit(s), "
+              f"{wire['sheds_sent']} shed(s)")
     if bad:
         print(f"{len(bad)} job(s) ended failed/quarantined: "
               + ", ".join(f"#{j.job_id}" for j in bad))

@@ -186,3 +186,51 @@ class AdmissionError(ServeError):
     memory/daemon budgets even on an otherwise idle service — queueing
     it would deadlock the queue, so it is rejected outright.
     """
+
+
+class WireError(ServeError):
+    """Base class of the serving wire protocol's failures.
+
+    Everything the JSONL-over-TCP layer (:mod:`repro.serve.wire`,
+    :mod:`repro.serve.client`) raises derives from this class, so a
+    caller can treat "the wire broke" as one family while service-side
+    errors relayed over it keep their usual :class:`ServeError` shape.
+    """
+
+
+class WireProtocolError(WireError):
+    """A frame violated the wire schema (bad op, field, or version)."""
+
+
+class WireTimeout(WireError):
+    """A single request exceeded its per-request timeout budget."""
+
+
+class WireUnavailable(WireError):
+    """The server stayed unreachable through a whole reconnect budget.
+
+    Carries ``backoff_schedule`` — the jittered delays (seconds) the
+    client actually slept between attempts — so callers and tests can
+    see the exponential backoff that was applied instead of a hang.
+    """
+
+    def __init__(self, message: str,
+                 backoff_schedule: tuple = ()) -> None:
+        super().__init__(message)
+        self.backoff_schedule = tuple(backoff_schedule)
+
+
+class WireShed(WireError):
+    """The server refused a submit under overload or drain.
+
+    Carries ``retry_after_ms`` (the server's backlog-derived hint for
+    when a resubmit might be admitted) and ``draining`` (True when the
+    refusal came from a graceful shutdown rather than load).
+    """
+
+    def __init__(self, message: str,
+                 retry_after_ms: float = 0.0,
+                 draining: bool = False) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+        self.draining = draining

@@ -12,6 +12,11 @@ The service is crash-safe when given a journal path: the write-ahead
 :class:`JobJournal` records every lifecycle transition, and
 ``GraphService.recover(path)`` rebuilds a crashed service by idempotent
 replay, resuming in-flight jobs from their last durable checkpoint.
+
+:class:`GraphServiceServer` puts the service on a socket (JSONL over
+TCP, versioned frames, session leases, graceful drain) and
+:class:`GraphClient` is its fault-tolerant counterpart (timeouts,
+backoff reconnects, heartbeats, idempotent resubmit).
 """
 
 from .cache import CACHE_LOOKUP_MS, CachedResult, ResultCache, params_fingerprint
@@ -35,10 +40,18 @@ from .journal import (
     read_journal,
     replay_journal,
 )
+from .client import GraphClient
 from .queue import AdmissionControl, JobQueue, ResourceUsage
 from .scheduler import FairShareLedger, FairShareScheduler, RunningJob
 from .service import GraphService
 from .store import GraphStore, StoredGraph
+from .wire import (
+    FRAME_SCHEMA,
+    PROTOCOL_VERSION,
+    GraphServiceServer,
+    WireCounters,
+    validate_frame,
+)
 
 __all__ = [
     "GraphService",
@@ -70,4 +83,10 @@ __all__ = [
     "FairShareScheduler",
     "FairShareLedger",
     "RunningJob",
+    "GraphServiceServer",
+    "GraphClient",
+    "WireCounters",
+    "PROTOCOL_VERSION",
+    "FRAME_SCHEMA",
+    "validate_frame",
 ]

@@ -27,7 +27,14 @@ Record kinds (one JSON object per line, ``rec`` discriminates)::
     quarantined     {job_id, reason}
     cancelled       {job_id}
     shed            {tenant, reason} — overload/deadline admission refusals
-    shutdown        {clean: true} — drain() wrote a clean-shutdown marker
+    idempotency     {key, job_id} — client-supplied exactly-once submit key
+    shutdown        {clean: true, reason} — drain() clean-shutdown marker
+
+The ``idempotency`` record is appended immediately *before* its job's
+``submitted`` record, so a crash between the two leaves an orphan key
+(a key whose job was never submitted); replay drops orphans — the
+submit never took effect, so a client resubmitting under that key must
+run, not dedupe against a ghost.
 
 Every record also carries ``now_ms`` (the service clock at append time)
 so a replay can restore clock continuity.  Appends are flushed line by
@@ -50,13 +57,15 @@ from ..errors import ServeError
 from ..fault.checkpoint import Checkpoint
 
 #: Journal format version, recorded in the ``service_start`` record.
-JOURNAL_VERSION = 1
+#: v2 added the ``idempotency`` record and the shutdown ``reason``
+#: field; v1 journals replay unchanged (both additions are optional).
+JOURNAL_VERSION = 2
 
 #: Record kinds a journal may contain (the wire vocabulary).
 RECORD_KINDS = (
     "service_start", "graph_loaded", "submitted", "admitted", "slice",
     "checkpointed", "finished", "failed", "retry", "quarantined",
-    "cancelled", "shed", "shutdown",
+    "cancelled", "shed", "idempotency", "shutdown",
 )
 
 #: Terminal job record kinds — replay stops tracking a job after one.
@@ -252,8 +261,12 @@ class JournalState:
         default_factory=list)
     jobs: Dict[int, JobReplay] = field(default_factory=dict)
     clean_shutdown: bool = False
+    #: why the clean shutdown happened ("drain", "sigterm", ...)
+    shutdown_reason: Optional[str] = None
     now_ms: float = 0.0
     sheds: int = 0
+    #: client idempotency key -> job id (exactly-once submit dedupe)
+    idempotency: Dict[str, int] = field(default_factory=dict)
 
     @property
     def unfinished(self) -> List[JobReplay]:
@@ -281,9 +294,13 @@ def replay_journal(records: List[Dict[str, Any]]) -> JournalState:
             continue
         if rec == "shutdown":
             state.clean_shutdown = bool(doc.get("clean", False))
+            state.shutdown_reason = doc.get("reason")
             continue
         if rec == "shed":
             state.sheds += 1
+            continue
+        if rec == "idempotency":
+            state.idempotency[str(doc["key"])] = int(doc["job_id"])
             continue
         job_id = int(doc["job_id"])
         if rec == "submitted":
@@ -329,4 +346,10 @@ def replay_journal(records: List[Dict[str, Any]]) -> JournalState:
             job.finished_ms = float(doc["now_ms"])
         else:  # pragma: no cover - read_journal validated kinds
             raise ServeError(f"unknown journal record kind {rec!r}")
+    # a crash between an idempotency append and its submitted append
+    # leaves an orphan key: the submit never took effect, so the key
+    # must not dedupe a resubmit against a job that does not exist
+    state.idempotency = {key: job_id
+                         for key, job_id in state.idempotency.items()
+                         if job_id in state.jobs}
     return state

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Any, Dict, List, Optional
 
 import numpy as np
@@ -116,6 +117,16 @@ class GraphService:
         self.retries = 0
         #: True once :meth:`drain` started — new submissions are shed
         self.draining = False
+        #: client idempotency key -> job id (exactly-once submits);
+        #: journaled, so dedupe survives a crash + :meth:`recover`
+        self._idempotency: Dict[str, int] = {}
+        #: submits answered from the idempotency map instead of run
+        self.deduped_submits = 0
+        # drain/recover lifecycle guard: drain() must be idempotent and
+        # safe to call from a signal handler or a second thread while
+        # the serving loop (or a recovery) is mid-flight
+        self._lifecycle = threading.RLock()
+        self._drain_result: Optional[List[Job]] = None
         #: simulated ms a job waits for a singleflight leader before the
         #: group abandons it and recomputes (None = wait forever)
         if waiter_timeout_ms is not None and waiter_timeout_ms <= 0:
@@ -133,6 +144,8 @@ class GraphService:
         #: jobs re-queued by the last :meth:`recover` (observability)
         self.recovered_jobs = 0
         self.resumed_from_checkpoint = 0
+        #: terminal jobs the last :meth:`recover` restored verbatim
+        self.recovered_terminal = 0
         self.journal: Optional[JobJournal] = None
         if journal is not None:
             self.journal = JobJournal(journal)
@@ -168,14 +181,33 @@ class GraphService:
 
     # -- submission ---------------------------------------------------------------------
 
-    def submit(self, spec: JobSpec) -> Job:
+    def submit(self, spec: JobSpec, *,
+               idempotency_key: Optional[str] = None) -> Job:
         """Queue a job; raises if it could never run — or would
         overload the service (queue depth, per-tenant cap, unmeetable
         deadline): those refusals are *sheds*, recorded with reasons.
 
+        ``idempotency_key`` makes the submit exactly-once: a key that
+        already maps to a job (in memory, or replayed from the journal
+        after a crash) returns that job instead of running a duplicate.
+        The mapping is journaled *before* the submitted record, so a
+        resubmit after any crash window dedupes correctly: either the
+        original submit committed (key + record present, dedupe) or it
+        never happened (orphan key dropped at replay, this submit runs).
+        Shed submits never consume the key — the client may retry.
+
         Returns the live :class:`Job` record — the caller keeps it and
         reads result/latency off it after :meth:`run`.
         """
+        if idempotency_key is not None:
+            if not isinstance(idempotency_key, str) or not idempotency_key:
+                raise ServeError(
+                    f"idempotency_key must be a non-empty string, "
+                    f"got {idempotency_key!r}")
+            existing = self._idempotency.get(idempotency_key)
+            if existing is not None:
+                self.deduped_submits += 1
+                return self._jobs[existing]
         if spec.graph not in self.store:
             raise ServeError(
                 f"unknown graph {spec.graph!r}; loaded: "
@@ -197,12 +229,22 @@ class GraphService:
             err = self.admission.shed(job, reason)
             self._journal_append("shed", tenant=spec.tenant, reason=reason)
             raise err
+        if idempotency_key is not None:
+            # write-ahead: the key lands before the submitted record;
+            # replay drops the key if the crash split the pair
+            self._journal_append("idempotency", key=idempotency_key,
+                                 job_id=job.job_id)
+            self._idempotency[idempotency_key] = job.job_id
         self._jobs[job.job_id] = job
         self._journal_append("submitted", job_id=job.job_id,
                              spec=spec.to_doc(),
                              submitted_ms=job.submitted_ms)
         self.queue.push(job)
         return job
+
+    def idempotent_job_id(self, key: str) -> Optional[int]:
+        """The job id a client idempotency key maps to (None = fresh)."""
+        return self._idempotency.get(key)
 
     def _estimate_wait_ms(self) -> Optional[float]:
         """Deterministic queue-wait estimate for deadline admission.
@@ -264,8 +306,11 @@ class GraphService:
         """One scheduling round: admit what fits, run one slice.
 
         Returns False when the service is idle (nothing pending,
-        nothing running).
+        nothing running) — or already drained (a suspended service
+        must not be driven again; recover its journal instead).
         """
+        if self._drain_result is not None:
+            return False
         while True:
             job = self.queue.pop_admissible(self._usage(),
                                             self._graph_bytes(),
@@ -312,31 +357,59 @@ class GraphService:
             pass
         return [j for j in self._jobs.values() if j.finished]
 
-    def drain(self) -> List[Job]:
-        """Graceful shutdown: finish running jobs, shed pending ones,
-        refuse new submissions, journal a clean-shutdown marker.
+    def drain(self, *, reason: str = "drain",
+              finish_running: bool = True) -> List[Job]:
+        """Graceful shutdown: refuse new submissions, journal a
+        clean-shutdown marker recording ``reason``, close the journal.
 
-        After drain the journal is closed; a subsequent
-        :meth:`recover` of it sees the clean marker and rebuilds a
-        fully terminal service (replay is a no-op).
+        With ``finish_running=True`` (the default, the file-mode
+        lifecycle) running jobs are driven to completion and pending
+        ones are shed; a subsequent :meth:`recover` sees the clean
+        marker and rebuilds a fully terminal service (replay is a
+        no-op).  With ``finish_running=False`` (the socket server's
+        SIGTERM path) in-flight and pending jobs are *suspended*
+        instead: their steppers close, no terminal record is journaled,
+        and a restart's :meth:`recover` re-queues them to resume from
+        their last durable checkpoint — clients reconnect and poll the
+        same job ids.
+
+        Idempotent and thread-safe: a second call (from a signal
+        handler, a second thread, or after the journal already closed)
+        returns the first call's result without shedding or journaling
+        anything twice.
         """
-        self.draining = True
-        for job in list(self.queue.jobs()):
-            pulled = self.queue.cancel(job.job_id)
-            if pulled is None:  # pragma: no cover - queue race guard
-                continue
-            job.error = "shed: service draining"
-            job.finished_ms = self.now_ms
-            self.admission.sheds += 1
-            self.admission.shed_reasons.append(
-                f"job #{job.job_id} ({job.spec.tenant}): pending at "
-                f"drain")
-            self._journal_append("cancelled", job_id=job.job_id)
-        finished = self.run()
-        if self.journal is not None and not self.journal.closed:
-            self.journal.append("shutdown", self.now_ms, clean=True)
-            self.journal.close()
-        return finished
+        with self._lifecycle:
+            if self._drain_result is not None:
+                return self._drain_result
+            self.draining = True
+            if finish_running:
+                for job in list(self.queue.jobs()):
+                    pulled = self.queue.cancel(job.job_id)
+                    if pulled is None:  # pragma: no cover - race guard
+                        continue
+                    job.error = "shed: service draining"
+                    job.finished_ms = self.now_ms
+                    self.admission.sheds += 1
+                    self.admission.shed_reasons.append(
+                        f"job #{job.job_id} ({job.spec.tenant}): "
+                        f"pending at drain")
+                    self._journal_append("cancelled", job_id=job.job_id)
+                finished = self.run()
+            else:
+                # suspend: close the live steppers (releasing daemons
+                # and graph attachments) but journal nothing terminal —
+                # the in-flight jobs stay "running"/"pending" in the
+                # journal so recover() re-queues and resumes them
+                for rj in list(self.scheduler.running):
+                    rj.stepper.close()
+                    self._teardown(rj)
+                finished = [j for j in self._jobs.values() if j.finished]
+            if self.journal is not None and not self.journal.closed:
+                self.journal.append("shutdown", self.now_ms, clean=True,
+                                    reason=reason)
+                self.journal.close()
+            self._drain_result = finished
+            return finished
 
     # -- recovery -----------------------------------------------------------------------
 
@@ -394,6 +467,7 @@ class GraphService:
             if svc.store.get(key).version > 1:
                 svc.cache.invalidate_graph(key)
         svc.now_ms = state.now_ms
+        svc._idempotency = dict(state.idempotency)
         for jr in sorted(state.jobs.values(), key=lambda j: j.job_id):
             spec = JobSpec.from_doc(jr.spec_doc)
             job = Job(jr.job_id, spec, submitted_ms=jr.submitted_ms)
@@ -412,6 +486,7 @@ class GraphService:
                     if (spec.use_cache and jr.cache_key is not None
                             and not jr.from_cache):
                         svc.cache.put_entry(jr.cache_key, result)
+                    svc.recovered_terminal += 1
                     continue
                 # finished record without its sidecar (should not
                 # happen: the sidecar lands first) — recompute
@@ -420,16 +495,19 @@ class GraphService:
                 job.state = FAILED
                 job.error = jr.error
                 job.finished_ms = jr.finished_ms
+                svc.recovered_terminal += 1
                 continue
             elif jr.state == "quarantined":
                 job.state = QUARANTINED
                 job.error = jr.error
                 job.quarantine_reason = jr.quarantine_reason
                 job.finished_ms = jr.finished_ms
+                svc.recovered_terminal += 1
                 continue
             elif jr.state == "cancelled":
                 job.state = CANCELLED
                 job.finished_ms = jr.finished_ms
+                svc.recovered_terminal += 1
                 continue
             # pending or in flight at the crash: re-queue, seeded with
             # the last durable checkpoint if one was journaled
@@ -754,6 +832,18 @@ class GraphService:
                 "p99": float(np.percentile(arr, 99)),
                 "count": len(lats)}
 
+    def recovery_stats(self) -> Dict[str, int]:
+        """Recovery counters for ``serve --json`` and the wire's
+        ``stats`` frame: jobs restored by the last :meth:`recover`
+        (terminal + re-queued), in-flight jobs re-queued, checkpoint
+        resumes, and singleflight hung-leader handoffs."""
+        return {
+            "recovered": self.recovered_terminal + self.recovered_jobs,
+            "requeued": self.recovered_jobs,
+            "resumed": self.resumed_from_checkpoint,
+            "handoffs": self.handoffs,
+        }
+
     def metrics(self) -> Dict[str, Any]:
         by_state: Dict[str, int] = {}
         for j in self._jobs.values():
@@ -767,8 +857,13 @@ class GraphService:
             "handoffs": self.handoffs,
             "retries": self.retries,
             "draining": self.draining,
+            "deduped_submits": self.deduped_submits,
             "recovered_jobs": self.recovered_jobs,
             "resumed_from_checkpoint": self.resumed_from_checkpoint,
+            # the recovery story in one block: jobs restored from the
+            # journal (terminal + re-queued), re-queued in-flight jobs,
+            # checkpoint resumes, and singleflight hung-leader handoffs
+            "recovery": self.recovery_stats(),
             "store": self.store.stats(),
             "tenants": self.ledger.snapshot(),
             "latency": self.latency_percentiles(),

@@ -1,0 +1,684 @@
+"""JSONL-over-TCP wire protocol for the serving layer.
+
+PR 7 made the :class:`~repro.serve.service.GraphService` crash-safe on
+disk; this module puts it on the network, mirroring the ``submit`` /
+``serve`` file handoff as a socket protocol so clients and the server
+can evolve — and fail — independently, which is GX-Plug's decoupling
+story applied to the serving boundary.
+
+The protocol is newline-delimited JSON: every frame is one JSON object
+on one line.  Requests carry ``op`` (the verb), ``v`` (the protocol
+version), ``req`` (a client-chosen id echoed back as ``re`` so
+responses can be matched under pipelining), and op-specific fields.
+The schema is versioned and **eagerly validated**: an unknown op, a
+missing or mistyped field, an unknown field, or a version mismatch is
+answered with an error frame naming the violation — never a closed
+socket, never a silently-ignored field.
+
+Request ops::
+
+    hello    {client, session?, lease_ms?}  open or resume a session
+    ping     {session}                      heartbeat: renew the lease
+    submit   {session, job, idempotency_key?}   queue a job
+    poll     {session, job_id, values?}     job state (+ values if done)
+    watch    {session, job_id}              stream state-change events
+    cancel   {session, job_id}              cancel pending/running job
+    stats    {session}                      service metrics + wire counters
+    drain    {session, mode}                graceful shutdown
+
+Responses are ``{re, ok: true, ...}`` or ``{re, ok: false, code,
+error, ...}``; overload refusals use ``code: "shed"`` and carry
+``retry_after_ms`` (the server's backlog-derived resubmit hint) plus
+``draining`` — load is turned away with a schedule, never a reset
+socket.  The server also pushes unsolicited ``{"event": ...}`` frames:
+``job`` state changes to watchers, ``draining`` to everyone when a
+graceful shutdown starts, ``expired`` when a session's lease lapses.
+
+**Sessions and leases.**  A client opens a session with ``hello`` and
+keeps it alive by heartbeating (any valid frame renews the lease, but
+``ping`` exists for idle clients).  A session whose lease lapses is
+reaped — its connections are closed — which is how the server sheds
+half-open connections from crashed clients; the session's *jobs* are
+untouched (job identity is the journal's business, not the socket's).
+A reconnecting client presents its session id in ``hello`` and resumes
+it if still live.
+
+**Exactly-once submits.**  A client that loses its connection mid-
+submit cannot know whether the submit landed, so it resubmits under
+the same ``idempotency_key``; the service journals the key before the
+submitted record, so the resubmit dedupes to the original job — across
+reconnects *and* across a server crash + recover.
+
+**Graceful drain.**  SIGTERM (or a ``drain`` frame) broadcasts
+``draining``, answers in-flight requests, journals a clean shutdown
+with its reason, and closes; with ``mode: "now"`` in-flight jobs are
+suspended at their last checkpoint and resume after restart +
+``--recover``, with clients reconnecting to the same job ids.
+"""
+
+from __future__ import annotations
+
+import json
+import selectors
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import AdmissionError, ReproError, ServeError, WireProtocolError
+from .job import JobSpec
+from .service import GraphService
+
+#: Wire protocol version; ``hello`` negotiates it eagerly.
+PROTOCOL_VERSION = 1
+
+#: Fallback resubmit hint (ms) when the service has no latency history.
+DEFAULT_RETRY_AFTER_MS = 100.0
+
+#: Default session lease; a session silent this long (no frame on any
+#: of its connections) is reaped as half-open.
+DEFAULT_LEASE_MS = 30_000.0
+
+#: Hard cap on one frame's length — a peer that streams an unbounded
+#: line is cut off instead of ballooning the read buffer.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_STR = (str,)
+_NUM = (int, float)
+_INT = (int,)
+_DICT = (dict,)
+
+#: op -> {field: (allowed types, required)}.  ``op``/``v``/``req`` are
+#: common to every request and validated separately.
+FRAME_SCHEMA: Dict[str, Dict[str, Tuple[tuple, bool]]] = {
+    "hello": {"client": (_STR, True), "session": (_STR, False),
+              "lease_ms": (_NUM, False)},
+    "ping": {"session": (_STR, True)},
+    "submit": {"session": (_STR, True), "job": (_DICT, True),
+               "idempotency_key": (_STR, False)},
+    "poll": {"session": (_STR, True), "job_id": (_INT, True),
+             "values": ((bool,), False)},
+    "watch": {"session": (_STR, True), "job_id": (_INT, True)},
+    "cancel": {"session": (_STR, True), "job_id": (_INT, True)},
+    "stats": {"session": (_STR, True)},
+    "drain": {"session": (_STR, True), "mode": (_STR, False)},
+}
+
+#: ops a client may retry blindly after a dropped connection (submit
+#: joins them only when it carries an idempotency key).
+RETRY_SAFE_OPS = frozenset(
+    ("hello", "ping", "poll", "watch", "cancel", "stats", "drain"))
+
+
+def validate_frame(doc: Any) -> str:
+    """Eagerly validate one request frame; returns its op.
+
+    Raises :class:`~repro.errors.WireProtocolError` naming the first
+    violation: not an object, unknown/missing op, wrong protocol
+    version, missing or mistyped required field, or an unknown field
+    (typos fail loudly instead of being ignored).
+    """
+    if not isinstance(doc, dict):
+        raise WireProtocolError(f"frame is not an object: {doc!r}")
+    op = doc.get("op")
+    if op not in FRAME_SCHEMA:
+        raise WireProtocolError(
+            f"unknown op {op!r}; one of {sorted(FRAME_SCHEMA)}")
+    version = doc.get("v")
+    if version != PROTOCOL_VERSION:
+        raise WireProtocolError(
+            f"protocol version mismatch: frame says {version!r}, "
+            f"server speaks {PROTOCOL_VERSION}")
+    if not isinstance(doc.get("req"), int):
+        raise WireProtocolError(f"{op}: 'req' must be an int request id")
+    schema = FRAME_SCHEMA[op]
+    for name, (types, required) in schema.items():
+        if name not in doc:
+            if required:
+                raise WireProtocolError(f"{op}: missing field {name!r}")
+            continue
+        value = doc[name]
+        if not isinstance(value, types) or isinstance(value, bool) \
+                and bool not in types:
+            raise WireProtocolError(
+                f"{op}: field {name!r} must be "
+                f"{'/'.join(t.__name__ for t in types)}, "
+                f"got {type(value).__name__}")
+    unknown = set(doc) - set(schema) - {"op", "v", "req"}
+    if unknown:
+        raise WireProtocolError(f"{op}: unknown fields {sorted(unknown)}")
+    return op
+
+
+def encode_frame(doc: Dict[str, Any]) -> bytes:
+    return (json.dumps(doc) + "\n").encode("utf-8")
+
+
+class _UnknownSession(ServeError):
+    """Internal: frame referenced a session the server doesn't hold.
+
+    Mapped to the ``no-session`` error code, which tells a client its
+    lease lapsed or the server restarted — re-``hello`` and retry.
+    """
+
+
+class WireCounters:
+    """Connection/session/frame counters, surfaced in ``stats``."""
+
+    FIELDS = ("connections_accepted", "connections_closed",
+              "sessions_opened", "sessions_resumed", "sessions_reaped",
+              "frames_in", "frames_out", "bad_frames",
+              "deduped_submits", "sheds_sent", "watch_events")
+
+    def __init__(self) -> None:
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+
+class _Session:
+    """One client's lease-kept identity across reconnects."""
+
+    def __init__(self, session_id: str, client: str, lease_ms: float,
+                 now: float) -> None:
+        self.session_id = session_id
+        self.client = client
+        self.lease_ms = lease_ms
+        self.last_seen = now
+        #: job ids this session submitted (observability only)
+        self.job_ids: List[int] = []
+
+    def expired(self, now: float) -> bool:
+        return (now - self.last_seen) * 1000.0 > self.lease_ms
+
+
+class _Conn:
+    """One accepted socket with its read/write buffers and watches."""
+
+    def __init__(self, sock: socket.socket, addr, now: float) -> None:
+        self.sock = sock
+        self.addr = addr
+        self.rbuf = b""
+        self.wbuf = b""
+        self.session: Optional[_Session] = None
+        self.opened = now
+        self.last_seen = now
+        #: job_id -> last pushed (state, slices) snapshot, None before
+        #: the first event
+        self.watches: Dict[int, Optional[Tuple[str, int]]] = {}
+
+
+class GraphServiceServer:
+    """Serve a :class:`GraphService` over JSONL-on-TCP.
+
+    Single-threaded by design: one selectors loop interleaves socket
+    I/O with ``service.step()`` bursts, so the service object is only
+    ever touched from the serving thread and stays as deterministic as
+    in file mode.  :meth:`request_drain` and :meth:`crash` are the only
+    cross-thread entry points (they just set events).
+
+    ``auto_step=False`` freezes the scheduling loop — frames are still
+    answered but no job makes progress; tests use it to build
+    deterministic backlogs (e.g. to exercise overload sheds).
+    """
+
+    def __init__(self, service: GraphService, host: str = "127.0.0.1",
+                 port: int = 0, *, lease_ms: float = DEFAULT_LEASE_MS,
+                 step_burst: int = 8, select_interval_s: float = 0.02,
+                 auto_step: bool = True,
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 crash_after_steps: Optional[int] = None,
+                 clock=time.monotonic) -> None:
+        if lease_ms <= 0:
+            raise ServeError(f"lease_ms must be positive, got {lease_ms}")
+        self.service = service
+        self.lease_ms = float(lease_ms)
+        self.step_burst = int(step_burst)
+        self.select_interval_s = float(select_interval_s)
+        self.auto_step = auto_step
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.clock = clock
+        #: chaos hook: die (as :meth:`crash`) after exactly this many
+        #: successful scheduling rounds — the soak's deterministic kill
+        self.crash_after_steps = crash_after_steps
+        #: scheduling rounds this server generation has run
+        self.steps_taken = 0
+        self.counters = WireCounters()
+        self._sessions: Dict[str, _Session] = {}
+        self._next_session = 1
+        self._conns: Dict[socket.socket, _Conn] = {}
+        self._sel = selectors.DefaultSelector()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        self._listener.setblocking(False)
+        #: the bound (host, port) — port 0 resolves here
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._sel.register(self._listener, selectors.EVENT_READ)
+        self._stop = threading.Event()
+        self._crashed = threading.Event()
+        self._drain_reason: Optional[str] = None
+        self._drain_mode = "finish"
+        self._drained = False
+
+    # -- lifecycle (cross-thread safe: flags only) ---------------------------------------
+
+    def request_drain(self, reason: str = "drain",
+                      mode: str = "finish") -> None:
+        """Ask the serving loop to drain and exit.
+
+        ``mode="finish"`` runs in-flight jobs to completion first (the
+        wire ``drain`` frame's default); ``mode="now"`` suspends them
+        at their last durable checkpoint so a restarted server's
+        ``recover()`` resumes them — the SIGTERM path.
+        """
+        if mode not in ("finish", "now"):
+            raise ServeError(f"drain mode must be 'finish' or 'now', "
+                             f"got {mode!r}")
+        self._drain_mode = mode
+        self._drain_reason = reason
+
+    def crash(self) -> None:
+        """Simulate a server crash: stop the loop abruptly — no drain,
+        no goodbye frames, nothing journaled beyond what the
+        write-ahead journal already holds.  The chaos soak's kill."""
+        self._crashed.set()
+        self._stop.set()
+
+    def serve_in_thread(self, name: str = "wire-server"
+                        ) -> threading.Thread:
+        """Run :meth:`serve_forever` on a daemon thread (tests/soaks)."""
+        thread = threading.Thread(target=self.serve_forever, name=name,
+                                  daemon=True)
+        thread.start()
+        return thread
+
+    # -- the serving loop ----------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`request_drain` or :meth:`crash`."""
+        try:
+            while not self._stop.is_set():
+                if self._drain_reason is not None:
+                    self._graceful_drain()
+                    return
+                self._pump_io()
+                self._reap_half_open()
+                if self.auto_step:
+                    self._step_service()
+                    self._push_watch_events()
+        finally:
+            self._close_all(abrupt=self._crashed.is_set())
+
+    def _pump_io(self) -> None:
+        timeout = (0.0 if self._service_busy() and self.auto_step
+                   else self.select_interval_s)
+        for key, mask in self._sel.select(timeout):
+            if key.fileobj is self._listener:
+                self._accept()
+                continue
+            conn = self._conns.get(key.fileobj)
+            if conn is None:  # pragma: no cover - unregister race
+                continue
+            if mask & selectors.EVENT_READ:
+                self._read(conn)
+            if mask & selectors.EVENT_WRITE and conn.sock in self._conns:
+                self._flush(conn)
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, addr = self._listener.accept()
+            except BlockingIOError:
+                return
+            except OSError:  # pragma: no cover - listener closed
+                return
+            sock.setblocking(False)
+            conn = _Conn(sock, addr, self.clock())
+            self._conns[sock] = conn
+            self._sel.register(sock, selectors.EVENT_READ)
+            self.counters.connections_accepted += 1
+
+    def _read(self, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close(conn)
+            return
+        if not data:
+            self._close(conn)
+            return
+        conn.rbuf += data
+        if len(conn.rbuf) > self.max_frame_bytes:
+            self.counters.bad_frames += 1
+            self._send(conn, {"ok": False, "code": "frame-too-large",
+                              "error": f"frame exceeds "
+                                       f"{self.max_frame_bytes} bytes"})
+            self._close(conn)
+            return
+        while b"\n" in conn.rbuf:
+            line, conn.rbuf = conn.rbuf.split(b"\n", 1)
+            if line.strip():
+                self._handle_line(conn, line)
+                if conn.sock not in self._conns:
+                    return  # the frame closed the connection
+
+    def _handle_line(self, conn: _Conn, line: bytes) -> None:
+        self.counters.frames_in += 1
+        conn.last_seen = self.clock()
+        try:
+            doc = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.counters.bad_frames += 1
+            self._send(conn, {"ok": False, "code": "bad-json",
+                              "error": f"unparseable frame: {exc}"})
+            return
+        req = doc.get("req") if isinstance(doc, dict) else None
+        try:
+            op = validate_frame(doc)
+        except WireProtocolError as exc:
+            self.counters.bad_frames += 1
+            self._send(conn, {"re": req if isinstance(req, int) else None,
+                              "ok": False, "code": "bad-frame",
+                              "error": str(exc),
+                              "v": PROTOCOL_VERSION})
+            return
+        handler = getattr(self, f"_op_{op}")
+        try:
+            resp = handler(conn, doc)
+        except _UnknownSession as exc:
+            resp = {"ok": False, "code": "no-session", "error": str(exc)}
+        except ReproError as exc:
+            resp = {"ok": False, "code": "serve-error",
+                    "error": f"{type(exc).__name__}: {exc}"}
+        resp.setdefault("ok", True)
+        resp["re"] = doc["req"]
+        resp["v"] = PROTOCOL_VERSION
+        self._send(conn, resp)
+
+    # -- op handlers ---------------------------------------------------------------------
+
+    def _require_session(self, conn: _Conn, doc: Dict[str, Any]
+                         ) -> _Session:
+        sess = self._sessions.get(doc["session"])
+        if sess is None:
+            raise _UnknownSession(
+                f"unknown session {doc['session']!r} (lease expired "
+                f"or server restarted; hello again)")
+        sess.last_seen = self.clock()
+        conn.session = sess
+        return sess
+
+    def _op_hello(self, conn: _Conn, doc: Dict[str, Any]
+                  ) -> Dict[str, Any]:
+        lease_ms = float(doc.get("lease_ms", self.lease_ms))
+        if lease_ms <= 0:
+            return {"ok": False, "code": "bad-frame",
+                    "error": f"lease_ms must be positive, got {lease_ms}"}
+        wanted = doc.get("session")
+        resumed = wanted is not None and wanted in self._sessions
+        if resumed:
+            sess = self._sessions[wanted]
+            sess.last_seen = self.clock()
+            sess.lease_ms = lease_ms
+            self.counters.sessions_resumed += 1
+        else:
+            session_id = f"s{self._next_session}"
+            self._next_session += 1
+            sess = _Session(session_id, doc["client"], lease_ms,
+                            self.clock())
+            self._sessions[session_id] = sess
+            self.counters.sessions_opened += 1
+        conn.session = sess
+        return {"session": sess.session_id, "resumed": resumed,
+                "lease_ms": sess.lease_ms,
+                "draining": self._drain_reason is not None
+                or self.service.draining}
+
+    def _op_ping(self, conn: _Conn, doc: Dict[str, Any]
+                 ) -> Dict[str, Any]:
+        sess = self._require_session(conn, doc)
+        return {"session": sess.session_id, "lease_ms": sess.lease_ms}
+
+    def _retry_after_ms(self) -> float:
+        estimate = self.service._estimate_wait_ms()
+        if estimate is None or estimate <= 0:
+            return DEFAULT_RETRY_AFTER_MS
+        return float(estimate)
+
+    def _op_submit(self, conn: _Conn, doc: Dict[str, Any]
+                   ) -> Dict[str, Any]:
+        sess = self._require_session(conn, doc)
+        if self._drain_reason is not None or self.service.draining:
+            self.counters.sheds_sent += 1
+            return {"ok": False, "code": "shed", "draining": True,
+                    "retry_after_ms": self._retry_after_ms(),
+                    "error": "service is draining"}
+        key = doc.get("idempotency_key")
+        if key is not None:
+            existing = self.service.idempotent_job_id(key)
+            if existing is not None:
+                self.service.deduped_submits += 1
+                self.counters.deduped_submits += 1
+                job = self.service.job(existing)
+                return {"job_id": job.job_id, "state": job.state,
+                        "deduped": True}
+        try:
+            # the wire carries the journal's lossless spec form, so a
+            # job means the same thing submitted locally or remotely
+            spec = JobSpec.from_doc(doc["job"])
+        except (ServeError, KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "code": "bad-job",
+                    "error": f"bad job spec: {exc}"}
+        try:
+            job = self.service.submit(spec, idempotency_key=key)
+        except AdmissionError as exc:
+            self.counters.sheds_sent += 1
+            return {"ok": False, "code": "shed", "draining": False,
+                    "retry_after_ms": self._retry_after_ms(),
+                    "error": str(exc)}
+        sess.job_ids.append(job.job_id)
+        return {"job_id": job.job_id, "state": job.state,
+                "deduped": False}
+
+    def _job_doc(self, job, include_values: bool) -> Dict[str, Any]:
+        doc = job.describe()
+        if include_values and job.state == "done" \
+                and job.values is not None:
+            # json round-trips float64 exactly (repr is shortest-
+            # roundtrip), so values survive the wire bit-identically
+            doc["values"] = job.values.tolist()
+            doc["values_dtype"] = str(job.values.dtype)
+        return doc
+
+    def _op_poll(self, conn: _Conn, doc: Dict[str, Any]
+                 ) -> Dict[str, Any]:
+        self._require_session(conn, doc)
+        job = self.service.job(doc["job_id"])
+        return {"job": self._job_doc(job, doc.get("values", False))}
+
+    def _op_watch(self, conn: _Conn, doc: Dict[str, Any]
+                  ) -> Dict[str, Any]:
+        self._require_session(conn, doc)
+        job = self.service.job(doc["job_id"])
+        if job.finished:
+            # nothing will change: answer terminally, register nothing
+            return {"job": self._job_doc(job, False), "terminal": True}
+        conn.watches[job.job_id] = (job.state, job.slices)
+        return {"job": self._job_doc(job, False), "terminal": False}
+
+    def _op_cancel(self, conn: _Conn, doc: Dict[str, Any]
+                   ) -> Dict[str, Any]:
+        self._require_session(conn, doc)
+        changed = self.service.cancel(doc["job_id"])
+        job = self.service.job(doc["job_id"])
+        return {"cancelled": changed, "state": job.state}
+
+    def _op_stats(self, conn: _Conn, doc: Dict[str, Any]
+                  ) -> Dict[str, Any]:
+        self._require_session(conn, doc)
+        return {"metrics": self.service.metrics(),
+                "recovery": self.service.recovery_stats(),
+                "wire": self.wire_stats()}
+
+    def _op_drain(self, conn: _Conn, doc: Dict[str, Any]
+                  ) -> Dict[str, Any]:
+        self._require_session(conn, doc)
+        mode = doc.get("mode", "finish")
+        try:
+            self.request_drain(reason="drain frame", mode=mode)
+        except ServeError as exc:
+            return {"ok": False, "code": "bad-frame", "error": str(exc)}
+        return {"draining": True, "mode": mode}
+
+    # -- service stepping and notifications ----------------------------------------------
+
+    def _service_busy(self) -> bool:
+        svc = self.service
+        return bool(len(svc.queue) or len(svc.scheduler) or svc._waiters)
+
+    def _step_service(self) -> None:
+        for _ in range(self.step_burst):
+            if not self._service_busy():
+                return
+            try:
+                if not self.service.step():
+                    return
+            except ReproError:  # pragma: no cover - service invariant
+                return
+            self.steps_taken += 1
+            if self.crash_after_steps is not None \
+                    and self.steps_taken >= self.crash_after_steps:
+                self.crash()
+                return
+
+    def _push_watch_events(self) -> None:
+        for conn in list(self._conns.values()):
+            if not conn.watches:
+                continue
+            for job_id in list(conn.watches):
+                job = self.service._jobs.get(job_id)
+                if job is None:  # pragma: no cover - cancelled+purged
+                    del conn.watches[job_id]
+                    continue
+                snap = (job.state, job.slices)
+                if snap == conn.watches[job_id]:
+                    continue
+                conn.watches[job_id] = snap
+                event = {"event": "job", "job_id": job_id,
+                         "state": job.state, "slices": job.slices,
+                         "from_cache": job.from_cache,
+                         "terminal": job.finished}
+                if job.finished:
+                    event["error"] = job.error
+                    del conn.watches[job_id]
+                self.counters.watch_events += 1
+                self._send(conn, event)
+                if conn.session is not None:
+                    # a live watch is a heartbeat: the client is
+                    # blocked reading, not gone
+                    conn.session.last_seen = self.clock()
+
+    def _reap_half_open(self) -> None:
+        now = self.clock()
+        expired = [sid for sid, sess in self._sessions.items()
+                   if sess.expired(now)]
+        for sid in expired:
+            sess = self._sessions.pop(sid)
+            self.counters.sessions_reaped += 1
+            for conn in [c for c in self._conns.values()
+                         if c.session is sess]:
+                self._send(conn, {"event": "expired",
+                                  "session": sess.session_id})
+                self._flush(conn)
+                self._close(conn)
+        # connections that never said hello get the same patience
+        for conn in [c for c in self._conns.values()
+                     if c.session is None]:
+            if (now - conn.last_seen) * 1000.0 > self.lease_ms:
+                self._close(conn)
+
+    def _graceful_drain(self) -> None:
+        reason = self._drain_reason or "drain"
+        for conn in list(self._conns.values()):
+            self._send(conn, {"event": "draining", "reason": reason,
+                              "mode": self._drain_mode})
+            self._flush(conn)
+        self.service.drain(reason=reason,
+                           finish_running=self._drain_mode == "finish")
+        self._drained = True
+        # answer anything that raced in while draining, then push the
+        # final job states to watchers and say goodbye
+        self._pump_io()
+        self._push_watch_events()
+        for conn in list(self._conns.values()):
+            self._send(conn, {"event": "bye", "reason": reason})
+            self._flush(conn)
+        self._close_all(abrupt=False)
+        self._stop.set()
+
+    # -- plumbing ------------------------------------------------------------------------
+
+    def _send(self, conn: _Conn, doc: Dict[str, Any]) -> None:
+        if conn.sock not in self._conns:
+            return
+        conn.wbuf += encode_frame(doc)
+        self.counters.frames_out += 1
+        self._flush(conn)
+        if conn.sock in self._conns and conn.wbuf:
+            self._sel.modify(conn.sock,
+                             selectors.EVENT_READ | selectors.EVENT_WRITE)
+
+    def _flush(self, conn: _Conn) -> None:
+        while conn.wbuf:
+            try:
+                sent = conn.sock.send(conn.wbuf)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._close(conn)
+                return
+            conn.wbuf = conn.wbuf[sent:]
+        if conn.sock in self._conns:
+            self._sel.modify(conn.sock, selectors.EVENT_READ)
+
+    def _close(self, conn: _Conn) -> None:
+        if conn.sock not in self._conns:
+            return
+        del self._conns[conn.sock]
+        try:
+            self._sel.unregister(conn.sock)
+        except (KeyError, ValueError):  # pragma: no cover
+            pass
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        self.counters.connections_closed += 1
+
+    def _close_all(self, abrupt: bool) -> None:
+        for conn in list(self._conns.values()):
+            if not abrupt:
+                self._flush(conn)
+            self._close(conn)
+        try:
+            self._sel.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+        self._sel.close()
+
+    def wire_stats(self) -> Dict[str, Any]:
+        """Connection/session counters for ``stats`` and trace JSON."""
+        stats = self.counters.as_dict()
+        stats["sessions_live"] = len(self._sessions)
+        stats["connections_live"] = len(self._conns)
+        stats["protocol_version"] = PROTOCOL_VERSION
+        stats["draining"] = (self._drain_reason is not None
+                             or self.service.draining)
+        return stats

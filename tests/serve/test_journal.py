@@ -218,3 +218,136 @@ def test_replay_rejects_orphan_records():
     with pytest.raises(ServeError, match="before its submitted record"):
         replay_journal([{"rec": "slice", "now_ms": 1.0, "job_id": 5,
                          "iteration": 1}])
+
+
+# -- torn tails across every record kind (satellite: full coverage) ----------
+
+#: A representative full-bodied record per kind; the torn-tail
+#: guarantee must hold whatever kind the crash interrupts.
+KIND_EXEMPLARS = {
+    "service_start": {"version": JOURNAL_VERSION,
+                      "cluster": {"nodes": 2}},
+    "graph_loaded": {"key": "g", "dataset": "wrn", "version": 1},
+    "submitted": {"job_id": 9, "spec": {"graph": "g"},
+                  "submitted_ms": 1.0},
+    "admitted": {"job_id": 9, "resume_iteration": 0},
+    "slice": {"job_id": 9, "iteration": 1},
+    "checkpointed": {"job_id": 9, "iteration": 1,
+                     "file": "job-9-ckpt.npz"},
+    "finished": {"job_id": 9, "from_cache": False,
+                 "cache_key": ["g", 1, "pagerank", "x"],
+                 "file": "job-9-result.npz", "consumed_ms": 2.0},
+    "failed": {"job_id": 9, "error": "boom"},
+    "retry": {"job_id": 9, "attempt": 1, "backoff_ms": 1.0,
+              "error": "boom", "resume_iteration": 1},
+    "quarantined": {"job_id": 9, "reason": "poison"},
+    "cancelled": {"job_id": 9},
+    "shed": {"tenant": "t9", "reason": "queue depth 2/2 (overload)"},
+    "idempotency": {"key": "k-1", "job_id": 9},
+    "shutdown": {"clean": True, "reason": "drain"},
+}
+
+
+def test_every_record_kind_has_a_torn_tail_exemplar():
+    from repro.serve.journal import RECORD_KINDS
+    assert set(KIND_EXEMPLARS) == set(RECORD_KINDS)
+
+
+@pytest.mark.parametrize("kind", sorted(KIND_EXEMPLARS))
+def test_torn_tail_tolerated_for_every_record_kind(jpath, kind):
+    """A crash mid-append of *any* record kind loses only that line."""
+    jrn = JobJournal(jpath)
+    jrn.append("service_start", 0.0, version=JOURNAL_VERSION)
+    jrn.append("submitted", 0.0, job_id=9, spec={"graph": "g"},
+               submitted_ms=0.0)
+    jrn.close()
+    full = json.dumps(dict(KIND_EXEMPLARS[kind], rec=kind, now_ms=5.0))
+    for cut in (1, len(full) // 2, len(full) - 1):
+        with open(jpath, "a", encoding="utf-8") as f:
+            f.write(full[:cut])  # no trailing newline: torn mid-write
+        records = read_journal(jpath)
+        assert [r["rec"] for r in records] == ["service_start",
+                                               "submitted"], \
+            f"{kind} torn at byte {cut} leaked into the replay"
+        # restore the file for the next cut
+        with open(jpath, "w", encoding="utf-8") as f:
+            f.write(json.dumps({"rec": "service_start", "now_ms": 0.0,
+                                "version": JOURNAL_VERSION}) + "\n")
+            f.write(json.dumps({"rec": "submitted", "now_ms": 0.0,
+                                "job_id": 9, "spec": {"graph": "g"},
+                                "submitted_ms": 0.0}) + "\n")
+
+
+@pytest.mark.parametrize("kind", sorted(KIND_EXEMPLARS))
+def test_intact_append_of_every_kind_survives_replay(jpath, kind):
+    """The exemplars are real: appended intact, each kind replays."""
+    jrn = JobJournal(jpath)
+    jrn.append("service_start", 0.0, version=JOURNAL_VERSION)
+    jrn.append("submitted", 0.0, job_id=9, spec={"graph": "g"},
+               submitted_ms=0.0)
+    jrn.append(kind, 5.0, **KIND_EXEMPLARS[kind])
+    jrn.close()
+    state = replay_journal(read_journal(jpath))
+    assert 9 in state.jobs or kind in ("service_start", "graph_loaded",
+                                       "shed", "shutdown")
+
+
+# -- the idempotency record (new in v2) --------------------------------------
+
+def test_idempotency_record_roundtrip(jpath):
+    jrn = JobJournal(jpath)
+    jrn.append("service_start", 0.0, version=JOURNAL_VERSION)
+    jrn.append("idempotency", 0.0, key="client-77", job_id=1)
+    jrn.append("submitted", 0.0, job_id=1, spec={"graph": "g"},
+               submitted_ms=0.0)
+    jrn.close()
+    state = replay_journal(read_journal(jpath))
+    assert state.idempotency == {"client-77": 1}
+
+
+def test_orphan_idempotency_key_is_dropped():
+    """Key journaled, crash before the submitted record: the submit
+    never committed, so replay must forget the key (a resubmit should
+    run, not dedupe against a job that does not exist)."""
+    state = replay_journal([
+        {"rec": "service_start", "now_ms": 0.0,
+         "version": JOURNAL_VERSION},
+        {"rec": "idempotency", "now_ms": 0.0, "key": "k-orphan",
+         "job_id": 3},
+        {"rec": "idempotency", "now_ms": 0.0, "key": "k-live",
+         "job_id": 1},
+        {"rec": "submitted", "now_ms": 0.0, "job_id": 1,
+         "spec": {"graph": "g"}, "submitted_ms": 0.0},
+    ])
+    assert state.idempotency == {"k-live": 1}
+    assert 3 not in state.jobs
+
+
+def test_idempotency_last_write_wins():
+    # the service never reuses a key, but replay must still be a fold
+    state = replay_journal([
+        {"rec": "idempotency", "now_ms": 0.0, "key": "k", "job_id": 1},
+        {"rec": "submitted", "now_ms": 0.0, "job_id": 1, "spec": {},
+         "submitted_ms": 0.0},
+        {"rec": "idempotency", "now_ms": 1.0, "key": "k", "job_id": 2},
+        {"rec": "submitted", "now_ms": 1.0, "job_id": 2, "spec": {},
+         "submitted_ms": 1.0},
+    ])
+    assert state.idempotency == {"k": 2}
+
+
+# -- shutdown reason (new in v2) ---------------------------------------------
+
+def test_shutdown_reason_replayed():
+    state = replay_journal([
+        {"rec": "shutdown", "now_ms": 2.0, "clean": True,
+         "reason": "sigterm"},
+    ])
+    assert state.clean_shutdown and state.shutdown_reason == "sigterm"
+
+
+def test_v1_shutdown_without_reason_still_replays():
+    state = replay_journal([
+        {"rec": "shutdown", "now_ms": 2.0, "clean": True},
+    ])
+    assert state.clean_shutdown and state.shutdown_reason is None

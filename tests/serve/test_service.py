@@ -428,3 +428,149 @@ def test_journaling_never_moves_values(tmp_path):
     for a, b in zip(plain, logged):
         # the forced checkpoint interval costs time, never values
         assert np.array_equal(a.values, b.values)
+
+
+# -- idempotency keys (exactly-once submits) ---------------------------------------------
+
+def test_idempotency_key_dedupes_resubmit(svc):
+    first = svc.submit(pagerank_spec(tenant="a"), idempotency_key="k1")
+    again = svc.submit(pagerank_spec(tenant="a"), idempotency_key="k1")
+    assert again is first
+    assert svc.deduped_submits == 1
+    assert svc.metrics()["deduped_submits"] == 1
+    assert svc.idempotent_job_id("k1") == first.job_id
+    assert svc.idempotent_job_id("other") is None
+
+
+def test_idempotency_key_must_be_nonempty_string(svc):
+    with pytest.raises(ServeError, match="idempotency_key"):
+        svc.submit(pagerank_spec(tenant="a"), idempotency_key="")
+    with pytest.raises(ServeError, match="idempotency_key"):
+        svc.submit(pagerank_spec(tenant="a"), idempotency_key=7)
+
+
+def test_shed_submit_does_not_consume_the_key():
+    service = GraphService(SPEC, max_queue_depth=1)
+    service.load_graph("g", dataset="wrn")
+    service.submit(pagerank_spec(tenant="a"))
+    with pytest.raises(AdmissionError):
+        service.submit(pagerank_spec(tenant="b"), idempotency_key="kb")
+    # the refused submit never committed: the key is free to retry
+    assert service.idempotent_job_id("kb") is None
+    service.run()
+    retry = service.submit(pagerank_spec(tenant="b"),
+                           idempotency_key="kb")
+    assert service.idempotent_job_id("kb") == retry.job_id
+
+
+def test_idempotency_map_survives_crash_and_recover(tmp_path):
+    jpath = str(tmp_path / "svc.jsonl")
+    service = GraphService(SPEC, journal=jpath)
+    service.load_graph("g", dataset="wrn")
+    job = service.submit(pagerank_spec(tenant="a"),
+                         idempotency_key="crashkey")
+    for _ in range(3):
+        service.step()                  # killed mid-flight
+    del service
+
+    rec = GraphService.recover(jpath)
+    dedup = rec.submit(pagerank_spec(tenant="a"),
+                       idempotency_key="crashkey")
+    assert dedup.job_id == job.job_id
+    assert rec.deduped_submits == 1
+    rec.run()
+    assert dedup.state == "done"
+
+
+# -- drain: idempotent, concurrent-safe, reasoned ----------------------------------------
+
+def test_drain_is_idempotent(tmp_path):
+    jpath = str(tmp_path / "svc.jsonl")
+    service = GraphService(SPEC, journal=jpath)
+    service.load_graph("g", dataset="wrn")
+    service.submit(pagerank_spec(tenant="a"))
+    first = service.drain(reason="test")
+    second = service.drain(reason="other")
+    assert second is first              # cached, nothing re-shed
+    from repro.serve import read_journal
+    records = read_journal(jpath)
+    shutdowns = [r for r in records if r["rec"] == "shutdown"]
+    assert len(shutdowns) == 1
+    assert shutdowns[0]["reason"] == "test"
+
+
+def test_concurrent_drains_journal_one_shutdown(tmp_path):
+    import threading
+
+    jpath = str(tmp_path / "svc.jsonl")
+    service = GraphService(SPEC, journal=jpath)
+    service.load_graph("g", dataset="wrn")
+    service.submit(pagerank_spec(tenant="a", use_cache=False))
+    results = []
+    threads = [threading.Thread(
+        target=lambda: results.append(service.drain(reason="race")))
+        for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert len(results) == 4
+    assert all(r is results[0] for r in results)
+    from repro.serve import read_journal
+    records = read_journal(jpath)
+    assert sum(r["rec"] == "shutdown" for r in records) == 1
+
+
+def test_step_refuses_after_drain(svc):
+    svc.submit(pagerank_spec(tenant="a"))
+    svc.drain()
+    assert svc.step() is False
+
+
+def test_drain_suspend_mode_keeps_jobs_resumable(tmp_path):
+    jpath = str(tmp_path / "svc.jsonl")
+    service = GraphService(SPEC, journal=jpath)
+    service.load_graph("g", dataset="wrn")
+    job = service.submit(pagerank_spec(tenant="a", use_cache=False,
+                                       max_iterations=10))
+    for _ in range(4):
+        service.step()                  # mid-flight, checkpointed
+    service.drain(reason="sigterm", finish_running=False)
+    assert job.state != "done"          # suspended, not completed
+
+    from repro.serve import read_journal, replay_journal
+    state = replay_journal(read_journal(jpath))
+    assert state.clean_shutdown and state.shutdown_reason == "sigterm"
+    assert state.unfinished             # nothing terminal was forged
+
+    rec = GraphService.recover(jpath)
+    assert rec.recovered_jobs == 1
+    assert rec.resumed_from_checkpoint == 1
+    rec.run()
+    resumed = rec.job(job.job_id)
+    assert resumed.state == "done"
+    assert len(resumed.result.stats) < 10   # resume beat cold restart
+    assert np.array_equal(resumed.values, solo_run(PageRank(), 10).values)
+
+
+def test_recovery_stats_counts_terminal_and_inflight(tmp_path):
+    jpath = str(tmp_path / "svc.jsonl")
+    service = GraphService(SPEC, journal=jpath)
+    service.load_graph("g", dataset="wrn")
+    finished = service.submit(pagerank_spec(tenant="a"))
+    service.run()
+    inflight = service.submit(pagerank_spec(tenant="b", use_cache=False,
+                                            algorithm="cc"))
+    for _ in range(3):
+        service.step()
+    del service
+
+    rec = GraphService.recover(jpath)
+    stats = rec.recovery_stats()
+    assert stats["recovered"] == 2      # one terminal + one re-queued
+    assert stats["requeued"] == 1
+    assert stats["resumed"] in (0, 1)
+    assert stats == rec.metrics()["recovery"]
+    fresh = GraphService(SPEC)
+    assert fresh.recovery_stats() == {"recovered": 0, "requeued": 0,
+                                      "resumed": 0, "handoffs": 0}

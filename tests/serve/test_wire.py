@@ -1,0 +1,379 @@
+"""The wire protocol server: frames, sessions, sheds, drain."""
+
+import json
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import ClusterSpec, GraphService, JobSpec
+from repro.errors import WireProtocolError
+from repro.serve import GraphClient, GraphServiceServer, replay_journal
+from repro.serve.journal import read_journal
+from repro.serve.wire import PROTOCOL_VERSION, validate_frame
+
+SPEC = ClusterSpec(nodes=2, gpus_per_node=1)
+
+
+def make_service(**kw):
+    svc = GraphService(SPEC, cache_entries=8, **kw)
+    svc.load_graph("g", dataset="wrn")
+    return svc
+
+
+def pagerank_spec(**kw):
+    kw.setdefault("graph", "g")
+    kw.setdefault("algorithm", "pagerank")
+    kw.setdefault("max_iterations", 6)
+    return JobSpec(**kw)
+
+
+@pytest.fixture
+def served():
+    svc = make_service()
+    server = GraphServiceServer(svc)
+    thread = server.serve_in_thread()
+    yield svc, server
+    server.crash()
+    thread.join(timeout=10)
+
+
+def connect(server, **kw):
+    host, port = server.address
+    kw.setdefault("jitter_seed", 7)
+    return GraphClient(host, port, **kw)
+
+
+# -- frame validation ---------------------------------------------------------
+
+GOOD = {"op": "ping", "v": PROTOCOL_VERSION, "req": 1, "session": "s1"}
+
+
+def test_validate_accepts_every_documented_op():
+    frames = [
+        {"op": "hello", "client": "c"},
+        {"op": "ping", "session": "s"},
+        {"op": "submit", "session": "s", "job": {"graph": "g"},
+         "idempotency_key": "k"},
+        {"op": "poll", "session": "s", "job_id": 1, "values": True},
+        {"op": "watch", "session": "s", "job_id": 1},
+        {"op": "cancel", "session": "s", "job_id": 1},
+        {"op": "stats", "session": "s"},
+        {"op": "drain", "session": "s", "mode": "now"},
+    ]
+    for frame in frames:
+        frame.update(v=PROTOCOL_VERSION, req=1)
+        assert validate_frame(frame) == frame["op"]
+
+
+@pytest.mark.parametrize("mutate,match", [
+    (lambda f: f.pop("op"), "unknown op"),
+    (lambda f: f.update(op="frobnicate"), "unknown op"),
+    (lambda f: f.update(v=99), "version mismatch"),
+    (lambda f: f.pop("v"), "version mismatch"),
+    (lambda f: f.pop("req"), "'req' must be an int"),
+    (lambda f: f.update(req="one"), "'req' must be an int"),
+    (lambda f: f.pop("session"), "missing field 'session'"),
+    (lambda f: f.update(session=7), "must be str"),
+    (lambda f: f.update(surprise=1), r"unknown fields \['surprise'\]"),
+])
+def test_validate_rejects_malformed_frames(mutate, match):
+    frame = dict(GOOD)
+    mutate(frame)
+    with pytest.raises(WireProtocolError, match=match):
+        validate_frame(frame)
+
+
+def test_validate_rejects_non_object():
+    with pytest.raises(WireProtocolError, match="not an object"):
+        validate_frame([1, 2, 3])
+
+
+# -- raw-socket behaviour: errors answered, never a closed socket -------------
+
+def raw_roundtrip(server, payload: bytes) -> dict:
+    with socket.create_connection(server.address, timeout=5) as sock:
+        sock.sendall(payload)
+        buf = b""
+        while b"\n" not in buf:
+            data = sock.recv(65536)
+            assert data, "server closed the socket instead of answering"
+            buf += data
+    return json.loads(buf.split(b"\n", 1)[0])
+
+
+def test_unparseable_json_answered_not_closed(served):
+    _, server = served
+    resp = raw_roundtrip(server, b'{"op": nope}\n')
+    assert resp["ok"] is False and resp["code"] == "bad-json"
+
+
+def test_unknown_op_answered_with_bad_frame(served):
+    _, server = served
+    frame = {"op": "frobnicate", "v": PROTOCOL_VERSION, "req": 3}
+    resp = raw_roundtrip(server, json.dumps(frame).encode() + b"\n")
+    assert resp["ok"] is False and resp["code"] == "bad-frame"
+    assert resp["re"] == 3
+    assert server.counters.bad_frames >= 1
+
+
+def test_version_mismatch_named_in_error(served):
+    _, server = served
+    frame = {"op": "ping", "v": 99, "req": 1, "session": "s"}
+    resp = raw_roundtrip(server, json.dumps(frame).encode() + b"\n")
+    assert resp["code"] == "bad-frame"
+    assert "version mismatch" in resp["error"]
+
+
+def test_unknown_session_gets_no_session_code(served):
+    _, server = served
+    frame = {"op": "ping", "v": PROTOCOL_VERSION, "req": 1,
+             "session": "s999"}
+    resp = raw_roundtrip(server, json.dumps(frame).encode() + b"\n")
+    assert resp["ok"] is False and resp["code"] == "no-session"
+
+
+# -- sessions and jobs over the wire ------------------------------------------
+
+def test_hello_submit_poll_values_bit_identical(served):
+    svc, server = served
+    with connect(server) as client:
+        assert client.session_id == "s1"
+        resp = client.submit(pagerank_spec(tenant="alice"))
+        assert resp["deduped"] is False
+        done = client.wait(resp["job_id"], timeout_s=30)
+        assert done["state"] == "done"
+        values = client.result_values(resp["job_id"])
+    # JSON must round-trip float64 exactly: repr is shortest-roundtrip
+    assert values.dtype == np.float64
+    assert np.array_equal(values, svc.job(resp["job_id"]).values)
+
+
+def test_idempotent_resubmit_dedupes(served):
+    _, server = served
+    with connect(server) as client:
+        first = client.submit(pagerank_spec(tenant="a"),
+                              idempotency_key="k1")
+        again = client.submit(pagerank_spec(tenant="a"),
+                              idempotency_key="k1")
+    assert again["job_id"] == first["job_id"]
+    assert again["deduped"] is True
+    assert server.counters.deduped_submits == 1
+
+
+def test_session_resume_on_reconnect(served):
+    _, server = served
+    with connect(server) as client:
+        sid = client.session_id
+        client._teardown_socket()       # drop the TCP connection
+        client.ping()                   # transparently reconnects
+        assert client.session_id == sid
+        assert client.session_resumed is True
+    assert server.counters.sessions_resumed == 1
+
+
+def test_watch_streams_terminal_event(served):
+    _, server = served
+    with connect(server) as client:
+        resp = client.submit(pagerank_spec(tenant="w", use_cache=False))
+        events = list(client.watch(resp["job_id"], timeout_s=30))
+    assert events[-1]["terminal"] is True
+    assert events[-1]["state"] == "done"
+    assert all(e["job_id"] == resp["job_id"] for e in events)
+
+
+def test_watch_on_finished_job_answers_terminally(served):
+    _, server = served
+    with connect(server) as client:
+        resp = client.submit(pagerank_spec(tenant="w"))
+        client.wait(resp["job_id"], timeout_s=30)
+        events = list(client.watch(resp["job_id"]))
+    assert len(events) == 1 and events[0]["terminal"] is True
+
+
+def test_cancel_over_the_wire():
+    svc = make_service()
+    server = GraphServiceServer(svc, auto_step=False)  # stays pending
+    thread = server.serve_in_thread()
+    try:
+        with connect(server) as client:
+            resp = client.submit(pagerank_spec(tenant="c"))
+            out = client.cancel(resp["job_id"])
+        assert out["cancelled"] is True and out["state"] == "cancelled"
+        assert svc.job(resp["job_id"]).state == "cancelled"
+    finally:
+        server.crash()
+        thread.join(timeout=10)
+
+
+def test_stats_frame_carries_metrics_recovery_and_wire(served):
+    _, server = served
+    with connect(server) as client:
+        client.submit(pagerank_spec(tenant="s"))
+        stats = client.stats()
+    assert stats["metrics"]["jobs"]
+    assert set(stats["recovery"]) == {"recovered", "requeued",
+                                      "resumed", "handoffs"}
+    wire = stats["wire"]
+    assert wire["protocol_version"] == PROTOCOL_VERSION
+    assert wire["sessions_opened"] == 1
+    assert wire["frames_in"] >= 2 and wire["connections_live"] == 1
+
+
+# -- overload sheds -----------------------------------------------------------
+
+def test_overload_answered_with_retry_after_not_a_reset():
+    svc = make_service(max_queue_depth=1)
+    server = GraphServiceServer(svc, auto_step=False)
+    thread = server.serve_in_thread()
+    try:
+        with connect(server) as client:
+            client.submit(pagerank_spec(tenant="a"))  # fills the queue
+            from repro.errors import WireShed
+            with pytest.raises(WireShed) as exc_info:
+                client.submit(pagerank_spec(tenant="b"))
+            shed = exc_info.value
+            assert shed.retry_after_ms > 0
+            assert shed.draining is False
+            # the connection survived the refusal
+            assert client.ping()["ok"]
+        assert server.counters.sheds_sent == 1
+    finally:
+        server.crash()
+        thread.join(timeout=10)
+
+
+def test_shed_retry_after_resubmits_until_admitted():
+    svc = make_service(max_queue_depth=1)
+    server = GraphServiceServer(svc, auto_step=False)
+    thread = server.serve_in_thread()
+    try:
+        naps = []
+
+        def nap(seconds):
+            naps.append(seconds)
+            server.auto_step = True     # backlog drains while we sleep
+            time.sleep(0.2)
+
+        with connect(server, sleep=nap) as client:
+            client.submit(pagerank_spec(tenant="a", use_cache=False))
+            resp = client.submit(
+                pagerank_spec(tenant="b", use_cache=False), retries=8)
+        assert resp["deduped"] is False
+        assert naps, "client never honoured retry_after_ms"
+    finally:
+        server.crash()
+        thread.join(timeout=10)
+
+
+# -- leases and the half-open reaper ------------------------------------------
+
+def test_half_open_session_reaped_after_lease_lapses():
+    svc = make_service()
+    server = GraphServiceServer(svc, lease_ms=120.0,
+                                select_interval_s=0.01)
+    thread = server.serve_in_thread()
+    try:
+        client = connect(server, heartbeat=False, lease_ms=120.0)
+        sid = client.session_id
+        deadline = time.monotonic() + 10
+        while server.counters.sessions_reaped == 0 \
+                and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert server.counters.sessions_reaped == 1
+        # the client recovers by transparently re-helloing
+        client.ping()
+        assert client.session_id != sid or client.rehellos >= 1
+        client.close()
+    finally:
+        server.crash()
+        thread.join(timeout=10)
+
+
+def test_heartbeat_keeps_idle_session_alive():
+    svc = make_service()
+    server = GraphServiceServer(svc, lease_ms=300.0,
+                                select_interval_s=0.01)
+    thread = server.serve_in_thread()
+    try:
+        with connect(server, lease_ms=300.0) as client:
+            time.sleep(1.2)             # several lease periods idle
+            assert server.counters.sessions_reaped == 0
+            client.ping()               # still the same live session
+            assert client.rehellos == 0
+    finally:
+        server.crash()
+        thread.join(timeout=10)
+
+
+# -- graceful drain -----------------------------------------------------------
+
+def test_drain_frame_finishes_jobs_and_journals_reason(tmp_path):
+    jpath = str(tmp_path / "svc.jsonl")
+    svc = make_service(journal=jpath)
+    server = GraphServiceServer(svc)
+    thread = server.serve_in_thread()
+    with connect(server) as client:
+        resp = client.submit(pagerank_spec(tenant="d", use_cache=False))
+        out = client.drain()
+        assert out["draining"] is True
+    thread.join(timeout=30)
+    assert svc.job(resp["job_id"]).state == "done"
+    state = replay_journal(read_journal(jpath))
+    assert state.clean_shutdown
+    assert state.shutdown_reason == "drain frame"
+
+
+def test_drain_now_suspends_and_recovery_resumes(tmp_path):
+    jpath = str(tmp_path / "svc.jsonl")
+    svc = make_service(journal=jpath)
+    # pace the scheduler so the drain frame reliably lands mid-job
+    orig_step = svc.step
+
+    def slow_step():
+        time.sleep(0.02)
+        return orig_step()
+
+    svc.step = slow_step
+    server = GraphServiceServer(svc, step_burst=1)
+    thread = server.serve_in_thread()
+    with connect(server) as client:
+        resp = client.submit(pagerank_spec(tenant="d", use_cache=False,
+                                           max_iterations=10))
+        # let it make some checkpointed progress, then suspend
+        deadline = time.monotonic() + 10
+        while server.steps_taken < 4 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        client.drain(mode="now")
+    thread.join(timeout=30)
+
+    state = replay_journal(read_journal(jpath))
+    assert state.clean_shutdown          # clean *and* mid-flight:
+    assert state.unfinished              # jobs suspended, not lost
+    rec = GraphService.recover(jpath)
+    assert rec.recovered_jobs == 1
+    rec.run()
+    job = rec.job(resp["job_id"])
+    assert job.state == "done"
+    # the resume actually helped: strictly fewer recomputed supersteps
+    assert len(job.result.stats) < 10
+
+
+def test_draining_submits_shed_with_draining_flag():
+    from repro.errors import WireShed
+    svc = make_service()
+    server = GraphServiceServer(svc, auto_step=False)
+    thread = server.serve_in_thread()
+    try:
+        with connect(server) as client:
+            # mark the *service* draining without tearing the loop
+            # down, so the shed answer itself is deterministic
+            svc.draining = True
+            with pytest.raises(WireShed) as exc_info:
+                client.submit(pagerank_spec(tenant="late"))
+            assert exc_info.value.draining is True
+            assert exc_info.value.retry_after_ms > 0
+    finally:
+        server.crash()
+        thread.join(timeout=10)

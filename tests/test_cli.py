@@ -92,7 +92,7 @@ def test_all_figures_registered():
         "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
         "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
         "fault_soak", "straggler_soak", "topology_soak", "serve_soak",
-        "serve_chaos",
+        "serve_chaos", "wire_chaos",
     }
 
 
@@ -379,3 +379,168 @@ def test_serve_drain_after_sheds_pending_jobs(tmp_path, capsys):
     assert rc == 0  # shed jobs are load management, not failures
     assert all(j["state"] == "cancelled" for j in doc["jobs"])
     assert all("draining" in j["error"] for j in doc["jobs"])
+
+
+# -- serving over sockets: submit --connect, serve --listen ----------------------------
+
+def _wire_server(tmp_path=None, **service_kw):
+    """A live socket server on an ephemeral port, for CLI wire tests."""
+    from repro.api import ClusterSpec, GraphService
+    from repro.serve import GraphServiceServer
+
+    svc = GraphService(ClusterSpec(nodes=2, gpus_per_node=1),
+                       cache_entries=8, **service_kw)
+    svc.load_graph("wrn", dataset="wrn")
+    server = GraphServiceServer(svc)
+    thread = server.serve_in_thread()
+    return svc, server, thread
+
+
+def test_submit_needs_a_destination(capsys):
+    rc = main(["submit", "--graph", "wrn", "--max-iterations", "4"])
+    assert rc == 2
+    assert "--jobs-file" in capsys.readouterr().err
+
+
+def test_submit_rejects_bad_connect_clause(capsys):
+    rc = main(["submit", "--connect", "noport", "--graph", "wrn"])
+    assert rc == 2
+    assert "HOST:PORT" in capsys.readouterr().err
+
+
+def test_submit_connect_submits_waits_and_dedupes(capsys):
+    svc, server, thread = _wire_server()
+    host, port = server.address
+    try:
+        rc = main(["submit", "--connect", f"{host}:{port}",
+                   "--graph", "wrn", "--max-iterations", "4",
+                   "--tenant", "alice", "--idempotency-key", "cli-1",
+                   "--wait"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "submitted as job #1" in out
+        assert "job #1 done" in out
+
+        rc = main(["submit", "--connect", f"{host}:{port}",
+                   "--graph", "wrn", "--max-iterations", "4",
+                   "--tenant", "alice", "--idempotency-key", "cli-1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "deduped to job #1" in out
+    finally:
+        server.crash()
+        thread.join(timeout=10)
+
+
+def test_submit_connect_dead_server_reports_backoff(capsys):
+    import socket as _socket
+    probe = _socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    rc = main(["submit", "--connect", f"127.0.0.1:{port}",
+               "--graph", "wrn", "--max-iterations", "4"])
+    err = capsys.readouterr().err
+    assert rc == 1
+    assert "backoff applied" in err
+
+
+def test_serve_listen_end_to_end(tmp_path, capsys):
+    import socket as _socket
+    import threading as _threading
+
+    from repro.serve import GraphClient
+
+    probe = _socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+
+    rcs = []
+    # worker thread: signal install is skipped off the main thread
+    thread = _threading.Thread(
+        target=lambda: rcs.append(
+            main(["serve", "--listen", f"127.0.0.1:{port}",
+                  "--nodes", "2", "--graph", "g=wrn",
+                  "--journal", str(tmp_path / "j.jsonl")])),
+        daemon=True)
+    thread.start()
+
+    deadline = __import__("time").monotonic() + 10
+    client = None
+    while client is None:
+        try:
+            client = GraphClient("127.0.0.1", port, jitter_seed=1,
+                                 connect_attempts=2,
+                                 backoff_base_s=0.01)
+        except Exception:
+            if __import__("time").monotonic() > deadline:
+                raise
+    try:
+        from repro.api import JobSpec
+        resp = client.submit(JobSpec(graph="g", algorithm="pagerank",
+                                     max_iterations=4, tenant="alice"),
+                             idempotency_key="listen-1")
+        assert client.wait(resp["job_id"],
+                           timeout_s=30)["state"] == "done"
+        client.drain()
+    finally:
+        client.close()
+    thread.join(timeout=10)
+    assert rcs == [0]
+    out = capsys.readouterr().out
+    assert "alice" in out and "done" in out
+    assert "wire:" in out and "session(s)" in out
+
+
+def test_serve_file_mode_sigterm_drains_cleanly(tmp_path, capsys,
+                                               monkeypatch):
+    """A signal mid-run finishes what's running, sheds the rest, and
+    journals a clean shutdown naming the signal."""
+    import json as _json
+
+    from repro.api import GraphService
+
+    jobs = tmp_path / "jobs.jsonl"
+    submit(jobs, "--tenant", "alice")
+    submit(jobs, "--tenant", "bob", "--algorithm", "cc")
+    capsys.readouterr()
+
+    captured = []
+    monkeypatch.setattr("repro.cli._install_drain_signals",
+                        captured.append)
+
+    real_run = GraphService.run
+
+    fired = []
+
+    def run_then_sigterm(self, *a, **kw):
+        if fired:  # drain() re-enters run() to finish what's running
+            return real_run(self, *a, **kw)
+        for _ in range(2):
+            if not self.step():
+                break
+        fired.append(True)
+        captured[0]("SIGTERM")  # raises _GracefulShutdown
+
+    monkeypatch.setattr(GraphService, "run", run_then_sigterm)
+
+    jpath = tmp_path / "j.jsonl"
+    rc = main(["serve", "--jobs-file", str(jobs), "--nodes", "2",
+               "--journal", str(jpath)])
+    out = capsys.readouterr().out
+    assert rc == 0  # drained jobs are not failures
+    assert "shed: shutdown on SIGTERM" in out
+
+    records = [_json.loads(line)
+               for line in jpath.read_text().splitlines() if line]
+    shutdowns = [r for r in records if r["rec"] == "shutdown"]
+    assert shutdowns and shutdowns[-1]["clean"] is True
+    assert shutdowns[-1]["reason"] == "sigterm"
+    # a restart can pick the shed work back up from the journal
+    rc = main(["serve", "--recover", "--journal", str(jpath),
+               "--json"])
+    doc = _json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert doc["ok"] is True
+    assert doc["recovery"]["recovered"] >= 1
