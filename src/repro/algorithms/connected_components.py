@@ -22,6 +22,7 @@ class ConnectedComponents(AlgorithmTemplate):
     name = "cc"
     default_max_iterations = 10_000
     monotone = True
+    incremental = "frontier"
 
     def init_state(self, graph: Graph, **params) -> AlgorithmState:
         n = graph.num_vertices

@@ -23,6 +23,9 @@ class PageRank(AlgorithmTemplate):
 
     name = "pagerank"
     default_max_iterations = 10
+    # the damped update is a contraction: any seed converges to the
+    # unique stationary point, so warm starts survive every mutation
+    incremental = "fixpoint"
 
     def __init__(self, damping: float = 0.85, tolerance: float = 1e-12
                  ) -> None:

@@ -24,6 +24,7 @@ class MultiSourceSSSP(AlgorithmTemplate):
     name = "sssp-bf"
     default_max_iterations = 10_000
     monotone = True
+    incremental = "frontier"
 
     def __init__(self, sources: Sequence[int] = (0,)) -> None:
         if not len(sources):

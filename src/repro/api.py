@@ -100,6 +100,7 @@ from .fault import (
 from .graph import (
     DATASETS,
     Graph,
+    MutationBatch,
     clustering_partition,
     dataset_names,
     hash_partition,
@@ -107,9 +108,11 @@ from .graph import (
     load_synthetic_clustered,
     load_synthetic_uniform,
     partition,
+    plan_warm_start,
 )
 from .serve import (
     GraphService,
+    GraphSnapshot,
     GraphStore,
     Job,
     JobSpec,
@@ -122,6 +125,22 @@ def deploy(spec: ClusterSpec,
     """Build the cluster described by ``spec`` and plug the middleware
     configured by ``config`` into it — the two-builder quickstart."""
     return GXPlug(spec.build(), config)
+
+
+def mutate(graph: Graph, batch):
+    """One-shot functional mutation: apply ``batch`` to a bare graph.
+
+    ``batch`` is a :class:`MutationBatch` or its ``to_doc()`` mapping;
+    returns ``(new_graph, effect)`` — the mutated graph plus the
+    :class:`~repro.graph.mutations.MutationEffect` summarizing the
+    dirty frontier.  The serving counterpart is
+    :meth:`GraphService.mutate`, which adds versioning, snapshot
+    isolation, journaling and exactly-once semantics on top of the
+    same apply.
+    """
+    if not isinstance(batch, MutationBatch):
+        batch = MutationBatch.from_doc(batch)
+    return batch.apply(graph)
 
 
 __all__ = [
@@ -178,9 +197,14 @@ __all__ = [
     # serving layer
     "GraphService",
     "GraphStore",
+    "GraphSnapshot",
     "ResultCache",
     "JobSpec",
     "Job",
+    # streaming mutations + incremental recompute
+    "MutationBatch",
+    "plan_warm_start",
+    "mutate",
     # graphs
     "Graph",
     "DATASETS",

@@ -62,7 +62,7 @@ FIGURES = (
     "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
     "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
     "fault_soak", "straggler_soak", "topology_soak", "serve_soak",
-    "serve_chaos", "wire_chaos",
+    "serve_chaos", "wire_chaos", "mutation_soak",
 )
 
 
@@ -203,6 +203,29 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--fault-superstep", type=int, default=1)
     submit.add_argument("--fault-node", type=int, default=0)
     submit.add_argument("--fault-repeat", type=int, default=1)
+
+    mut = sub.add_parser(
+        "mutate", help="apply a mutation batch to a served graph")
+    mut.add_argument("--connect", metavar="HOST:PORT", required=True,
+                     help="a 'serve --listen' server to mutate through "
+                          "(mutations are service-side: versioned, "
+                          "journaled, exactly-once)")
+    mut.add_argument("--graph", required=True,
+                     help="graph store key the batch applies to")
+    mut.add_argument("--batch-file", metavar="PATH", required=True,
+                     help="JSON mutation batch: any of 'add', 'remove', "
+                          "'update' ({src, dst[, weights]} lists), "
+                          "'add_vertices' (int), 'remove_vertices' "
+                          "(list); see docs/streaming.md")
+    mut.add_argument("--idempotency-key", metavar="KEY", default=None,
+                     help="client-chosen key making the batch "
+                          "exactly-once across reconnects and server "
+                          "crashes (default: the batch's content "
+                          "fingerprint)")
+    mut.add_argument("--tenant", default="default",
+                     help="client name for the session lease")
+    mut.add_argument("--timeout-s", type=float, default=10.0,
+                     help="per-request timeout (default 10s)")
 
     serve = sub.add_parser(
         "serve", help="run a multi-tenant serving session to completion")
@@ -518,6 +541,10 @@ def cmd_figure(name: str) -> int:
         "wire_chaos": ["seed", "kills", "generations", "jobs",
                        "resumed", "deduped", "reconnects", "identical",
                        "exactly once", "strictly fewer", "steps saved"],
+        "mutation_soak": ["algorithm", "churn", "cold steps",
+                          "warm steps", "step ratio", "cold ms",
+                          "warm ms", "ms ratio", "warm", "identical",
+                          "replay no-op"],
     }
     if name == "fig15":
         out = runner.run_fig15()
@@ -683,6 +710,58 @@ def cmd_submit(args: argparse.Namespace) -> int:
         f.write(json.dumps(record) + "\n")
     print(f"queued {args.tenant}: {args.algorithm} on {args.graph!r} "
           f"-> {args.jobs_file}")
+    return 0
+
+
+def cmd_mutate(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import (GraphError, WireError, WireShed,
+                         WireUnavailable)
+    from .graph.mutations import MutationBatch
+    from .serve.client import GraphClient
+
+    try:
+        host, port = parse_hostport(args.connect)
+    except ValueError as exc:
+        print(f"error: --connect: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.batch_file, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: bad batch file {args.batch_file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        batch = MutationBatch.from_doc(doc)  # validate before sending
+    except GraphError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        with GraphClient(host, port, client_name=f"cli:{args.tenant}",
+                         timeout_s=args.timeout_s) as client:
+            resp = client.mutate(
+                args.graph, batch,
+                idempotency_key=args.idempotency_key)
+    except WireShed as exc:
+        print(f"shed: {exc} (retry after {exc.retry_after_ms:.0f} ms"
+              + (", draining)" if exc.draining else ")"),
+              file=sys.stderr)
+        return 1
+    except WireUnavailable as exc:
+        print(f"error: {exc}; backoff applied: "
+              f"{[round(d, 3) for d in exc.backoff_schedule]}",
+              file=sys.stderr)
+        return 1
+    except WireError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    verb = ("already applied as" if resp["deduped"]
+            else f"applied {resp['changes']} change(s) as")
+    print(f"{args.graph!r} {verb} batch {resp['batch_id']} "
+          f"(v{resp['from_version']} -> v{resp['version']})")
     return 0
 
 
@@ -903,6 +982,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_figure(args.name)
     if args.command == "submit":
         return cmd_submit(args)
+    if args.command == "mutate":
+        return cmd_mutate(args)
     if args.command == "serve":
         return cmd_serve(args)
     if args.command == "bench":

@@ -103,6 +103,15 @@ class AlgorithmTemplate(ABC):
     #: full triplet view: re-scanning all edges would replay the events.
     requires_frontier_scan: bool = False
 
+    #: Warm-start policy after a graph mutation (see
+    #: :func:`repro.graph.mutations.plan_warm_start`): ``"frontier"``
+    #: for monotone algorithms that re-converge from the old fixpoint
+    #: plus a dirty frontier under growing mutations; ``"fixpoint"``
+    #: for contractions (PageRank) that reach the same bitwise
+    #: stationary point from any seed; ``None`` (default) means only a
+    #: cold recompute is provably bit-identical.
+    incremental: Optional[str] = None
+
     # -- lifecycle -----------------------------------------------------------
 
     @abstractmethod

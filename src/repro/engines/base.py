@@ -358,6 +358,14 @@ class IterativeEngine:
         converged = False
         iteration = 0
         if resume_from is not None:
+            seeded = np.asarray(resume_from.values)
+            if seeded.shape != values.shape:
+                # a checkpoint or warm start from a different graph
+                # version (or algorithm arity) can never be resumed —
+                # better to refuse than to compute garbage
+                raise EngineError(
+                    f"resume_from values shape {seeded.shape} does not "
+                    f"match the graph's state shape {values.shape}")
             values = np.array(resume_from.values, copy=True)
             active = np.array(resume_from.active, copy=True)
             iteration = int(resume_from.iteration)

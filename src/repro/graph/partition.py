@@ -122,8 +122,21 @@ def _normalize_shares(num_partitions: int,
 def _build_edge_cut(graph: Graph, master_of: np.ndarray,
                     strategy: str) -> PartitionedGraph:
     """Assemble subgraphs with each edge on its source's master node."""
+    return _build_from_edge_owners(graph, master_of,
+                                   master_of[graph.src], strategy)
+
+
+def _build_from_edge_owners(graph: Graph, master_of: np.ndarray,
+                            owner_of_edge: np.ndarray,
+                            strategy: str) -> PartitionedGraph:
+    """Assemble subgraphs from an explicit per-edge placement.
+
+    The generic assembler behind every placement policy: edge-cut
+    passes ``master_of[src]``, partition deltas pass the surviving
+    edges' previous owners so float summation order is preserved
+    across a mutation.
+    """
     num_partitions = int(master_of.max()) + 1 if master_of.size else 1
-    owner_of_edge = master_of[graph.src]
     parts: List[Subgraph] = []
     all_vertices = np.arange(graph.num_vertices)
     for node_id in range(num_partitions):

@@ -44,7 +44,7 @@ from .client import GraphClient
 from .queue import AdmissionControl, JobQueue, ResourceUsage
 from .scheduler import FairShareLedger, FairShareScheduler, RunningJob
 from .service import GraphService
-from .store import GraphStore, StoredGraph
+from .store import GraphSnapshot, GraphStore, StoredGraph
 from .wire import (
     FRAME_SCHEMA,
     PROTOCOL_VERSION,
@@ -56,6 +56,7 @@ from .wire import (
 __all__ = [
     "GraphService",
     "GraphStore",
+    "GraphSnapshot",
     "StoredGraph",
     "ResultCache",
     "CachedResult",

@@ -146,18 +146,35 @@ class ResultCache:
             self.evictions += 1
         return True
 
-    def invalidate_graph(self, graph_key: str) -> int:
-        """Drop every entry for ``graph_key`` (any version).
+    def invalidate_graph(self, graph_key: str, *,
+                         keep_versions=None) -> int:
+        """Drop entries for ``graph_key``, eagerly freeing capacity.
 
-        Called on graph reload: entries for older versions could never
-        be hit again (the version is part of the key), so dropping them
-        immediately frees capacity instead of waiting for LRU churn.
+        Version-miss alone is not enough: dead-version entries could
+        never be hit again (the version is part of the key), so leaving
+        them to LRU churn fills the cache with garbage.  Called on
+        reload (drop everything) and on mutation, where
+        ``keep_versions`` preserves entries still reachable — the new
+        latest version and any version pinned by an in-flight
+        snapshot.  Every drop counts as an invalidation.
         """
-        stale = [k for k in self._entries if k[0] == graph_key]
+        keep = frozenset(keep_versions or ())
+        stale = [k for k in self._entries
+                 if k[0] == graph_key and k[1] not in keep]
         for k in stale:
             del self._entries[k]
         self.invalidations += len(stale)
         return len(stale)
+
+    def entries_for(self, graph_key: str, version: int):
+        """Live ``(key, entry)`` pairs for one graph version.
+
+        The mutation path harvests these as warm-start seeds before
+        invalidating the version: a cached fixpoint for version N is
+        exactly the seed an incremental re-convergence on N+1 wants.
+        """
+        return [(k, v) for k, v in self._entries.items()
+                if k[0] == graph_key and k[1] == version]
 
     def keys(self):
         """Current keys, least- to most-recently used."""

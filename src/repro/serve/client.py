@@ -340,6 +340,39 @@ class GraphClient:
                 attempts += 1
                 self._sleep(max(exc.retry_after_ms, 1.0) / 1000.0)
 
+    def mutate(self, graph: str, batch, *,
+               idempotency_key: Optional[str] = None,
+               retries: int = 0) -> Dict[str, Any]:
+        """Mutate a resident graph; returns the server's summary
+        ``{graph, batch_id, from_version, version, changes, deduped}``.
+
+        ``batch`` is a :class:`~repro.graph.mutations.MutationBatch` or
+        its ``to_doc()`` mapping.  Mirrors :meth:`submit`'s safety
+        contract: with an ``idempotency_key`` the op is retry-safe —
+        a replayed batch after a dropped connection applies exactly
+        once, the retry learning the original outcome (``deduped``).
+        Without a key the batch's content fingerprint still dedupes
+        server-side, but a connection break surfaces to the caller.
+        ``retries`` > 0 honours shed responses by sleeping the
+        server's ``retry_after_ms`` hint (never on drain sheds).
+        """
+        doc = batch if isinstance(batch, dict) else batch.to_doc()
+        fields = {"session": self.session_id, "graph": graph,
+                  "batch": doc}
+        if idempotency_key is not None:
+            fields["idempotency_key"] = idempotency_key
+        attempts = 0
+        while True:
+            try:
+                return self._request(
+                    "mutate", dict(fields),
+                    retry_safe=idempotency_key is not None)
+            except WireShed as exc:
+                if exc.draining or attempts >= retries:
+                    raise
+                attempts += 1
+                self._sleep(max(exc.retry_after_ms, 1.0) / 1000.0)
+
     def poll(self, job_id: int, *, values: bool = False) -> Dict[str, Any]:
         """One job's state doc; ``values=True`` adds result values."""
         resp = self._request("poll", {"session": self.session_id,

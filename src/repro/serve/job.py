@@ -297,6 +297,21 @@ class Job:
         self.not_before_ms: Optional[float] = None
         #: why the job was quarantined (None unless state QUARANTINED)
         self.quarantine_reason: Optional[str] = None
+        #: GraphSnapshot pinning the graph version the job computes
+        #: against (acquired at submit, released at a terminal state)
+        self.snapshot = None
+        #: did this dispatch seed from a previous fixpoint (incremental
+        #: re-convergence after a mutation) instead of a cold start?
+        self.warm_started = False
+
+    @property
+    def snapshot_version(self) -> Optional[int]:
+        return self.snapshot.version if self.snapshot is not None else None
+
+    def release_snapshot(self) -> None:
+        """Idempotently drop the job's version pin."""
+        if self.snapshot is not None:
+            self.snapshot.release()
 
     @property
     def finished(self) -> bool:
@@ -344,6 +359,8 @@ class Job:
             "deadline_ms": spec.deadline_ms,
             "retries": self.retries,
             "quarantine_reason": self.quarantine_reason,
+            "snapshot_version": self.snapshot_version,
+            "warm_started": self.warm_started,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

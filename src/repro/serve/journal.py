@@ -17,7 +17,8 @@ Record kinds (one JSON object per line, ``rec`` discriminates)::
 
     service_start   cluster spec + service budgets (first line)
     graph_loaded    {key, dataset, version}; reloads append again
-    submitted       {job_id, spec, submitted_ms}
+    mutation        {key, batch_id, from_version, to_version, file}
+    submitted       {job_id, spec, submitted_ms, snapshot_version}
     admitted        {job_id, resume_iteration}
     slice           {job_id, iteration} — one per superstep quantum
     checkpointed    {job_id, iteration, file} — durable resume point
@@ -58,13 +59,15 @@ from ..fault.checkpoint import Checkpoint
 
 #: Journal format version, recorded in the ``service_start`` record.
 #: v2 added the ``idempotency`` record and the shutdown ``reason``
-#: field; v1 journals replay unchanged (both additions are optional).
-JOURNAL_VERSION = 2
+#: field; v3 added ``mutation`` records (with npz batch sidecars) and
+#: the ``snapshot_version`` field on ``submitted``.  v1/v2 journals
+#: replay unchanged — every addition is optional.
+JOURNAL_VERSION = 3
 
 #: Record kinds a journal may contain (the wire vocabulary).
 RECORD_KINDS = (
-    "service_start", "graph_loaded", "submitted", "admitted", "slice",
-    "checkpointed", "finished", "failed", "retry", "quarantined",
+    "service_start", "graph_loaded", "mutation", "submitted", "admitted",
+    "slice", "checkpointed", "finished", "failed", "retry", "quarantined",
     "cancelled", "shed", "idempotency", "shutdown",
 )
 
@@ -177,6 +180,40 @@ class JobJournal:
              "engine": np.asarray(engine),
              "algorithm": np.asarray(algorithm)})
 
+    def save_mutation(self, seq: int, batch) -> str:
+        """Persist a mutation batch's arrays for journal replay."""
+        return self._write_npz(
+            f"mutation-{seq}.npz",
+            {"add_src": batch.add_src, "add_dst": batch.add_dst,
+             "add_weights": batch.add_weights,
+             "remove_src": batch.remove_src,
+             "remove_dst": batch.remove_dst,
+             "update_src": batch.update_src,
+             "update_dst": batch.update_dst,
+             "update_weights": batch.update_weights,
+             "add_vertices": np.asarray(batch.add_vertices,
+                                        dtype=np.int64),
+             "remove_vertices": batch.remove_vertices})
+
+    def load_mutation(self, name: str):
+        """Rehydrate a journaled mutation batch sidecar."""
+        from ..graph.mutations import MutationBatch
+        path = os.path.join(self.state_dir, name)
+        if not os.path.exists(path):
+            raise ServeError(
+                f"journal references missing mutation sidecar {name!r}")
+        with np.load(path) as doc:
+            return MutationBatch(
+                add_src=doc["add_src"], add_dst=doc["add_dst"],
+                add_weights=doc["add_weights"],
+                remove_src=doc["remove_src"],
+                remove_dst=doc["remove_dst"],
+                update_src=doc["update_src"],
+                update_dst=doc["update_dst"],
+                update_weights=doc["update_weights"],
+                add_vertices=int(doc["add_vertices"]),
+                remove_vertices=doc["remove_vertices"])
+
     def load_result(self, job_id: int):
         """The journaled answer as a :class:`~repro.serve.cache
         .CachedResult` (None if the sidecar is missing)."""
@@ -245,6 +282,8 @@ class JobReplay:
     finished_ms: Optional[float] = None
     consumed_ms: float = 0.0
     slices: int = 0
+    #: graph version the job was pinned to at submit (None: pre-v3)
+    snapshot_version: Optional[int] = None
 
     @property
     def terminal(self) -> bool:
@@ -259,6 +298,13 @@ class JournalState:
     #: (key, dataset) graph loads in journal order (reloads repeat)
     graph_loads: List[Tuple[str, Optional[str]]] = field(
         default_factory=list)
+    #: interleaved graph history in journal order: ("load", doc) and
+    #: ("mutation", doc) events — recovery replays these in sequence so
+    #: store versions land exactly where the journal says they were
+    graph_events: List[Tuple[str, Dict[str, Any]]] = field(
+        default_factory=list)
+    #: mutation records in journal order (a subset of graph_events)
+    mutations: List[Dict[str, Any]] = field(default_factory=list)
     jobs: Dict[int, JobReplay] = field(default_factory=dict)
     clean_shutdown: bool = False
     #: why the clean shutdown happened ("drain", "sigterm", ...)
@@ -291,6 +337,11 @@ def replay_journal(records: List[Dict[str, Any]]) -> JournalState:
             continue
         if rec == "graph_loaded":
             state.graph_loads.append((doc["key"], doc.get("dataset")))
+            state.graph_events.append(("load", doc))
+            continue
+        if rec == "mutation":
+            state.mutations.append(doc)
+            state.graph_events.append(("mutation", doc))
             continue
         if rec == "shutdown":
             state.clean_shutdown = bool(doc.get("clean", False))
@@ -304,9 +355,11 @@ def replay_journal(records: List[Dict[str, Any]]) -> JournalState:
             continue
         job_id = int(doc["job_id"])
         if rec == "submitted":
+            sv = doc.get("snapshot_version")
             state.jobs[job_id] = JobReplay(
                 job_id=job_id, spec_doc=doc["spec"],
-                submitted_ms=float(doc.get("submitted_ms", 0.0)))
+                submitted_ms=float(doc.get("submitted_ms", 0.0)),
+                snapshot_version=int(sv) if sv is not None else None)
             continue
         job = state.jobs.get(job_id)
         if job is None:

@@ -43,7 +43,7 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -52,6 +52,8 @@ from ..core.config import ClusterSpec
 from ..core.middleware import GXPlug
 from ..engines.base import RunResult
 from ..errors import ReproError, ServeError
+from ..graph import load_dataset
+from ..graph.mutations import MutationBatch, plan_warm_start
 from .cache import CACHE_LOOKUP_MS, ResultCache
 from .job import (
     CANCELLED,
@@ -122,6 +124,18 @@ class GraphService:
         self._idempotency: Dict[str, int] = {}
         #: submits answered from the idempotency map instead of run
         self.deduped_submits = 0
+        #: warm-start seeds harvested from cached fixpoints at mutation
+        #: time: (graph key, algorithm, params fingerprint) ->
+        #: (seed version, CachedResult).  In-memory only — a crash
+        #: loses the seeds and the recovered service falls back to
+        #: cold starts; values are unaffected either way.
+        self._warm: Dict[Tuple[str, str, str], Tuple[int, Any]] = {}
+        #: jobs dispatched seeded from a previous fixpoint
+        self.warm_starts = 0
+        #: mutation batches applied (fresh) / answered from the log
+        self.mutations_applied = 0
+        self.deduped_mutations = 0
+        self._mutation_seq = 0
         # drain/recover lifecycle guard: drain() must be idempotent and
         # safe to call from a signal handler or a second thread while
         # the serving loop (or a recovery) is mid-flight
@@ -179,6 +193,76 @@ class GraphService:
                              version=entry.version)
         return entry
 
+    def mutate(self, key: str, batch, *,
+               idempotency_key: Optional[str] = None) -> Dict[str, Any]:
+        """Apply a mutation batch to a resident graph, exactly once.
+
+        ``batch`` is a :class:`~repro.graph.mutations.MutationBatch` or
+        its ``to_doc()`` mapping.  The apply is copy-on-write: jobs
+        pinned to the pre-mutation version keep computing against it
+        (snapshot isolation) while submits after this call see the new
+        version.  Idempotent by ``idempotency_key`` (defaulting to the
+        batch's content fingerprint): re-sending an applied batch — a
+        wire retry, a journal replay — answers from the mutation log
+        without touching the graph.
+
+        Before the old version's cached answers are invalidated they
+        are harvested as warm-start seeds: the next submit of the same
+        query on the mutated graph resumes from the previous fixpoint
+        over the mutation's dirty frontier instead of iteration 0,
+        when the algorithm declares an ``incremental`` policy.
+
+        Returns a summary dict: graph, batch_id, from_version,
+        version, changes, deduped.
+        """
+        if self.draining:
+            raise ServeError("service is draining; mutation refused")
+        if key not in self.store:
+            raise ServeError(
+                f"unknown graph {key!r}; loaded: {self.store.keys()}")
+        if isinstance(batch, Mapping):
+            batch = MutationBatch.from_doc(batch)
+        if batch.is_empty:
+            raise ServeError(f"empty mutation batch for graph {key!r}")
+        bid = idempotency_key or batch.fingerprint()
+        prior = self.store.log.applied(key, bid)
+        if prior is not None:
+            self.deduped_mutations += 1
+            return {"graph": key, "batch_id": bid,
+                    "from_version": prior.from_version,
+                    "version": prior.to_version,
+                    "changes": prior.batch.num_changes,
+                    "deduped": True}
+        pre_version = self.store.get(key).version
+        # harvest the pre-version's cached fixpoints as warm-start
+        # seeds before invalidating them: a cached answer for version N
+        # is exactly the seed an incremental re-run on N+1 wants
+        for ckey, entry in self.cache.entries_for(key, pre_version):
+            self._warm[(key, ckey[2], ckey[3])] = (pre_version, entry)
+        if self.journal is not None and not self.journal.closed:
+            # write-ahead: the batch lands durably before the store
+            # applies it — a crash in the gap replays the mutation,
+            # and a resubmit of the same batch id dedupes against it
+            self._mutation_seq += 1
+            name = self.journal.save_mutation(self._mutation_seq, batch)
+            self._journal_append("mutation", key=key, batch_id=bid,
+                                 from_version=pre_version,
+                                 to_version=pre_version + 1, file=name)
+        record = self.store.mutate(key, batch, bid)
+        self.mutations_applied += 1
+        # eager invalidation: dead-version entries could never be hit
+        # again, so evict them now instead of letting them squat in the
+        # LRU — keeping only versions still reachable (the new latest
+        # plus anything pinned by an in-flight snapshot)
+        keep = {record.to_version}
+        keep.update(self.store.pinned_versions(key))
+        self.cache.invalidate_graph(key, keep_versions=keep)
+        return {"graph": key, "batch_id": bid,
+                "from_version": record.from_version,
+                "version": record.to_version,
+                "changes": record.batch.num_changes,
+                "deduped": False}
+
     # -- submission ---------------------------------------------------------------------
 
     def submit(self, spec: JobSpec, *,
@@ -235,10 +319,15 @@ class GraphService:
             self._journal_append("idempotency", key=idempotency_key,
                                  job_id=job.job_id)
             self._idempotency[idempotency_key] = job.job_id
+        # snapshot isolation: pin the graph version this job will
+        # compute against for its whole lifetime — mutations landing
+        # after this instant go into versions the job never sees
+        job.snapshot = self.store.snapshot(spec.graph)
         self._jobs[job.job_id] = job
         self._journal_append("submitted", job_id=job.job_id,
                              spec=spec.to_doc(),
-                             submitted_ms=job.submitted_ms)
+                             submitted_ms=job.submitted_ms,
+                             snapshot_version=job.snapshot.version)
         self.queue.push(job)
         return job
 
@@ -274,6 +363,7 @@ class GraphService:
             pulled = self.queue.cancel(job_id)
             if pulled is not None:
                 pulled.finished_ms = self.now_ms
+                pulled.release_snapshot()
                 self._journal_append("cancelled", job_id=job_id)
                 return True
             return False
@@ -282,6 +372,7 @@ class GraphService:
             rj.stepper.close()
             job.state = CANCELLED
             job.finished_ms = self.now_ms
+            job.release_snapshot()
             self._journal_append("cancelled", job_id=job_id)
             self._teardown(rj)
             self._redispatch_waiters(rj.cache_key)
@@ -295,8 +386,9 @@ class GraphService:
                     self._waiter_parked_ms.pop(ckey, None)
                 job.state = CANCELLED
                 job.finished_ms = self.now_ms
+                job.release_snapshot()
                 self._journal_append("cancelled", job_id=job_id)
-                self.store.detach(job.spec.graph)
+                self.store._detach(job.spec.graph)
                 return True
         return False  # pragma: no cover - state machine guard
 
@@ -389,6 +481,7 @@ class GraphService:
                         continue
                     job.error = "shed: service draining"
                     job.finished_ms = self.now_ms
+                    job.release_snapshot()
                     self.admission.sheds += 1
                     self.admission.shed_reasons.append(
                         f"job #{job.job_id} ({job.spec.tenant}): "
@@ -455,17 +548,34 @@ class GraphService:
             journal_checkpoint_interval=meta.get(
                 "journal_checkpoint_interval", 2))
         jrn = JobJournal(journal_path)   # append mode: writes nothing
-        for key, dataset in state.graph_loads:
+        mutated_keys = set()
+        for kind, doc in state.graph_events:
+            key = doc["key"]
+            if kind == "mutation":
+                # journaled batches replay exactly once (the store
+                # dedupes by batch id); old versions are retained until
+                # the re-queued jobs below re-pin what they still need
+                batch = jrn.load_mutation(doc["file"])
+                svc.store.mutate(key, batch, doc["batch_id"],
+                                 retain=True)
+                mutated_keys.add(key)
+                continue
             if graphs is not None and key in graphs:
-                svc.store.load(key, graphs[key])
-            elif dataset is not None:
-                svc.store.load(key, dataset=dataset)
+                graph = graphs[key]
+            elif doc.get("dataset") is not None:
+                graph = load_dataset(doc["dataset"])
             else:
                 raise ServeError(
                     f"graph {key!r} was journaled without a dataset "
                     f"name; pass it via graphs={{{key!r}: <Graph>}}")
-            if svc.store.get(key).version > 1:
+            if key in svc.store:
+                # a journaled reload: replace() directly — the shim's
+                # deprecation warning is for callers, not replay
+                svc.store.replace(key, graph)
                 svc.cache.invalidate_graph(key)
+            else:
+                svc.store.load(key, graph)
+        svc._mutation_seq = len(state.mutations)
         svc.now_ms = state.now_ms
         svc._idempotency = dict(state.idempotency)
         for jr in sorted(state.jobs.values(), key=lambda j: j.job_id):
@@ -510,12 +620,27 @@ class GraphService:
                 svc.recovered_terminal += 1
                 continue
             # pending or in flight at the crash: re-queue, seeded with
-            # the last durable checkpoint if one was journaled
+            # the last durable checkpoint if one was journaled, and
+            # re-pinned to the graph version it was submitted against
+            try:
+                job.snapshot = svc.store.snapshot(
+                    spec.graph, version=jr.snapshot_version)
+            except ServeError:
+                # pre-v3 journal, or a version the graph history can
+                # no longer prove — fall back to the latest version
+                job.snapshot = svc.store.snapshot(spec.graph)
             job.resume_from = jrn.load_checkpoint(jr.job_id)
             if job.resume_from is not None:
                 svc.resumed_from_checkpoint += 1
             svc.recovered_jobs += 1
             svc.queue.push(job)
+        for key in mutated_keys:
+            # replayed ``finished`` records may have re-installed cache
+            # entries for versions nothing can reach anymore
+            keep = {svc.store.get(key).version}
+            keep.update(svc.store.pinned_versions(key))
+            svc.cache.invalidate_graph(key, keep_versions=keep)
+        svc.store.gc()   # drop retained versions no recovered job pins
         svc.journal = jrn
         return svc
 
@@ -544,6 +669,7 @@ class GraphService:
         job.state = FAILED
         job.error = reason
         job.finished_ms = self.now_ms
+        job.release_snapshot()
         self._journal_append("failed", job_id=job.job_id, error=reason)
         self._write_trace(job)
 
@@ -553,8 +679,14 @@ class GraphService:
         job.state = RUNNING
         if job.started_ms is None:
             job.started_ms = self.now_ms
-        entry = self.store.attach(spec.graph)
-        ckey = self.cache.key(spec.graph, entry.version, spec.algorithm,
+        self.store._attach(spec.graph)
+        if job.snapshot is None or job.snapshot.released:
+            # jobs submitted before the snapshot API (or whose handle
+            # was released by an earlier terminal path) pin late, at
+            # the latest version — the pre-snapshot behavior
+            job.snapshot = self.store.snapshot(spec.graph)
+        snap = job.snapshot
+        ckey = self.cache.key(spec.graph, snap.version, spec.algorithm,
                               spec.cache_params())
         self._journal_append(
             "admitted", job_id=job.job_id,
@@ -588,8 +720,27 @@ class GraphService:
         cluster = self.spec.build()
         middleware = GXPlug(cluster, runtime)
         engine = self.store.build_engine(spec.graph, spec.engine_cls(),
-                                         cluster, middleware)
-        stepper = engine.run_stepwise(spec.build_algorithm(),
+                                         cluster, middleware,
+                                         version=snap.version)
+        algorithm = spec.build_algorithm()
+        if job.resume_from is None:
+            # incremental recompute: seed from the fixpoint a mutation
+            # harvested out of the cache, when the algorithm declares a
+            # warm-start policy and the version delta chain is provable
+            seeded = self._warm.get((spec.graph, spec.algorithm,
+                                     ckey[3]))
+            if seeded is not None:
+                seed_version, seed = seeded
+                effects = self.store.effects_between(
+                    spec.graph, seed_version, snap.version)
+                if effects is not None:
+                    warm = plan_warm_start(algorithm, seed.values,
+                                           effects, snap.graph)
+                    if warm is not None:
+                        job.resume_from = warm
+                        job.warm_started = True
+                        self.warm_starts += 1
+        stepper = engine.run_stepwise(algorithm,
                                       spec.max_iterations,
                                       resume_from=job.resume_from)
         rj = RunningJob(job, middleware, engine, stepper, cache_key=ckey)
@@ -667,8 +818,9 @@ class GraphService:
         job.result = hit
         job.state = DONE
         job.finished_ms = self.now_ms
+        job.release_snapshot()
         self.ledger.finish(job.spec.tenant, from_cache=True)
-        self.store.detach(job.spec.graph)
+        self.store._detach(job.spec.graph)
         if self.journal is not None:
             # the sidecar makes the job self-contained on recovery even
             # if the shared cache entry is evicted before a crash
@@ -693,6 +845,7 @@ class GraphService:
         job.fault_report = rj.middleware.fault_report(result)
         job.state = DONE
         job.finished_ms = self.now_ms
+        job.release_snapshot()
         if job.spec.use_cache:
             self.cache.put(rj.cache_key, result)
         self.ledger.finish(job.spec.tenant)
@@ -770,6 +923,7 @@ class GraphService:
             self._journal_append("failed", job_id=job.job_id,
                                  error=reason)
         job.finished_ms = self.now_ms
+        job.release_snapshot()
         self._teardown(rj)
         self._write_trace(job)
         self._redispatch_waiters(rj.cache_key)
@@ -783,13 +937,13 @@ class GraphService:
         waiters = self._waiters.pop(cache_key, [])
         self._waiter_parked_ms.pop(cache_key, None)
         for waiter in waiters:
-            self.store.detach(waiter.spec.graph)
+            self.store._detach(waiter.spec.graph)
             self._dispatch(waiter)
 
     def _teardown(self, rj: RunningJob) -> None:
         self.scheduler.remove(rj)
         rj.middleware.disconnect_all()
-        self.store.detach(rj.job.spec.graph)
+        self.store._detach(rj.job.spec.graph)
 
     def _write_trace(self, job: Job) -> None:
         if self.trace_dir is None:
@@ -858,6 +1012,9 @@ class GraphService:
             "retries": self.retries,
             "draining": self.draining,
             "deduped_submits": self.deduped_submits,
+            "mutations": self.mutations_applied,
+            "deduped_mutations": self.deduped_mutations,
+            "warm_starts": self.warm_starts,
             "recovered_jobs": self.recovered_jobs,
             "resumed_from_checkpoint": self.resumed_from_checkpoint,
             # the recovery story in one block: jobs restored from the

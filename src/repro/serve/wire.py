@@ -20,6 +20,7 @@ Request ops::
     hello    {client, session?, lease_ms?}  open or resume a session
     ping     {session}                      heartbeat: renew the lease
     submit   {session, job, idempotency_key?}   queue a job
+    mutate   {session, graph, batch, idempotency_key?}  mutate a graph
     poll     {session, job_id, values?}     job state (+ values if done)
     watch    {session, job_id}              stream state-change events
     cancel   {session, job_id}              cancel pending/running job
@@ -96,6 +97,8 @@ FRAME_SCHEMA: Dict[str, Dict[str, Tuple[tuple, bool]]] = {
     "ping": {"session": (_STR, True)},
     "submit": {"session": (_STR, True), "job": (_DICT, True),
                "idempotency_key": (_STR, False)},
+    "mutate": {"session": (_STR, True), "graph": (_STR, True),
+               "batch": (_DICT, True), "idempotency_key": (_STR, False)},
     "poll": {"session": (_STR, True), "job_id": (_INT, True),
              "values": ((bool,), False)},
     "watch": {"session": (_STR, True), "job_id": (_INT, True)},
@@ -485,6 +488,28 @@ class GraphServiceServer:
         sess.job_ids.append(job.job_id)
         return {"job_id": job.job_id, "state": job.state,
                 "deduped": False}
+
+    def _op_mutate(self, conn: _Conn, doc: Dict[str, Any]
+                   ) -> Dict[str, Any]:
+        sess = self._require_session(conn, doc)
+        if self._drain_reason is not None or self.service.draining:
+            self.counters.sheds_sent += 1
+            return {"ok": False, "code": "shed", "draining": True,
+                    "retry_after_ms": self._retry_after_ms(),
+                    "error": "service is draining"}
+        try:
+            # the wire carries the batch's to_doc() form; the service
+            # dedupes by idempotency key (or content fingerprint), so a
+            # retried frame after a dropped connection applies once
+            summary = self.service.mutate(
+                doc["graph"], doc["batch"],
+                idempotency_key=doc.get("idempotency_key"))
+        except ReproError as exc:
+            return {"ok": False, "code": "bad-batch",
+                    "error": f"{type(exc).__name__}: {exc}"}
+        if summary["deduped"]:
+            self.counters.deduped_submits += 1
+        return dict(summary)
 
     def _job_doc(self, job, include_values: bool) -> Dict[str, Any]:
         doc = job.describe()

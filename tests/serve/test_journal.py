@@ -228,8 +228,10 @@ KIND_EXEMPLARS = {
     "service_start": {"version": JOURNAL_VERSION,
                       "cluster": {"nodes": 2}},
     "graph_loaded": {"key": "g", "dataset": "wrn", "version": 1},
+    "mutation": {"key": "g", "batch_id": "b" * 16, "from_version": 1,
+                 "to_version": 2, "file": "mutation-1.npz"},
     "submitted": {"job_id": 9, "spec": {"graph": "g"},
-                  "submitted_ms": 1.0},
+                  "submitted_ms": 1.0, "snapshot_version": 1},
     "admitted": {"job_id": 9, "resume_iteration": 0},
     "slice": {"job_id": 9, "iteration": 1},
     "checkpointed": {"job_id": 9, "iteration": 1,

@@ -377,3 +377,76 @@ def test_draining_submits_shed_with_draining_flag():
     finally:
         server.crash()
         thread.join(timeout=10)
+
+
+# -- streaming mutations over the wire ----------------------------------------
+
+
+def test_mutate_frame_validates():
+    frame = {"op": "mutate", "session": "s", "graph": "g",
+             "batch": {"add": {"src": [0], "dst": [1]}},
+             "idempotency_key": "k", "v": PROTOCOL_VERSION, "req": 1}
+    assert validate_frame(frame) == "mutate"
+    bad = dict(frame)
+    del bad["batch"]
+    with pytest.raises(WireProtocolError, match="missing field 'batch'"):
+        validate_frame(bad)
+
+
+def test_mutate_applies_and_new_submits_see_it(served):
+    svc, server = served
+    edges_before = svc.store.get("g").graph.num_edges
+    with connect(server) as client:
+        resp = client.mutate(
+            "g", {"add": {"src": [0], "dst": [5]}},
+            idempotency_key="wire-mut-1")
+        assert resp["version"] == 2 and not resp["deduped"]
+        assert resp["changes"] == 1
+        job = client.submit(pagerank_spec(tenant="after"))
+        doc = client.wait(job["job_id"])
+        assert doc["state"] == "done"
+    assert svc.store.get("g").version == 2
+    assert svc.store.get("g").graph.num_edges == edges_before + 1
+    assert svc.job(job["job_id"]).snapshot_version == 2
+
+
+def test_mutate_replay_applies_exactly_once(served):
+    svc, server = served
+    batch = {"add": {"src": [1], "dst": [6]}}
+    with connect(server) as client:
+        first = client.mutate("g", batch, idempotency_key="dup-key")
+        again = client.mutate("g", batch, idempotency_key="dup-key")
+    assert not first["deduped"] and again["deduped"]
+    assert again["version"] == first["version"] == 2
+    assert svc.store.get("g").version == 2
+    assert svc.metrics()["mutations"] == 1
+    assert svc.metrics()["deduped_mutations"] == 1
+
+
+def test_mutate_bad_batch_answered_not_closed(served):
+    from repro.errors import ServeError
+    _, server = served
+    with connect(server) as client:
+        with pytest.raises(ServeError, match=r"\[bad-batch\]"):
+            client.mutate("g", {"frobnicate": {}})
+        with pytest.raises(ServeError, match=r"\[bad-batch\].*unknown "
+                                             "graph"):
+            client.mutate("nope", {"add": {"src": [0], "dst": [1]}})
+        # the session survived both refusals
+        assert client.ping()
+
+
+def test_mutate_shed_while_draining():
+    from repro.errors import WireShed
+    svc = make_service()
+    server = GraphServiceServer(svc, auto_step=False)
+    thread = server.serve_in_thread()
+    try:
+        with connect(server) as client:
+            svc.draining = True
+            with pytest.raises(WireShed) as exc_info:
+                client.mutate("g", {"add": {"src": [0], "dst": [1]}})
+            assert exc_info.value.draining is True
+    finally:
+        server.crash()
+        thread.join(timeout=10)

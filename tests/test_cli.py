@@ -92,7 +92,7 @@ def test_all_figures_registered():
         "table1", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
         "fig11a", "fig11b", "fig12a", "fig12b", "fig13", "fig14", "fig15",
         "fault_soak", "straggler_soak", "topology_soak", "serve_soak",
-        "serve_chaos", "wire_chaos",
+        "serve_chaos", "wire_chaos", "mutation_soak",
     }
 
 
@@ -544,3 +544,52 @@ def test_serve_file_mode_sigterm_drains_cleanly(tmp_path, capsys,
     assert rc == 0
     assert doc["ok"] is True
     assert doc["recovery"]["recovered"] >= 1
+
+
+# -- streaming mutations: repro-gxplug mutate --connect --------------------------------
+
+def test_mutate_rejects_bad_inputs(tmp_path, capsys):
+    rc = main(["mutate", "--connect", "noport", "--graph", "wrn",
+               "--batch-file", str(tmp_path / "b.json")])
+    assert rc == 2
+    assert "HOST:PORT" in capsys.readouterr().err
+
+    rc = main(["mutate", "--connect", "h:1", "--graph", "wrn",
+               "--batch-file", str(tmp_path / "missing.json")])
+    assert rc == 2
+    assert "bad batch file" in capsys.readouterr().err
+
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"frobnicate": {}}')
+    rc = main(["mutate", "--connect", "h:1", "--graph", "wrn",
+               "--batch-file", str(bad)])
+    assert rc == 2
+    assert "unknown mutation batch field" in capsys.readouterr().err
+
+
+def test_mutate_connect_applies_then_dedupes(tmp_path, capsys):
+    import json as _json
+
+    batch_file = tmp_path / "batch.json"
+    batch_file.write_text(_json.dumps(
+        {"add": {"src": [0], "dst": [5]}}))
+    svc, server, thread = _wire_server()
+    host, port = server.address
+    try:
+        args = ["mutate", "--connect", f"{host}:{port}",
+                "--graph", "wrn", "--batch-file", str(batch_file),
+                "--idempotency-key", "cli-mut-1"]
+        rc = main(args)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "applied 1 change(s)" in out
+        assert "v1 -> v2" in out
+
+        rc = main(args)          # replay: exactly once
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "already applied" in out
+        assert svc.store.get("wrn").version == 2
+    finally:
+        server.crash()
+        thread.join(timeout=10)
