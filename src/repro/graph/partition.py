@@ -128,15 +128,22 @@ def _build_edge_cut(graph: Graph, master_of: np.ndarray,
 
 def _build_from_edge_owners(graph: Graph, master_of: np.ndarray,
                             owner_of_edge: np.ndarray,
-                            strategy: str) -> PartitionedGraph:
+                            strategy: str,
+                            num_partitions: Optional[int] = None
+                            ) -> PartitionedGraph:
     """Assemble subgraphs from an explicit per-edge placement.
 
     The generic assembler behind every placement policy: edge-cut
     passes ``master_of[src]``, partition deltas pass the surviving
     edges' previous owners so float summation order is preserved
-    across a mutation.
+    across a mutation.  ``num_partitions`` pins the part count; when
+    omitted it is inferred from the highest master id — callers whose
+    high nodes may hold no masters (a delta over a sparse or empty
+    graph) must pass it explicitly or the part count collapses.
     """
-    num_partitions = int(master_of.max()) + 1 if master_of.size else 1
+    if num_partitions is None:
+        num_partitions = (int(master_of.max()) + 1 if master_of.size
+                          else 1)
     parts: List[Subgraph] = []
     all_vertices = np.arange(graph.num_vertices)
     for node_id in range(num_partitions):

@@ -51,7 +51,7 @@ from ..bench.trace import write_json
 from ..core.config import ClusterSpec
 from ..core.middleware import GXPlug
 from ..engines.base import RunResult
-from ..errors import ReproError, ServeError
+from ..errors import GraphError, ReproError, ServeError
 from ..graph import load_dataset
 from ..graph.mutations import MutationBatch, plan_warm_start
 from .cache import CACHE_LOOKUP_MS, ResultCache
@@ -128,13 +128,19 @@ class GraphService:
         #: time: (graph key, algorithm, params fingerprint) ->
         #: (seed version, CachedResult).  In-memory only — a crash
         #: loses the seeds and the recovered service falls back to
-        #: cold starts; values are unaffected either way.
+        #: cold starts; values are unaffected either way.  Bounded as a
+        #: small LRU (see :meth:`_warm_put`) and pruned whenever a
+        #: key's mutation history is severed, so stale seeds can never
+        #: chain-match a reloaded incarnation of the key.
         self._warm: Dict[Tuple[str, str, str], Tuple[int, Any]] = {}
+        self._warm_cap = max(cache_entries, 8)
         #: jobs dispatched seeded from a previous fixpoint
         self.warm_starts = 0
         #: mutation batches applied (fresh) / answered from the log
         self.mutations_applied = 0
         self.deduped_mutations = 0
+        #: journaled mutation batches :meth:`recover` could not re-apply
+        self.skipped_mutations = 0
         self._mutation_seq = 0
         # drain/recover lifecycle guard: drain() must be idempotent and
         # safe to call from a signal handler or a second thread while
@@ -187,11 +193,46 @@ class GraphService:
                    dataset: Optional[str] = None):
         """Load or reload a graph; reloads invalidate cached answers."""
         entry = self.store.load(key, graph, dataset=dataset)
+        # every load severs the key's warm-start history: a reload
+        # replaces the graph wholesale, and a fresh load after an
+        # unload restarts versioning at 1 — a stale seed left behind
+        # could chain-match the new incarnation's mutation log and
+        # warm-start a monotone algorithm from an unrelated fixpoint
+        # (an invalid bound it can never recover from)
+        self._prune_warm(key)
         if entry.version > 1:
             self.cache.invalidate_graph(key)
         self._journal_append("graph_loaded", key=key, dataset=dataset,
                              version=entry.version)
         return entry
+
+    def unload_graph(self, key: str) -> None:
+        """Evict a graph plus the service state that references it.
+
+        Prefer this over calling ``svc.store.unload()`` directly: the
+        store cannot see the service's per-key state, so a bare store
+        unload would leave cached answers and harvested warm-start
+        seeds behind — and a seed surviving into a later reload of the
+        same key could warm-start against an unrelated graph.  Unloads
+        are not journaled: a recover() of an older journal conservatively
+        restores the key from its ``graph_loaded`` record.
+        """
+        self.store.unload(key)
+        self.cache.invalidate_graph(key)
+        self._prune_warm(key)
+
+    def _warm_put(self, wkey: Tuple[str, str, str], version: int,
+                  entry: Any) -> None:
+        """Install a harvested seed, evicting the LRU past the cap."""
+        self._warm.pop(wkey, None)
+        self._warm[wkey] = (version, entry)
+        while len(self._warm) > self._warm_cap:
+            self._warm.pop(next(iter(self._warm)))
+
+    def _prune_warm(self, key: str) -> None:
+        """Drop every harvested seed for ``key`` (history severed)."""
+        for wkey in [w for w in self._warm if w[0] == key]:
+            del self._warm[wkey]
 
     def mutate(self, key: str, batch, *,
                idempotency_key: Optional[str] = None) -> Dict[str, Any]:
@@ -234,22 +275,28 @@ class GraphService:
                     "changes": prior.batch.num_changes,
                     "deduped": True}
         pre_version = self.store.get(key).version
+        # apply first, journal second: store.mutate() runs apply-time
+        # validation (out-of-range ids, remove/update of a nonexistent
+        # edge raise GraphError), and a batch that cannot apply must
+        # never reach the journal — a journaled unappliable batch would
+        # re-raise on every recover() replay and wedge recovery forever
+        record = self.store.mutate(key, batch, bid)
+        self.mutations_applied += 1
         # harvest the pre-version's cached fixpoints as warm-start
         # seeds before invalidating them: a cached answer for version N
         # is exactly the seed an incremental re-run on N+1 wants
         for ckey, entry in self.cache.entries_for(key, pre_version):
-            self._warm[(key, ckey[2], ckey[3])] = (pre_version, entry)
+            self._warm_put((key, ckey[2], ckey[3]), pre_version, entry)
         if self.journal is not None and not self.journal.closed:
-            # write-ahead: the batch lands durably before the store
-            # applies it — a crash in the gap replays the mutation,
-            # and a resubmit of the same batch id dedupes against it
+            # the applied batch lands durably before the success
+            # response reaches the caller; a crash in the gap loses an
+            # apply the client was never told about, so its idempotent
+            # resubmit re-applies cleanly after recover()
             self._mutation_seq += 1
             name = self.journal.save_mutation(self._mutation_seq, batch)
             self._journal_append("mutation", key=key, batch_id=bid,
-                                 from_version=pre_version,
-                                 to_version=pre_version + 1, file=name)
-        record = self.store.mutate(key, batch, bid)
-        self.mutations_applied += 1
+                                 from_version=record.from_version,
+                                 to_version=record.to_version, file=name)
         # eager invalidation: dead-version entries could never be hit
         # again, so evict them now instead of letting them squat in the
         # LRU — keeping only versions still reachable (the new latest
@@ -556,8 +603,17 @@ class GraphService:
                 # dedupes by batch id); old versions are retained until
                 # the re-queued jobs below re-pin what they still need
                 batch = jrn.load_mutation(doc["file"])
-                svc.store.mutate(key, batch, doc["batch_id"],
-                                 retain=True)
+                try:
+                    svc.store.mutate(key, batch, doc["batch_id"],
+                                     retain=True)
+                except GraphError:
+                    # defense in depth: the live path only journals
+                    # batches that already applied, but a record from
+                    # an older journal (or one straddling an unjournaled
+                    # replace) may no longer fit the graph — skipping it
+                    # beats wedging every future recover(); jobs pinned
+                    # to unreachable versions fall back to latest below
+                    svc.skipped_mutations += 1
                 mutated_keys.add(key)
                 continue
             if graphs is not None and key in graphs:
@@ -727,9 +783,10 @@ class GraphService:
             # incremental recompute: seed from the fixpoint a mutation
             # harvested out of the cache, when the algorithm declares a
             # warm-start policy and the version delta chain is provable
-            seeded = self._warm.get((spec.graph, spec.algorithm,
-                                     ckey[3]))
+            wkey = (spec.graph, spec.algorithm, ckey[3])
+            seeded = self._warm.get(wkey)
             if seeded is not None:
+                self._warm[wkey] = self._warm.pop(wkey)  # LRU touch
                 seed_version, seed = seeded
                 effects = self.store.effects_between(
                     spec.graph, seed_version, snap.version)
@@ -1014,6 +1071,7 @@ class GraphService:
             "deduped_submits": self.deduped_submits,
             "mutations": self.mutations_applied,
             "deduped_mutations": self.deduped_mutations,
+            "skipped_mutations": self.skipped_mutations,
             "warm_starts": self.warm_starts,
             "recovered_jobs": self.recovered_jobs,
             "resumed_from_checkpoint": self.resumed_from_checkpoint,

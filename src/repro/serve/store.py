@@ -267,12 +267,21 @@ class GraphStore:
             for part in pg.parts:
                 old_owner[part.edge_ids] = part.node_id
             origin = effect.edge_origin
-            owner = np.where(origin >= 0,
-                             old_owner[np.clip(origin, 0, None)],
-                             master_of[new_graph.src])
+            if old_graph.num_edges:
+                owner = np.where(origin >= 0,
+                                 old_owner[np.clip(origin, 0, None)],
+                                 master_of[new_graph.src])
+            else:
+                # np.where evaluates both branches eagerly: with a
+                # zero-edge old graph even the never-selected index
+                # into the empty old_owner would raise — every edge in
+                # the new graph is freshly added, so place them all on
+                # their source's master
+                owner = master_of[new_graph.src]
             self._partitions[(key, entry.version, pkey[2], num_nodes)] = \
                 _build_from_edge_owners(new_graph, master_of, owner,
-                                        pg.strategy)
+                                        pg.strategy,
+                                        num_partitions=len(pg.parts))
             self.partition_deltas += 1
             if (key, old_version) not in self._retained:
                 del self._partitions[pkey]
@@ -408,7 +417,16 @@ class GraphStore:
         return self._attach(key)
 
     def detach(self, key: str) -> None:
-        """Deprecated counterpart of :meth:`attach`."""
+        """Deprecated counterpart of :meth:`attach`.
+
+        A legacy detach is anonymous — the caller never identifies
+        *which* attach it undoes — so the shim releases the oldest
+        outstanding legacy snapshot (FIFO: the longest-held, hence
+        oldest-versioned, pin goes first).  Interleaving legacy
+        attach/detach with :meth:`mutate` therefore has approximate
+        pin accounting across versions; hold a real
+        :class:`GraphSnapshot` and ``release()`` it for exact pinning.
+        """
         warnings.warn(
             "GraphStore.detach() is deprecated; release() the "
             "GraphSnapshot you hold instead",
@@ -416,7 +434,7 @@ class GraphStore:
         self._detach(key)
         snaps = self._legacy_snaps.get(key)
         if snaps:
-            snaps.pop().release()
+            snaps.pop(0).release()
 
     # -- engine construction ------------------------------------------------------------
 

@@ -146,6 +146,37 @@ def test_attach_detach_shims_warn_but_count(store):
     assert store.pinned_versions("g") == set()
 
 
+def test_legacy_detach_releases_oldest_pin_first(store):
+    # anonymous legacy detaches straddling a mutation: the attacher
+    # that has been around longest (v1) leaves first, so FIFO release
+    # frees the superseded version instead of the live one
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        store.attach("g")                      # pins v1
+        store.mutate("g", add_edge_batch(0, 8))
+        store.attach("g")                      # pins v2
+        store.detach("g")                      # the v1 attacher leaves
+    assert store.pinned_versions("g") == {2}
+    assert store.stats()["retained_versions"] == 0   # v1 was GC'd
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        store.detach("g")
+    assert store.pinned_versions("g") == set()
+
+
+def test_partition_delta_from_zero_edge_graph():
+    empty = Graph.from_edges(8, np.empty(0, dtype=np.int64),
+                             np.empty(0, dtype=np.int64), name="empty")
+    store = GraphStore()
+    store.load("g", empty)
+    store.build_engine("g", PowerGraphEngine, CLUSTER)   # memoize v1
+    store.mutate("g", add_edge_batch(0, 1))    # every edge is new
+    assert store.stats()["partition_deltas"] == 1
+    store.build_engine("g", PowerGraphEngine, CLUSTER)   # v2 delta reused
+    assert store.stats()["partition_hits"] == 1
+    assert store.get("g").graph.num_edges == 1
+
+
 def test_reload_shim_warns_and_routes_through_replace(store):
     g2 = ring(16, name="ring-v2")
     with pytest.warns(DeprecationWarning, match="replace"):
@@ -310,6 +341,45 @@ def test_warm_start_refused_for_shrinking_mutations():
     assert np.array_equal(second.values, ref.values)
 
 
+def test_unload_reload_clears_stale_warm_seeds():
+    # a seed harvested from one incarnation of a key must never chain-
+    # match a later incarnation: unload + load restarts versioning at 1,
+    # so a stale (key, algo, params) seed with seed_version=1 would
+    # otherwise warm-start a monotone algorithm from an unrelated
+    # graph's fixpoint — an invalid bound it can never recover from
+    svc = make_service(ring(64))
+    spec = pr_spec(algorithm="cc", max_iterations=2000, params={})
+    svc.submit(spec)
+    svc.run()
+    svc.mutate("g", add_edge_batch(0, 8))      # harvests a v1 seed
+    assert svc._warm
+    svc.unload_graph("g")
+    assert not svc._warm
+    assert "g" not in svc.store
+    assert len(svc.cache) == 0
+    # the new incarnation, mutated so the version chain (1 -> 2) lines
+    # up exactly as the stale seed's chain would have
+    svc.load_graph("g", uniform_random(64, 256, seed=9))
+    svc.mutate("g", add_edge_batch(0, 8))
+    job = svc.submit(spec)
+    svc.run()
+    assert not job.warm_started                # cold start, not chained
+    cold = make_service(svc.store.get("g").graph)
+    ref = cold.submit(spec)
+    cold.run()
+    assert np.array_equal(job.values, ref.values)
+
+
+def test_warm_seed_harvest_is_bounded():
+    svc = make_service()                       # cache_entries=8
+    assert svc._warm_cap == 8
+    for i in range(12):
+        svc._warm_put(("g", f"alg{i}", "fp"), 1, object())
+    assert len(svc._warm) == 8                 # oldest harvests evicted
+    assert ("g", "alg0", "fp") not in svc._warm
+    assert ("g", "alg11", "fp") in svc._warm
+
+
 # -- journaled mutations across crash + recover -------------------------------
 
 
@@ -331,6 +401,54 @@ def test_journaled_mutation_replays_exactly_once(tmp_path):
     assert redo["deduped"] and redo["version"] == 2
     assert rec.store.get("g").version == 2
     assert len(read_journal(jpath)) == before
+
+
+def test_rejected_mutation_is_not_journaled(tmp_path):
+    # a batch that fails apply-time validation must refuse cleanly: no
+    # journal record, no version bump — and recovery of the journal
+    # afterwards must not be poisoned by the bad request
+    from repro.errors import GraphError
+    jpath = str(tmp_path / "svc.jsonl")
+    svc = GraphService(SPEC, journal=jpath)
+    g = ring(16)
+    svc.load_graph("g", g)
+    with pytest.raises(GraphError, match="missing edge"):
+        svc.mutate("g", MutationBatch(remove_src=[3], remove_dst=[9]))
+    assert svc.store.get("g").version == 1
+    assert not [r for r in read_journal(jpath)
+                if r["rec"] == "mutation"]
+    del svc
+    rec = GraphService.recover(jpath, graphs={"g": g})
+    assert rec.store.get("g").version == 1
+    assert rec.skipped_mutations == 0
+    job = rec.submit(pr_spec())
+    rec.run()
+    assert job.state == "done"
+
+
+def test_recover_skips_unappliable_journaled_mutation(tmp_path):
+    # defense in depth: a journal written before the validate-then-
+    # journal ordering may carry a batch the graph can no longer
+    # apply; replay skips it instead of wedging recovery forever
+    jpath = str(tmp_path / "svc.jsonl")
+    svc = GraphService(SPEC, journal=jpath)
+    g = ring(16)
+    svc.load_graph("g", g)
+    svc.mutate("g", add_edge_batch(0, 8))      # a good batch, v2
+    bad = MutationBatch(remove_src=[3], remove_dst=[9])
+    name = svc.journal.save_mutation(99, bad)
+    svc.journal.append("mutation", svc.now_ms, key="g",
+                       batch_id="poison", from_version=2,
+                       to_version=3, file=name)
+    del svc
+    rec = GraphService.recover(jpath, graphs={"g": g})
+    assert rec.skipped_mutations == 1
+    assert rec.metrics()["skipped_mutations"] == 1
+    assert rec.store.get("g").version == 2     # good batch replayed
+    assert rec.store.get("g").graph.num_edges == 17
+    job = rec.submit(pr_spec())
+    rec.run()
+    assert job.state == "done"
 
 
 def test_recovered_jobs_repin_their_journaled_version(tmp_path):
